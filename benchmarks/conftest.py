@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each figure bench rebuilds the paper's scenario, asserts the content
+the figure shows, saves an ASCII screenshot under ``bench_artifacts/``
+and times the operation that produces the figure.  Claim benches
+measure the paper's interaction-cost statements; perf benches time the
+substrates themselves.
+"""
+
+import pathlib
+
+import pytest
+
+from repro import build_system, render_screen
+
+ARTIFACTS = pathlib.Path(__file__).resolve().parent.parent / "bench_artifacts"
+
+
+@pytest.fixture
+def system():
+    """A freshly booted world (Figure 4 state)."""
+    return build_system(width=160, height=60)
+
+
+@pytest.fixture
+def save_artifact():
+    """Write a figure reproduction to bench_artifacts/<name>.txt."""
+    ARTIFACTS.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (ARTIFACTS / f"{name}.txt").write_text(text)
+    return save
+
+
+@pytest.fixture
+def screenshot(save_artifact):
+    """Save the full screen of a help session as an artifact."""
+    def shot(name: str, help_app) -> str:
+        text = render_screen(help_app)
+        save_artifact(name, text)
+        return text
+    return shot

@@ -1,0 +1,62 @@
+"""Ablation: the gap buffer vs a naive immutable-string text store.
+
+The design choice DESIGN.md calls out for the text engine: localized
+edits (the editor's common case) should not pay for document length.
+"""
+
+from repro.core.text import GapBuffer
+
+
+class StringBuffer:
+    """The naive alternative: one Python string, rebuilt per edit."""
+
+    def __init__(self, text=""):
+        self._s = text
+
+    def __len__(self):
+        return len(self._s)
+
+    def insert(self, pos, s):
+        self._s = self._s[:pos] + s + self._s[pos:]
+
+    def delete(self, start, end):
+        removed = self._s[start:end]
+        self._s = self._s[:start] + self._s[end:]
+        return removed
+
+    def text(self):
+        return self._s
+
+
+DOC = "x" * 200_000
+EDITS = 400
+
+
+def _typing_run(buf_cls):
+    buf = buf_cls(DOC)
+    pos = len(DOC) // 2
+    for i in range(EDITS):
+        buf.insert(pos, "a")
+        pos += 1
+    for i in range(EDITS):
+        pos -= 1
+        buf.delete(pos, pos + 1)
+    return len(buf)
+
+
+def test_ablation_gapbuffer(benchmark):
+    assert benchmark(lambda: _typing_run(GapBuffer)) == len(DOC)
+
+
+def test_ablation_stringbuffer(benchmark):
+    assert benchmark(lambda: _typing_run(StringBuffer)) == len(DOC)
+
+
+def test_ablation_equivalence():
+    """Both stores compute the same text; only the cost differs."""
+    gap, naive = GapBuffer("hello"), StringBuffer("hello")
+    for buf in (gap, naive):
+        buf.insert(5, " world")
+        buf.delete(0, 1)
+        buf.insert(0, "H")
+    assert gap.text() == naive.text() == "Hello world"

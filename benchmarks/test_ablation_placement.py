@@ -1,0 +1,89 @@
+"""Ablation: the three-rule placement heuristic vs simpler policies.
+
+"minor changes to the heuristics often result in dramatic
+improvements to the feel of the system as a whole."  We compare the
+paper's heuristic against two ablated variants on a common workload
+and score the *feel* proxies: how much text stays readable and how
+many windows survive on screen.
+"""
+
+import random
+
+from repro.core.column import MIN_NEW_ROWS, Column
+from repro.core.frame import Frame, Rect
+from repro.core.window import Window
+
+
+def _score(column):
+    """(visible windows, total visible body rows) — more is better."""
+    visible = column.visible()
+    rows = 0
+    for window in visible:
+        rect = column.win_rect(window)
+        frame = Frame(column.text_width, max(0, rect.height - 1))
+        rows += frame.rows_used(window.body.string(), window.org) \
+            if rect.height > 1 else 0
+    return len(visible), rows
+
+
+class BottomOnlyColumn(Column):
+    """Ablation A: always stack at the very bottom (rule 3 only)."""
+
+    def place(self, window):
+        window.hidden = False
+        quarter = max(self.rect.height // 4, MIN_NEW_ROWS)
+        window.y = max(self.rect.y0, self.rect.y1 - quarter)
+        for other in self.windows:
+            if not other.hidden and other.y >= window.y:
+                other.hidden = True
+        self.windows.append(window)
+        self._normalize(priority=window)
+
+
+class NaiveSplitColumn(Column):
+    """Ablation B: halve the lowest window every time (rule 2 only)."""
+
+    def place(self, window):
+        window.hidden = False
+        vis = self.visible()
+        if not vis:
+            window.y = self.rect.y0
+        else:
+            last = vis[-1]
+            rect = self.win_rect(last)
+            window.y = last.y + max(1, rect.height // 2)
+        self.windows.append(window)
+        self._normalize(priority=window)
+
+
+def _workload(column_cls, seed=3, n=14, height=40):
+    rng = random.Random(seed)
+    column = column_cls(Rect(0, 1, 60, 1 + height))
+    for i in range(n):
+        column.place(Window(i, f"/w{i}",
+                            "".join(f"l{j}\n" for j in range(rng.randrange(2, 9)))))
+    return _score(column)
+
+
+def test_ablation_placement(benchmark, save_artifact):
+    paper = benchmark(lambda: _workload(Column))
+    bottom_only = _workload(BottomOnlyColumn)
+    naive_split = _workload(NaiveSplitColumn)
+
+    rows = [
+        f"{'policy':<22} {'windows shown':>14} {'text rows':>10}",
+        f"{'paper 3-rule':<22} {paper[0]:>14} {paper[1]:>10}",
+        f"{'bottom-25% only':<22} {bottom_only[0]:>14} {bottom_only[1]:>10}",
+        f"{'halve-lowest only':<22} {naive_split[0]:>14} {naive_split[1]:>10}",
+    ]
+    save_artifact("ablation_placement", "\n".join(rows) + "\n")
+    print("\n" + "\n".join(rows))
+
+    # the paper's heuristic shows at least as much text and at least as
+    # many windows as either ablation
+    assert paper[0] >= bottom_only[0]
+    assert paper[1] >= bottom_only[1]
+    assert paper[0] >= naive_split[0]
+    assert paper[1] >= naive_split[1]
+    # and strictly beats the rule-3-only policy on text shown
+    assert paper[1] > bottom_only[1]

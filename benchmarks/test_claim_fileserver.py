@@ -1,0 +1,67 @@
+"""Claim C8: shell scripts drive the UI through /mnt/help.
+
+The paper's literal examples: ``cp /mnt/help/7/body file`` and
+``grep pattern /mnt/help/7/body``, plus the index file.
+"""
+
+from repro import build_system
+
+
+def test_claim_cp_body(benchmark):
+    system = build_system()
+    h = system.help
+    w = h.new_window("/tmp/seven", "the quick brown fox\n" * 20)
+    shell = system.shell()
+
+    def scenario():
+        result = shell.run(f"cp /mnt/help/{w.id}/body /tmp/copy")
+        assert result.status == 0
+        return system.ns.read("/tmp/copy")
+
+    copied = benchmark(scenario)
+    assert copied == w.body.string()
+
+
+def test_claim_grep_body(benchmark):
+    system = build_system()
+    h = system.help
+    w = h.new_window("/tmp/seven",
+                     "".join(f"entry {i}\n" for i in range(50)) + "needle\n")
+    shell = system.shell()
+
+    result = benchmark(lambda: shell.run(f"grep needle /mnt/help/{w.id}/body"))
+    assert result.stdout == "needle\n"
+    assert result.status == 0
+
+
+def test_claim_index_file(benchmark):
+    """'An ASCII file /mnt/help/index may be examined to connect tag
+    file names to window numbers.'"""
+    system = build_system()
+    h = system.help
+    windows = [h.new_window(f"/tmp/f{i}", "x") for i in range(10)]
+    shell = system.shell()
+
+    index = benchmark(lambda: shell.run("cat /mnt/help/index").stdout)
+    for w in windows:
+        assert f"{w.id}\t/tmp/f{w.id - 0}" in index or \
+            any(line.startswith(f"{w.id}\t") for line in index.splitlines())
+    line = next(l for l in index.splitlines()
+                if l.startswith(f"{windows[0].id}\t"))
+    number, tag = line.split("\t", 1)
+    assert int(number) == windows[0].id
+    assert tag == windows[0].tag.string().split("\n")[0]
+
+
+def test_claim_ctl_editing_from_script(benchmark):
+    system = build_system()
+    h = system.help
+    w = h.new_window("/tmp/doc", "hello world")
+    shell = system.shell()
+
+    def scenario():
+        w.replace_body("hello world")
+        shell.run(f"echo 'replace 0 5 goodbye' > /mnt/help/{w.id}/ctl")
+        return w.body.string()
+
+    assert benchmark(scenario) == "goodbye world"

@@ -1,0 +1,89 @@
+"""Claim C10: the inverted builder (the paper's future-work proposal).
+
+"What's needed for help is almost the opposite [of make]: a tool
+that, perhaps by examining the index file, sees what source files
+have been modified and builds the targets that depend on them."
+"""
+
+from repro import build_system
+from repro.core.window import Subwindow
+from repro.tools.corpus import SRC_DIR
+
+
+def test_claim_inverted_mk_from_index(benchmark):
+    """Dirty window -> Put! in the index -> imk rebuilds its targets."""
+    system = build_system()
+    h = system.help
+    shell = system.shell(SRC_DIR)
+    shell.run("mk")  # everything up to date
+
+    exec_w = h.open_path(f"{SRC_DIR}/exec.c")
+
+    def scenario():
+        exec_w.body.insert(0, "/* touched */\n")
+        exec_w.mark_dirty()
+        # no Put! — imk writes the dirty window out itself, through
+        # /mnt/help, then builds what depends on it
+        result = shell.run("imk")
+        return result
+
+    result = benchmark(scenario)
+    assert result.status == 0
+    assert "vc -w exec.c" in result.stdout
+    assert "vc -w text.c" not in result.stdout
+    assert "vl -o help" in result.stdout
+    assert not exec_w.dirty, "imk cleaned the window after writing it"
+    assert "/* touched */" in system.ns.read(f"{SRC_DIR}/exec.c")
+
+
+def test_claim_inverted_mk_nothing_dirty():
+    system = build_system()
+    shell = system.shell(SRC_DIR)
+    shell.run("mk")
+    result = shell.run("imk")
+    assert "nothing modified" in result.stdout
+
+
+def test_claim_inverted_equals_forward(benchmark):
+    """Inverted and forward mk converge on the same final state."""
+    system = build_system()
+    shell = system.shell(SRC_DIR)
+    shell.run("mk")
+
+    def scenario():
+        shell.run("touch errs.c")
+        inverted = shell.run("imk errs.c").stdout
+        # forward mk afterwards finds nothing left to do
+        forward = shell.run("mk").stdout
+        return inverted, forward
+
+    inverted, forward = benchmark(scenario)
+    assert "vc -w errs.c" in inverted
+    assert "nothing to do" in forward
+
+
+def test_claim_inverted_scales_with_change_not_project(benchmark, save_artifact):
+    """The cost driver is how much changed, not how big the project is."""
+    system = build_system()
+    ns = system.ns
+    ns.mkdir("/big", parents=True)
+    n_files = 40
+    objs = " ".join(f"m{i}.v" for i in range(n_files))
+    rules = [f"OBJS={objs}", "", "prog: $OBJS", "\tvl -o prog $OBJS", "",
+             "%.v: %.c", "\tvc -w $stem.c"]
+    ns.write("/big/mkfile", "\n".join(rules) + "\n")
+    for i in range(n_files):
+        ns.write(f"/big/m{i}.c", f"int m{i};\n")
+    shell = system.shell("/big")
+    shell.run("mk")
+
+    def one_change():
+        shell.run("touch m7.c")
+        return shell.run("imk m7.c").stdout
+
+    log = benchmark(one_change)
+    compiles = log.count("vc -w")
+    save_artifact("claim_inverted_mk",
+                  f"project files: {n_files}\n"
+                  f"changed: 1\ncompiles run: {compiles}\n")
+    assert compiles == 1

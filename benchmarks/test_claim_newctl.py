@@ -1,0 +1,76 @@
+"""Claim C9: window creation through /mnt/help/new/ctl.
+
+"To create a new window, a process just opens /mnt/help/new/ctl,
+which places the new window automatically on the screen near the
+current selected text, and may then read from that file the name of
+the window created ... The position and size of the new window is
+chosen by help."
+"""
+
+from repro import build_system
+
+
+def test_claim_newctl(benchmark):
+    system = build_system()
+    shell = system.shell()
+
+    def scenario():
+        out = shell.run("cat /mnt/help/new/ctl").stdout
+        return int(out.strip())
+
+    wid = benchmark(scenario)
+    assert wid in system.help.windows
+
+
+def test_claim_new_window_near_selection():
+    system = build_system(width=160, height=60)
+    h = system.help
+    left, right = h.screen.columns
+    anchor_left = h.new_window("/tmp/a", "text", column=left)
+    anchor_right = h.new_window("/tmp/b", "text", column=right)
+    shell = system.shell()
+
+    h.select(anchor_left, 0, 2)
+    wid = int(shell.run("cat /mnt/help/new/ctl").stdout.strip())
+    assert h.screen.column_of(h.windows[wid]) is left
+
+    h.select(anchor_right, 0, 2)
+    wid = int(shell.run("cat /mnt/help/new/ctl").stdout.strip())
+    assert h.screen.column_of(h.windows[wid]) is right
+
+
+def test_claim_position_chosen_by_help():
+    """The creating process never says where; the heuristic does."""
+    system = build_system(width=160, height=60)
+    shell = system.shell()
+    created = []
+    for _ in range(5):
+        wid = int(shell.run("cat /mnt/help/new/ctl").stdout.strip())
+        window = system.help.windows[wid]
+        column = system.help.screen.column_of(window)
+        rect = column.win_rect(window)
+        assert rect is not None and rect.height >= 1
+        created.append(window)
+    ys = [w.y for w in created]
+    assert ys == sorted(ys), "each lands below the last (rule 1)"
+
+
+def test_claim_script_builds_whole_window(benchmark):
+    """The decl-script skeleton, timed end to end."""
+    system = build_system()
+    shell = system.shell()
+    script = """x=`{cat /mnt/help/new/ctl}
+{
+\techo tag /tmp/out Close!
+} | help/buf > /mnt/help/$x/ctl
+echo result line > /mnt/help/$x/bodyapp
+echo $x
+"""
+
+    def scenario():
+        return int(shell.run(script).stdout.strip())
+
+    wid = benchmark(scenario)
+    window = system.help.windows[wid]
+    assert window.name() == "/tmp/out"
+    assert window.body.string() == "result line\n"

@@ -1,0 +1,56 @@
+"""Claim C4: two clicks open a pointed-at file, vs retyping its name.
+
+"by pointing at dat.h in the source file ... and executing Open, a
+new window is created ...: two button clicks" and "it should never be
+necessary or even worthwhile to retype text that is already on the
+screen."
+"""
+
+from repro import build_system
+from repro.metrics.baseline import open_file_by_pointing
+from repro.tools.corpus import SRC_DIR
+from repro.testing import Session
+
+
+def test_claim_open_two_clicks(benchmark):
+    def scenario():
+        session = Session(build_system(width=160, height=60))
+        h = session.help
+        src_w = h.open_path(f"{SRC_DIR}/help.c")
+        edit_stf = session.window("/help/edit/stf")
+        h.stats.reset()
+        session.point_at(src_w, "dat.h", offset=2)
+        session.execute(edit_stf, "Open")
+        return h.stats.button_presses, h.window_by_name(f"{SRC_DIR}/dat.h")
+
+    presses, window = benchmark(scenario)
+    assert presses == 2
+    assert window is not None
+    print(f"\n[C4] opened dat.h in {presses} clicks")
+
+
+def test_claim_open_klm_vs_retyping():
+    ours, baseline = open_file_by_pointing(f"{SRC_DIR}/dat.h")
+    print(f"\n[C4-KLM] {ours.report()}  vs  {baseline.report()}"
+          f"  -> {baseline.seconds / ours.seconds:.1f}x")
+    assert ours.keystrokes == 0
+    assert baseline.keystrokes == len(f":e {SRC_DIR}/dat.h\n")
+    assert ours.seconds < baseline.seconds
+
+
+def test_claim_no_retyping_rule(benchmark):
+    """Any text on screen is executable/openable — even in the Errors
+    window or a freshly typed scratch area."""
+    system = build_system(width=160, height=60)
+    h = system.help
+
+    def scenario():
+        h.post_error(f"look at {SRC_DIR}/errs.c please\n")
+        errors = h.window_by_name("Errors")
+        pos = errors.body.string().index("errs.c") + 2
+        h.point_at(errors, pos)
+        h.exec_builtin("Open", errors)
+        return h.window_by_name(f"{SRC_DIR}/errs.c")
+
+    window = benchmark(scenario)
+    assert window is not None

@@ -1,0 +1,98 @@
+"""Claim C6: the placement heuristic keeps tags visible.
+
+"Help attempts to make at least the tag of a window fully visible; if
+this is impossible, it covers the window completely" — and the
+Discussion's three-rule procedure "is good enough that I haven't been
+encouraged to refine it any further."  We hammer it with randomized
+workloads and verify the guarantee never breaks.
+"""
+
+import random
+
+from repro.core.column import Column
+from repro.core.frame import Rect
+from repro.core.window import Window
+
+
+def random_workload(seed: int, height: int = 40, n: int = 40):
+    rng = random.Random(seed)
+    column = Column(Rect(0, 1, 50, 1 + height))
+    windows = []
+    for i in range(n):
+        body = "".join(f"line {j}\n" for j in range(rng.randrange(0, 50)))
+        window = Window(i, f"/w{i}", body)
+        column.place(window)
+        windows.append(window)
+        if windows and rng.random() < 0.3:
+            victim = rng.choice(windows)
+            if victim in column.windows:
+                column.remove(victim)
+                windows.remove(victim)
+        if windows and rng.random() < 0.2:
+            column.make_visible(rng.choice([w for w in windows
+                                            if w in column.windows]))
+    return column
+
+
+def check_invariants(column):
+    prev_bottom = None
+    for window in column.visible():
+        rect = column.win_rect(window)
+        assert rect is not None
+        assert rect.height >= 1, "tag row must be visible"
+        assert column.rect.y0 <= rect.y0 < column.rect.y1
+        if prev_bottom is not None:
+            assert rect.y0 == prev_bottom, "extents must tile"
+        prev_bottom = rect.y1
+    if column.visible():
+        assert prev_bottom == column.rect.y1
+
+
+def test_claim_placement_invariants(benchmark):
+    def hammer():
+        for seed in range(25):
+            column = random_workload(seed)
+            check_invariants(column)
+        return True
+
+    assert benchmark(hammer)
+
+
+def test_claim_new_window_always_lands_visible(benchmark):
+    """The freshly placed window is never hidden, whatever the state."""
+    def hammer():
+        rng = random.Random(4)
+        column = Column(Rect(0, 1, 50, 13))  # a tiny column
+        for i in range(120):
+            window = Window(i, f"/w{i}",
+                            "".join(f"l{j}\n" for j in range(rng.randrange(30))))
+            column.place(window)
+            assert not window.hidden
+            rect = column.win_rect(window)
+            assert rect is not None and rect.height >= 1
+        return True
+
+    assert benchmark(hammer)
+
+
+def test_claim_tag_visible_or_covered_completely(benchmark, save_artifact):
+    """Census over many seeds: every window is either showing its tag
+    or fully hidden — there is no in-between state."""
+    def census():
+        shown = hidden = 0
+        for seed in range(40):
+            column = random_workload(seed, height=20, n=25)
+            for window in column.windows:
+                if window.hidden:
+                    hidden += 1
+                    assert column.win_rect(window) is None
+                else:
+                    shown += 1
+                    assert column.win_rect(window).height >= 1
+        return shown, hidden
+
+    shown, hidden = benchmark(census)
+    save_artifact("claim_placement",
+                  f"windows shown: {shown}\nwindows covered: {hidden}\n"
+                  "in-between states: 0\n")
+    assert shown > 0 and hidden > 0

@@ -1,0 +1,82 @@
+"""Scaling study: browser precision vs grep noise as code grows.
+
+The paper's Figure-10 comparison at one size, swept: as the program
+gains files (each with locals shadowing a popular global name), the
+browser's answer stays the true reference set while grep's noise
+grows linearly.  The crossover the paper implies — grep is fine for
+rare names, hopeless for common ones — falls out of the data.
+"""
+
+import pytest
+
+from repro import build_system
+from repro.cbrowse import parse_program
+
+
+def synth_project(ns, n_files: int, root: str = "/proj") -> None:
+    ns.mkdir(root, parents=True)
+    ns.write(f"{root}/common.h", "extern int n;\n")
+    # one file defines and really uses the global n
+    ns.write(f"{root}/main.c",
+             '#include "common.h"\n'
+             "int n;\n"
+             "void boot(void) { n = 1; }\n")
+    for i in range(n_files):
+        # every other file mentions 'n' plenty — but only as locals,
+        # parameters, and substrings
+        ns.write(f"{root}/mod{i}.c",
+                 '#include "common.h"\n'
+                 f"static int counter{i};\n"
+                 f"void fn{i}(int n) {{\n"
+                 "\tint nn;\n"
+                 "\tnn = n + 1;\n"
+                 f"\tcounter{i} = nn;\n"
+                 "}\n")
+
+
+SIZES = (2, 8, 24)
+
+
+@pytest.mark.parametrize("n_files", SIZES)
+def test_claim_precision_scaling(n_files, benchmark, save_artifact):
+    system = build_system()
+    synth_project(system.ns, n_files)
+    paths = system.ns.glob("/proj/*.c")
+
+    def browse():
+        program = parse_program(system.ns, paths, base_dir="/proj")
+        return program.uses_of("n", "main.c", 3)
+
+    uses = benchmark(browse)
+    shell = system.shell("/proj")
+    grep = shell.run("grep -c 'n' /proj/*.c")
+    noise = sum(int(line.rsplit(":", 1)[1])
+                for line in grep.stdout.splitlines())
+
+    # the true reference set does not grow with the project
+    assert [u.location for u in uses] == \
+        ["./common.h:1", "main.c:2", "main.c:3"]
+    # grep noise grows with the project (every file mentions n-ish text)
+    assert noise >= 4 * n_files
+    save_artifact(f"claim_precision_{n_files}files",
+                  f"files: {n_files + 1}\nbrowser answers: {len(uses)}\n"
+                  f"grep 'n' lines: {noise}\n"
+                  f"noise ratio: {noise / len(uses):.1f}x\n")
+
+
+def test_claim_precision_shape():
+    """The shape claim in one assertion: noise ratio grows ~linearly
+    with project size while the browser's answer is constant."""
+    ratios = []
+    for n_files in SIZES:
+        system = build_system()
+        synth_project(system.ns, n_files)
+        paths = system.ns.glob("/proj/*.c")
+        program = parse_program(system.ns, paths, base_dir="/proj")
+        uses = program.uses_of("n", "main.c", 3)
+        grep = system.shell("/proj").run("grep -c 'n' /proj/*.c")
+        noise = sum(int(line.rsplit(":", 1)[1])
+                    for line in grep.stdout.splitlines())
+        ratios.append(noise / len(uses))
+    assert ratios[0] < ratios[1] < ratios[2]
+    assert ratios[2] / ratios[0] > 4  # roughly linear in files

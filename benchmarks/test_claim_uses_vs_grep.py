@@ -1,0 +1,57 @@
+"""Claim C5: uses' precision vs grep's flood, quantified.
+
+"If instead I had run the regular Unix command grep n ... I would
+have had to wade through every occurrence of the letter n in the
+program."  We measure both the precision ratio and the costs.
+"""
+
+from repro import build_system
+from repro.cbrowse import parse_program
+from repro.tools.corpus import SRC_DIR
+
+
+def test_claim_uses_vs_grep(benchmark, save_artifact):
+    system = build_system()
+    ns = system.ns
+    paths = ns.glob(f"{SRC_DIR}/*.c")
+
+    def browse():
+        program = parse_program(ns, paths, base_dir=SRC_DIR)
+        return program.uses_of("n", "exec.c", 252)
+
+    uses = benchmark(browse)
+
+    shell = system.shell(SRC_DIR)
+    grep = shell.run(f"grep -n n {SRC_DIR}/*.c")
+    grep_lines = grep.stdout.splitlines()
+
+    rows = [
+        f"{'tool':<10} {'results':>8}",
+        f"{'uses':<10} {len(uses):>8}",
+        f"{'grep n':<10} {len(grep_lines):>8}",
+        f"noise ratio: {len(grep_lines) / len(uses):.1f}x",
+    ]
+    save_artifact("claim_uses_vs_grep", "\n".join(rows) + "\n")
+    print("\n[C5] " + " | ".join(rows[1:]))
+
+    assert len(uses) == 4
+    assert len(grep_lines) > 40
+    # every uses hit is also a grep hit (soundness of the browser)
+    grep_locs = {tuple(line.split(":")[:2]) for line in grep_lines}
+    for use in uses:
+        if not use.file.endswith(".c"):
+            continue  # grep was run on *.c only; dat.h reached via include
+        assert (f"{SRC_DIR}/{use.file}", str(use.line)) in grep_locs
+
+
+def test_claim_grep_is_not_scoped(benchmark):
+    """grep finds the local n's lines; uses does not — that's the point."""
+    system = build_system()
+    shell = system.shell(SRC_DIR)
+    result = benchmark(lambda: shell.run(r"grep -n 'n = strlen' exec.c"))
+    assert result.stdout, "the local n's write is a grep hit"
+    program = parse_program(system.ns, system.ns.glob(f"{SRC_DIR}/*.c"),
+                            base_dir=SRC_DIR)
+    locations = {u.location for u in program.uses_of("n", "exec.c", 252)}
+    line = int(result.stdout.split(":")[0])
+    assert f"exec.c:{line}" not in locations

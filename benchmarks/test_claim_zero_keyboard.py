@@ -1,0 +1,68 @@
+"""Claim C1: the entire debug session without touching the keyboard.
+
+"Through this entire demo I haven't yet touched the keyboard."
+This bench replays Figures 5-12 through raw mouse events and counts.
+"""
+
+import pytest
+
+from repro import build_system
+from repro.core.window import Subwindow
+from repro.tools.corpus import SRC_DIR
+from repro.testing import Session
+
+
+def run_demo(session: Session) -> dict:
+    h = session.help
+    h.stats.reset()
+    mail_stf = session.window("/help/mail/stf")
+    db_stf = session.window("/help/db/stf")
+    cbr_stf = session.window("/help/cbr/stf")
+    edit_stf = session.window("/help/edit/stf")
+
+    session.execute(mail_stf, "headers")
+    mbox_w = session.window("/mail/box/rob/mbox")
+    session.point_at(mbox_w, "sean")
+    session.execute(mail_stf, "messages")
+    msg_w = session.window("From")
+    session.point_at(msg_w, "176153")
+    session.execute(db_stf, "stack")
+    stack_w = session.window(f"{SRC_DIR}/")
+    session.point_at(stack_w, "text.c:32", offset=2)
+    session.execute(edit_stf, "Open")
+    text_w = session.window(f"{SRC_DIR}/text.c")
+    session.execute(text_w, "Close!", sub=Subwindow.TAG)
+    session.point_at(stack_w, "exec.c:252", offset=2)
+    session.execute(edit_stf, "Open")
+    exec_w = session.window(f"{SRC_DIR}/exec.c")
+    line_start = exec_w.body.pos_of_line(252)
+    n_off = exec_w.body.string().index("errs(n)", line_start) + 5
+    h.left_click(*session.cell_of(exec_w, n_off))
+    session.execute_sweep(cbr_stf, "uses *.c")
+    uses_w = next(w for w in session.windows(f"{SRC_DIR}/")
+                  if "dat.h:136" in w.body.string())
+    session.point_at(uses_w, "exec.c:213", offset=2)
+    session.execute(edit_stf, "Open")
+    start, end = exec_w.body.line_span(213)
+    session.select(exec_w, start, end + 1)
+    session.execute(edit_stf, "Cut")
+    session.execute(exec_w, "Put!", sub=Subwindow.TAG)
+    session.execute(cbr_stf, "mk")
+    return {
+        "keystrokes": h.stats.keystrokes,
+        "presses": h.stats.button_presses,
+        "middle": h.stats.middle_clicks,
+    }
+
+
+def test_claim_zero_keyboard(benchmark):
+    def scenario():
+        return run_demo(Session(build_system(width=160, height=60)))
+
+    stats = benchmark(scenario)
+    print(f"\n[C1] demo input: {stats['presses']} button presses "
+          f"({stats['middle']} middle), {stats['keystrokes']} keystrokes")
+    assert stats["keystrokes"] == 0
+    # the whole bug hunt fits in a couple dozen presses
+    assert stats["presses"] <= 30
+    assert stats["middle"] >= 9  # headers..mk: nine executions

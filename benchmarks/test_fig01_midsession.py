@@ -1,0 +1,38 @@
+"""Figure 1: a help screen mid-session.
+
+"The directory /usr/rob/src/help has been Opened and, from there, the
+source files .../errs.c and file.c" — two columns, a directory window
+with a trailing slash in its tag, tabs down the column edges.
+"""
+
+from repro.tools.corpus import SRC_DIR
+
+
+def build_figure(system):
+    h = system.help
+    dir_w = h.open_path(SRC_DIR)
+    # open errs.c and file.c by pointing into the directory listing
+    for name in ("errs.c", "file.c"):
+        pos = dir_w.body.string().index(name) + 1
+        h.point_at(dir_w, pos)
+        h.exec_builtin("Open", dir_w)
+    return h
+
+
+def test_fig01_midsession(system, benchmark, screenshot):
+    h = benchmark(lambda: build_figure(system))
+    shot = screenshot("fig01_midsession", h)
+    assert f"[{SRC_DIR}/ " in shot            # directory window, slashed tag
+    assert f"{SRC_DIR}/errs.c" in shot
+    assert f"{SRC_DIR}/file.c" in shot
+    assert shot.splitlines()[0].count("#") == 2  # two columns
+
+
+def test_fig01_directory_listing_contents(system):
+    h = build_figure(system)
+    dir_w = h.window_by_name(f"{SRC_DIR}/")
+    listing = dir_w.body.string().splitlines()
+    assert "errs.c" in listing
+    assert "file.c" in listing
+    assert "mkfile" in listing
+    assert listing == sorted(listing)

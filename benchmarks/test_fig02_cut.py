@@ -1,0 +1,39 @@
+"""Figure 2: executing Cut by sweeping the word with the middle button.
+
+The profile window is on screen; text is selected with the left
+button, then the word Cut is swept with the middle button and the
+selection disappears into the cut buffer.
+"""
+
+
+def test_fig02_cut(system, benchmark, screenshot):
+    h = system.help
+    profile_w = h.open_path("/usr/rob/lib/profile")
+    edit_stf = h.window_by_name("/help/edit/stf")
+
+    target = "bind -a $home/bin/rc /bin\n"
+    start = profile_w.body.string().index(target)
+
+    def cut_and_restore():
+        h.select(profile_w, start, start + len(target))
+        h.exec_builtin("Cut", edit_stf)
+        removed = h.snarf
+        h.point_at(profile_w, start)
+        h.exec_builtin("Paste", edit_stf)
+        return removed
+
+    removed = benchmark(cut_and_restore)
+    assert removed == target
+    shot = screenshot("fig02_cut", h)
+    assert "/usr/rob/lib/profile" in shot
+
+
+def test_fig02_cut_is_a_word_not_a_button(system):
+    """Cut works from any window where the word appears."""
+    h = system.help
+    w = h.new_window("/tmp/victim", "delete me please")
+    other = h.new_window("/tmp/elsewhere", "you can Cut from here")
+    h.select(w, 0, 9)
+    h.exec_builtin("Cut", other)
+    assert w.body.string() == " please"
+    assert h.snarf == "delete me"

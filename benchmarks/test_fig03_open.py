@@ -1,0 +1,53 @@
+"""Figure 3: opening files with automatic name expansion.
+
+Typed path + click Open (null selection at the end of the name grabs
+it all); then pointing into ``dat.h`` inside help.c and Opening gets
+the directory prefix from the window's tag.
+"""
+
+from repro.tools.corpus import SRC_DIR
+
+
+def test_fig03_typed_path_then_open(system, benchmark, screenshot):
+    h = system.help
+
+    def scenario():
+        scratch = h.new_window("/tmp/scratch", "")
+        column = h.screen.column_of(scratch)
+        rect = column.win_rect(scratch)
+        h.mouse_move(column.body_x0, rect.y0 + 1)
+        h.type_text(f"{SRC_DIR}/help.c")
+        h.exec_builtin("Open", scratch)
+        opened = h.window_by_name(f"{SRC_DIR}/help.c")
+        h.close_window(scratch)
+        return opened
+
+    opened = benchmark(scenario)
+    assert opened is not None
+    shot = screenshot("fig03_open", h)
+    assert "help.c" in shot
+
+
+def test_fig03_point_into_name_two_clicks(system):
+    h = system.help
+    src_w = h.open_path(f"{SRC_DIR}/help.c")
+    h.stats.reset()
+    pos = src_w.body.string().index("dat.h") + 2
+    h.point_at(src_w, pos)
+    h.stats.press("left")     # the point
+    h.exec_builtin("Open", src_w)
+    h.stats.press("middle")   # the Open click
+    dat_w = h.window_by_name(f"{SRC_DIR}/dat.h")
+    assert dat_w is not None
+    assert h.stats.button_presses == 2
+
+
+def test_fig03_nonnull_selection_is_literal(system):
+    """'Making any non-null selection disables all such automatic
+    actions' — selecting part of a name opens exactly that part."""
+    h = system.help
+    w = h.new_window("/tmp/x", "dat.h")
+    h.select(w, 0, 3)  # just "dat"
+    h.exec_builtin("Open", w)
+    errors = h.window_by_name("Errors")
+    assert "'/tmp/dat' does not exist" in errors.body.string()

@@ -1,0 +1,38 @@
+"""Figure 4: the screen after booting.
+
+The right-hand column holds the tools — windows on the plain files
+/help/edit/stf, /help/cbr/stf, /help/db/stf and /help/mail/stf —
+and the left column holds help/Boot with its Exit word.
+"""
+
+from repro import build_system
+
+
+def test_fig04_boot(benchmark, screenshot):
+    system = benchmark(lambda: build_system(width=160, height=60))
+    h = system.help
+    shot = screenshot("fig04_boot", h)
+    assert "[help/Boot Exit" in shot
+    for tool in ("edit", "cbr", "db", "mail"):
+        assert f"/help/{tool}/stf" in shot
+    # the stf bodies really are the files' contents
+    assert "headers messages delete reread send" in shot
+    assert "Open mk src decl uses *.c" in shot
+
+
+def test_fig04_tools_in_right_column(system):
+    h = system.help
+    right = h.screen.columns[-1]
+    names = {w.name() for w in right.windows}
+    assert names == {"/help/edit/stf", "/help/cbr/stf",
+                     "/help/db/stf", "/help/mail/stf"}
+    boot = h.window_by_name("help/Boot")
+    assert h.screen.column_of(boot) is h.screen.columns[0]
+
+
+def test_fig04_stf_is_a_plain_file(system):
+    """'A help window on such a file behaves much like a menu, but is
+    really just a window on a plain file.'"""
+    h = system.help
+    w = h.window_by_name("/help/mail/stf")
+    assert w.body.string() == system.ns.read("/help/mail/stf")

@@ -1,0 +1,39 @@
+"""Figure 5: mail/headers creates the mailbox window.
+
+Executing headers runs /help/mail/headers (an rc script) which makes
+a window through /mnt/help/new/ctl, labels it with the mailbox path,
+and fills it with the numbered header lines.
+"""
+
+
+def test_fig05_headers(system, benchmark, screenshot):
+    h = system.help
+    mail_stf = h.window_by_name("/help/mail/stf")
+
+    def scenario():
+        existing = h.window_by_name("/mail/box/rob/mbox")
+        if existing is not None:
+            h.close_window(existing)
+        h.execute_text(mail_stf, "headers")
+        return h.window_by_name("/mail/box/rob/mbox")
+
+    mbox_w = benchmark(scenario)
+    assert mbox_w is not None
+    body = mbox_w.body.string()
+    lines = body.splitlines()
+    assert len(lines) == 7
+    assert lines[0].startswith("1 chk@alias.com")
+    assert lines[1].startswith("2 sean")
+    assert lines[5].startswith("6 howard")
+    assert "/bin/help/mail" in mbox_w.tag.string()
+    shot = screenshot("fig05_headers", h)
+    assert "2 sean" in shot
+
+
+def test_fig05_script_not_builtin(system):
+    """headers resolves through the stf window's directory context."""
+    h = system.help
+    assert "headers" not in h.executor.builtins
+    resolved = h.executor.resolve_command(
+        "headers", h.window_by_name("/help/mail/stf").directory())
+    assert resolved == "/help/mail/headers"

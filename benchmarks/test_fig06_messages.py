@@ -1,0 +1,46 @@
+"""Figure 6: messages applied to the header line of Sean's mail.
+
+"just pointing with the left button anywhere in the header line will
+do" — the script takes the message number from the first word of the
+pointed-at line.
+"""
+
+
+def test_fig06_messages(system, benchmark, screenshot):
+    h = system.help
+    mail_stf = h.window_by_name("/help/mail/stf")
+    h.execute_text(mail_stf, "headers")
+    mbox_w = h.window_by_name("/mail/box/rob/mbox")
+
+    def scenario():
+        existing = h.window_by_name("From")
+        if existing is not None:
+            h.close_window(existing)
+        # point anywhere in Sean's line — at the date, even
+        pos = mbox_w.body.string().index("19:26")
+        h.point_at(mbox_w, pos)
+        h.execute_text(mail_stf, "messages")
+        return h.window_by_name("From")
+
+    msg_w = benchmark(scenario)
+    assert msg_w.tag.string().startswith("From sean")
+    body = msg_w.body.string()
+    assert body.startswith("From sean Tue Apr 16 19:26:14 EDT 1991")
+    assert "help 176153: user TLB miss (load or fetch) badvaddr=0x0" in body
+    shot = screenshot("fig06_messages", h)
+    assert "TLB miss" in shot
+
+
+def test_fig06_delete_and_reread(system):
+    """The other mail verbs: delete renumbers, reread refreshes."""
+    h = system.help
+    mail_stf = h.window_by_name("/help/mail/stf")
+    h.execute_text(mail_stf, "headers")
+    mbox_w = h.window_by_name("/mail/box/rob/mbox")
+    h.point_at(mbox_w, mbox_w.body.string().index("howard"))
+    h.execute_text(mail_stf, "delete")
+    assert len(system.mailbox.messages()) == 6
+    # delete's script reran reread, so the window already refreshed
+    assert "howard" not in mbox_w.body.string()
+    assert "7 deutsch" not in mbox_w.body.string()
+    assert "6 deutsch" in mbox_w.body.string()

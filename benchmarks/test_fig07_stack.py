@@ -1,0 +1,76 @@
+"""Figure 7: db/stack applied to the broken process.
+
+Pointing at the pid in Sean's message and executing stack pops a
+window whose tag carries the *source directory* of the broken binary
+("/usr/rob/src/help/ 176153 stack") and whose body is the adb
+traceback full of file:line names.
+"""
+
+from repro.tools.corpus import SRC_DIR
+
+
+def make_message(system):
+    h = system.help
+    mail_stf = h.window_by_name("/help/mail/stf")
+    h.execute_text(mail_stf, "headers")
+    mbox_w = h.window_by_name("/mail/box/rob/mbox")
+    h.point_at(mbox_w, mbox_w.body.string().index("sean"))
+    h.execute_text(mail_stf, "messages")
+    return h.window_by_name("From")
+
+
+def test_fig07_stack(system, benchmark, screenshot):
+    h = system.help
+    msg_w = make_message(system)
+    db_stf = h.window_by_name("/help/db/stf")
+
+    def scenario():
+        for w in list(h.windows.values()):
+            if w.name() == f"{SRC_DIR}/":
+                h.close_window(w)
+        h.point_at(msg_w, msg_w.body.string().index("176153"))
+        h.execute_text(db_stf, "stack")
+        return h.window_by_name(f"{SRC_DIR}/")
+
+    stack_w = benchmark(scenario)
+    assert stack_w.tag.string().startswith(f"{SRC_DIR}/ 176153 stack")
+    trace = stack_w.body.string()
+    # the paper's traceback, line for line
+    assert trace.startswith("last exception: TLB miss (load or fetch)")
+    for expected in (
+        "strchr(c=0x3c, s=0x0) called from strlen+0x1c "
+        "/sys/src/libc/port/strlen.c:7",
+        "strlen(s=0x0) called from textinsert+0x30 text.c:32",
+        "textinsert(sel=0x1, t=0x40e60, s=0x0, q0=0xd, full=0x1) "
+        "called from errs+0xe8 errs.c:34",
+        "\tn = 0x3d7cc",
+        "errs(s=0x0) called from Xdie2+0x14 exec.c:252",
+        "Xdie2() called from lookup+0xc4 exec.c:101",
+        "lookup(s=0x40be8) called from execute+0x50 exec.c:207",
+        "execute(t=0x3ebbc, p0=0x2, p1=0x2) called from "
+        "control+0x430 ctrl.c:331",
+        "control() called from control+0x0 ctrl.c:320",
+    ):
+        assert expected in trace, expected
+    screenshot("fig07_stack", h)
+
+
+def test_fig07_other_db_tools(system):
+    h = system.help
+    msg_w = make_message(system)
+    db_stf = h.window_by_name("/help/db/stf")
+    h.point_at(msg_w, msg_w.body.string().index("176153"))
+
+    h.execute_text(db_stf, "regs")
+    regs_w = h.window_by_name("176153")
+    assert "pc\t0x18df4" in regs_w.body.string()
+
+    h.point_at(msg_w, msg_w.body.string().index("176153"))
+    h.execute_text(db_stf, "broke")
+    broke_w = h.window_by_name("broke")
+    assert "176153 Broken   help" in broke_w.body.string()
+
+    h.point_at(msg_w, msg_w.body.string().index("176153"))
+    h.execute_text(db_stf, "pc")
+    errors = h.window_by_name("Errors")
+    assert "/sys/src/libc/mips/strchr.s:34" in errors.body.string()

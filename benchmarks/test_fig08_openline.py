@@ -1,0 +1,43 @@
+"""Figure 8: Open on a file:line address from the stack trace.
+
+The stack window's directory tag gives relative names like text.c:32
+their context; the window opens positioned with the line selected.
+"""
+
+from repro.tools.corpus import SRC_DIR
+
+
+def test_fig08_openline(system, benchmark, screenshot):
+    h = system.help
+    # the stack window, built directly (fig07 benches the script route)
+    trace = "strlen(s=0x0) called from textinsert+0x30 text.c:32\n"
+    stack_w = h.new_window(f"{SRC_DIR}/", trace)
+
+    def scenario():
+        existing = h.window_by_name(f"{SRC_DIR}/text.c")
+        if existing is not None:
+            h.close_window(existing)
+        h.point_at(stack_w, stack_w.body.string().index("text.c:32") + 2)
+        h.exec_builtin("Open", stack_w)
+        return h.window_by_name(f"{SRC_DIR}/text.c")
+
+    text_w = benchmark(scenario)
+    assert text_w is not None
+    assert text_w.body.line_of(text_w.org) == 32
+    selected = text_w.body.slice(text_w.body_sel.q0, text_w.body_sel.q1)
+    assert selected == "\tnn = strlen((char*)s);"
+    screenshot("fig08_openline", h)
+
+
+def test_fig08_absolute_path_with_line(system):
+    """Absolute addresses in the trace work too (the libc frame)."""
+    h = system.help
+    system.ns.mkdir("/sys/src/libc/mips", parents=True)
+    system.ns.write("/sys/src/libc/mips/strchr.s",
+                    "".join(f"/* asm {i} */\n" for i in range(1, 34))
+                    + "\tMOVW 0(R3),R5\n")
+    w = h.new_window("/tmp/t", "/sys/src/libc/mips/strchr.s:34 strchr+0x68")
+    h.point_at(w, 5)
+    h.exec_builtin("Open", w)
+    asm_w = h.window_by_name("/sys/src/libc/mips/strchr.s")
+    assert asm_w.body.line_of(asm_w.org) == 34

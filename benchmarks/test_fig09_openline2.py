@@ -1,0 +1,46 @@
+"""Figure 9: Open on exec.c:252 — reusing an already-open window.
+
+"If the file is already open, the command just guarantees that its
+window is visible" (and, with a line address, repositions it).
+"""
+
+from repro.tools.corpus import SRC_DIR
+
+
+def test_fig09_openline2(system, benchmark, screenshot):
+    h = system.help
+    stack_w = h.new_window(
+        f"{SRC_DIR}/",
+        "errs(s=0x0) called from Xdie2+0x14 exec.c:252\n"
+        "lookup(s=0x40be8) called from execute+0x50 exec.c:207\n")
+
+    def scenario():
+        h.point_at(stack_w, stack_w.body.string().index("exec.c:252") + 2)
+        h.exec_builtin("Open", stack_w)
+        return h.window_by_name(f"{SRC_DIR}/exec.c")
+
+    exec_w = benchmark(scenario)
+    assert exec_w.body.slice(exec_w.body_sel.q0, exec_w.body_sel.q1) \
+        == "\terrs(n);"
+    assert exec_w.body.line_of(exec_w.org) == 252
+    screenshot("fig09_openline2", h)
+
+
+def test_fig09_no_duplicate_windows(system):
+    h = system.help
+    first = h.open_path(f"{SRC_DIR}/exec.c", line=252)
+    second = h.open_path(f"{SRC_DIR}/exec.c", line=101)
+    assert first is second
+    assert first.body.line_of(first.org) == 101
+    same_name = [w for w in h.windows.values()
+                 if w.name() == f"{SRC_DIR}/exec.c"]
+    assert len(same_name) == 1
+
+
+def test_fig09_open_repositions_hidden_window(system):
+    """Opening a hidden window makes it visible again (tab semantics)."""
+    h = system.help
+    exec_w = h.open_path(f"{SRC_DIR}/exec.c")
+    exec_w.hidden = True
+    h.open_path(f"{SRC_DIR}/exec.c", line=213)
+    assert not exec_w.hidden

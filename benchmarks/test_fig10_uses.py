@@ -1,0 +1,74 @@
+"""Figure 10: all uses of n, via the C browser.
+
+"Uses creates a new window with all references to the variable n ...
+indicated by file name and line number.  If instead I had run the
+regular Unix command grep n /usr/rob/src/help/*.c I would have had to
+wade through every occurrence of the letter n in the program."
+"""
+
+from repro.tools.corpus import SRC_DIR
+
+EXPECTED = "./dat.h:136\nexec.c:213\nexec.c:252\nhelp.c:35\n"
+
+
+def test_fig10_uses(system, benchmark, screenshot):
+    h = system.help
+    exec_w = h.open_path(f"{SRC_DIR}/exec.c", line=252)
+    cbr_stf = h.window_by_name("/help/cbr/stf")
+    start = exec_w.body.pos_of_line(252)
+    n_pos = exec_w.body.string().index("errs(n)", start) + 5
+
+    def scenario():
+        for w in list(h.windows.values()):
+            if w.name() == f"{SRC_DIR}/" and "dat.h:136" in w.body.string():
+                h.close_window(w)
+        h.point_at(exec_w, n_pos)
+        h.execute_text(cbr_stf, "uses *.c")
+        return next(w for w in h.windows.values()
+                    if w.name() == f"{SRC_DIR}/"
+                    and "dat.h:136" in w.body.string())
+
+    uses_w = benchmark(scenario)
+    assert uses_w.body.string() == EXPECTED
+    screenshot("fig10_uses", h)
+
+
+def test_fig10_via_cbr_tool(system):
+    h = system.help
+    exec_w = h.open_path(f"{SRC_DIR}/exec.c", line=252)
+    start = exec_w.body.pos_of_line(252)
+    h.point_at(exec_w, exec_w.body.string().index("errs(n)", start) + 5)
+    h.execute_text(h.window_by_name("/help/cbr/stf"), "uses *.c")
+    uses_w = next(w for w in h.windows.values()
+                  if w.name() == f"{SRC_DIR}/"
+                  and "dat.h:136" in w.body.string())
+    assert uses_w.body.string() == EXPECTED
+
+
+def test_fig10_grep_floods(system):
+    """The baseline comparison the paper makes explicitly."""
+    shell = system.shell(SRC_DIR)
+    grep = shell.run(f"grep -c n {SRC_DIR}/*.c")
+    total = sum(int(line.rsplit(":", 1)[1])
+                for line in grep.stdout.splitlines())
+    uses_count = len(EXPECTED.splitlines())
+    assert uses_count == 4
+    assert total > 40, "grep must drown the user to make the point"
+    # the shape claim: an order of magnitude more noise
+    assert total / uses_count > 10
+
+
+def test_fig10_local_n_excluded(system):
+    """findopen1's local n must not appear — scoping, not string match."""
+    assert "findopen1" in system.ns.read(f"{SRC_DIR}/exec.c")
+    # the local n is used inside findopen1 at several lines; none are
+    # in the uses window (EXPECTED already proves it, but point at one)
+    from repro.cbrowse import parse_program
+    program = parse_program(system.ns, system.ns.glob(f"{SRC_DIR}/*.c"),
+                            base_dir=SRC_DIR)
+    local_uses = [u for u in program.uses
+                  if u.name == "n" and u.decl is not None
+                  and u.decl.kind == "local"]
+    assert local_uses, "the corpus has local n uses"
+    global_locations = {u.location for u in program.uses_of("n", "exec.c", 252)}
+    assert not any(u.location in global_locations for u in local_uses)

@@ -1,0 +1,46 @@
+"""Figure 11: from the uses list to the culprit write.
+
+help.c:35 shows the initialization; exec.c:213 is the write that
+cleared n — "the jackpot of this contrived example".
+"""
+
+from repro.tools.corpus import SRC_DIR
+
+USES = "./dat.h:136\nexec.c:213\nexec.c:252\nhelp.c:35\n"
+
+
+def test_fig11_culprit(system, benchmark, screenshot):
+    h = system.help
+    uses_w = h.new_window(f"{SRC_DIR}/", USES)
+
+    def scenario():
+        h.point_at(uses_w, uses_w.body.string().index("help.c:35") + 2)
+        h.exec_builtin("Open", uses_w)
+        h.point_at(uses_w, uses_w.body.string().index("exec.c:213") + 2)
+        h.exec_builtin("Open", uses_w)
+        return (h.window_by_name(f"{SRC_DIR}/help.c"),
+                h.window_by_name(f"{SRC_DIR}/exec.c"))
+
+    help_w, exec_w = benchmark(scenario)
+    init = help_w.body.slice(help_w.body_sel.q0, help_w.body_sel.q1)
+    assert init == '\tn = (uchar*)"a test string";'
+    culprit = exec_w.body.slice(exec_w.body_sel.q0, exec_w.body_sel.q1)
+    assert culprit == "\tn = 0;"
+    # the culprit really is inside Xdie1
+    before = exec_w.body.slice(0, exec_w.body_sel.q0)
+    assert before.rstrip().endswith("{")
+    assert "Xdie1" in before[-200:]
+    screenshot("fig11_culprit", h)
+
+
+def test_fig11_relative_dotslash_name(system):
+    """./dat.h:136 opens through the directory window's context."""
+    h = system.help
+    uses_w = h.new_window(f"{SRC_DIR}/", USES)
+    h.point_at(uses_w, uses_w.body.string().index("./dat.h:136") + 3)
+    h.exec_builtin("Open", uses_w)
+    dat_w = h.window_by_name(f"{SRC_DIR}/dat.h")
+    assert dat_w is not None
+    assert dat_w.body.line_of(dat_w.org) == 136
+    assert dat_w.body.slice(dat_w.body_sel.q0, dat_w.body_sel.q1) \
+        == "extern uchar *n;"

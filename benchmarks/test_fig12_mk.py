@@ -1,0 +1,69 @@
+"""Figure 12: cut the bad line, Put!, and mk — three middle clicks.
+
+"I use Cut to remove the offending line, write the file back out (the
+word Put! appears in the tag of a modified window) and then execute
+mk in /help/cbr to compile the program (a total of three clicks of
+the middle button)."
+"""
+
+from repro.core.window import Subwindow
+from repro.tools.corpus import SRC_DIR
+
+
+def test_fig12_mk(system, benchmark, screenshot):
+    h = system.help
+    exec_w = h.open_path(f"{SRC_DIR}/exec.c", line=213)
+    edit_stf = h.window_by_name("/help/edit/stf")
+    cbr_stf = h.window_by_name("/help/cbr/stf")
+    original = exec_w.body.string()
+
+    def scenario():
+        exec_w.replace_body(original)
+        for w in list(h.windows.values()):
+            if w.name() == f"{SRC_DIR}/mk":
+                h.close_window(w)
+        start, end = exec_w.body.line_span(213)
+        h.select(exec_w, start, end + 1)
+        h.exec_builtin("Cut", edit_stf)          # middle click 1
+        h.exec_builtin("Put!", exec_w, Subwindow.TAG)  # middle click 2
+        h.execute_text(cbr_stf, "mk")            # middle click 3
+        return h.window_by_name(f"{SRC_DIR}/mk")
+
+    mk_w = benchmark(scenario)
+    log = mk_w.body.string()
+    assert "vc -w exec.c" in log
+    assert "vl -o help" in log
+    assert "-lg -lregexp -ldmalloc" in log
+    assert "n = 0;" not in system.ns.read(f"{SRC_DIR}/exec.c")
+    assert system.ns.exists(f"{SRC_DIR}/help")
+    screenshot("fig12_mk", h)
+
+
+def test_fig12_exactly_three_middle_clicks(system):
+    """Count the actual presses through the event layer."""
+    from repro.testing import Session
+    session = Session(system)
+    h = system.help
+    exec_w = h.open_path(f"{SRC_DIR}/exec.c", line=213)
+    edit_stf = h.window_by_name("/help/edit/stf")
+    cbr_stf = h.window_by_name("/help/cbr/stf")
+    start, end = exec_w.body.line_span(213)
+    session.select(exec_w, start, end + 1)
+    h.stats.reset()
+    session.execute(edit_stf, "Cut")
+    session.execute(exec_w, "Put!", sub=Subwindow.TAG)
+    session.execute(cbr_stf, "mk")
+    assert h.stats.middle_clicks == 3
+    assert h.stats.keystrokes == 0
+    assert system.ns.exists(f"{SRC_DIR}/help")
+
+
+def test_fig12_rebuild_only_what_changed(system):
+    """mk recompiles exec.c alone on the second run."""
+    h = system.help
+    shell = system.shell(SRC_DIR)
+    shell.run("mk")
+    shell.run("touch exec.c")
+    result = shell.run("mk")
+    assert "vc -w exec.c" in result.stdout
+    assert "vc -w text.c" not in result.stdout

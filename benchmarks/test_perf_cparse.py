@@ -1,0 +1,72 @@
+"""P6: C browser and shell throughput.
+
+"To turn a compiler into a browser involved spending a few hours" —
+and the result must keep up with interactive use: pointing at a
+variable and clicking uses should feel instant.
+"""
+
+from repro import build_system
+from repro.cbrowse import parse_program, parse_source
+from repro.shell import Interp
+from repro.tools.corpus import SRC_DIR
+
+SYNTHETIC = "\n".join(
+    f"int global{i};\n"
+    f"void fn{i}(int a{i}, char *b{i}) {{\n"
+    f"\tint local{i};\n"
+    f"\tlocal{i} = a{i} + global{i};\n"
+    f"\tglobal{i} = local{i};\n"
+    f"}}\n"
+    for i in range(120))
+
+
+def test_perf_parse_corpus(benchmark):
+    system = build_system()
+    paths = system.ns.glob(f"{SRC_DIR}/*.c")
+
+    program = benchmark(
+        lambda: parse_program(system.ns, paths, base_dir=SRC_DIR))
+    assert program.declaration_of("n") is not None
+
+
+def test_perf_parse_synthetic(benchmark):
+    program = benchmark(lambda: parse_source(SYNTHETIC, "big.c"))
+    assert len([d for d in program.decls if d.kind == "func"]) == 120
+    assert program.unresolved() == []
+
+
+def test_perf_uses_query(benchmark):
+    program = parse_source(SYNTHETIC, "big.c")
+
+    def queries():
+        total = 0
+        for i in range(0, 120, 7):
+            total += len(program.uses_of(f"global{i}"))
+        return total
+
+    assert benchmark(queries) > 0
+
+
+def test_perf_decl_pipeline(benchmark):
+    """The full decl tool — cpp | rcc | sed — as the script runs it."""
+    system = build_system()
+    shell = system.shell(SRC_DIR)
+
+    def pipeline():
+        return shell.run(
+            f"cpp {SRC_DIR}/exec.c | help-rcc -w -g -in -n252 | sed 1q")
+
+    result = benchmark(pipeline)
+    assert result.stdout == "./dat.h:136\n"
+
+
+def test_perf_shell_script_execution(benchmark):
+    system = build_system()
+    shell = system.shell("/usr/rob")
+
+    def scripts():
+        result = shell.run(
+            "{ for(i in a b c d e) echo $i } | wc -l")
+        return result.stdout.strip()
+
+    assert benchmark(scripts) == "5"

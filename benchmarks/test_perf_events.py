@@ -1,0 +1,87 @@
+"""P4: end-to-end event dispatch latency.
+
+"What matters much more to a user interface is that it feel good ...
+dynamic and responsive."  These benches time the full pipeline from
+raw mouse event to applied effect.
+"""
+
+from repro import build_system
+from repro.core.events import Button
+
+
+def make_session():
+    system = build_system(width=160, height=60)
+    h = system.help
+    w = h.new_window("/tmp/bench", "word " * 200 + "\n")
+    column = h.screen.column_of(w)
+    rect = column.win_rect(w)
+    return h, w, column.body_x0, rect.y0 + 1
+
+
+def test_perf_selection_sweeps(benchmark):
+    h, w, x0, y0 = make_session()
+
+    def sweeps():
+        for i in range(50):
+            h.sweep(x0, y0, x0 + 20 + (i % 10), y0)
+        return h.selected_text()
+
+    assert benchmark(sweeps)
+
+
+def test_perf_click_select_word(benchmark):
+    h, w, x0, y0 = make_session()
+
+    def clicks():
+        for i in range(50):
+            h.left_click(x0 + (i % 30), y0)
+        return w.body_sel.q0
+
+    benchmark(clicks)
+
+
+def test_perf_execute_builtin_roundtrip(benchmark):
+    h, w, x0, y0 = make_session()
+    w.replace_body("alpha beta Cut gamma\n")
+    cut_x = x0 + w.body.string().index("Cut") + 1
+
+    def cut_paste():
+        h.sweep(x0, y0, x0 + 5, y0)
+        h.middle_click(cut_x, y0)
+        h.left_click(x0, y0)
+        h.exec_builtin("Paste", w)
+        return w.body.string()
+
+    benchmark(cut_paste)
+
+
+def test_perf_typing_burst(benchmark):
+    h, w, x0, y0 = make_session()
+    h.mouse_move(x0, y0)
+
+    def burst():
+        w.replace_body("")
+        h.mouse_move(x0, y0)
+        h.left_click(x0, y0)
+        for ch in "the quick brown fox jumps over the lazy dog\n" * 5:
+            h.type_text(ch)
+        return len(w.body)
+
+    assert benchmark(burst) == len("the quick brown fox jumps over the lazy dog\n") * 5
+
+
+def test_perf_chord_cut_paste(benchmark):
+    h, w, x0, y0 = make_session()
+
+    def chords():
+        w.replace_body("snarf target text")
+        h.mouse_press(x0, y0, Button.LEFT)
+        h.mouse_drag(x0 + 5, y0)
+        h.mouse_press(x0 + 5, y0, Button.MIDDLE)
+        h.mouse_release(x0 + 5, y0, Button.MIDDLE)
+        h.mouse_press(x0 + 5, y0, Button.RIGHT)
+        h.mouse_release(x0 + 5, y0, Button.RIGHT)
+        h.mouse_release(x0 + 5, y0, Button.LEFT)
+        return w.body.string()
+
+    assert benchmark(chords) == "snarf target text"

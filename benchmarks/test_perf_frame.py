@@ -1,0 +1,72 @@
+"""P2: frame layout and coordinate mapping throughput."""
+
+from repro.core.frame import Frame
+
+LONG_TEXT = "".join(
+    f"line {i}: " + "word " * (i % 12) + "\n" for i in range(2000))
+
+
+def test_perf_layout(benchmark):
+    frame = Frame(80, 50)
+
+    def layout_everywhere():
+        rows = 0
+        pos = 0
+        while pos < len(LONG_TEXT):
+            lines = frame.layout(LONG_TEXT, pos)
+            rows += len(lines)
+            last = lines[-1]
+            pos = last.end + 1 if last.end >= pos else len(LONG_TEXT)
+            if last.end >= len(LONG_TEXT) - 1:
+                break
+        return rows
+
+    assert benchmark(layout_everywhere) > 0
+
+
+def test_perf_point_maps(benchmark):
+    frame = Frame(60, 40)
+
+    def roundtrips():
+        count = 0
+        for pos in range(0, 4000, 31):
+            point = frame.point_of_char(LONG_TEXT, 0, pos)
+            if point is not None:
+                row, col = point
+                assert frame.char_of_point(LONG_TEXT, 0, row, col) == pos
+                count += 1
+        return count
+
+    assert benchmark(roundtrips) > 0
+
+
+def test_perf_scrolling(benchmark):
+    frame = Frame(60, 40)
+
+    def scroll_through():
+        org = 0
+        steps = 0
+        while True:
+            new_org = frame.scroll(LONG_TEXT, org, 10)
+            if new_org == org or new_org >= len(LONG_TEXT):
+                break
+            org = new_org
+            steps += 1
+        while org > 0:
+            org = frame.scroll(LONG_TEXT, org, -25)
+            steps += 1
+        return steps
+
+    assert benchmark(scroll_through) > 0
+
+
+def test_perf_render_screen(benchmark):
+    from repro import build_system, render_screen
+
+    system = build_system(width=160, height=60)
+    h = system.help
+    h.open_path("/usr/rob/src/help/exec.c")
+    h.open_path("/usr/rob/src/help/help.c")
+
+    shot = benchmark(lambda: render_screen(h))
+    assert "exec.c" in shot

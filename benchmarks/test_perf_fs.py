@@ -1,0 +1,92 @@
+"""P5: namespace and file-server throughput.
+
+Every operation in the system funnels through the namespace — window
+bodies, tool scripts, ctl messages — so walking and unioning must be
+cheap.
+"""
+
+import pytest
+
+from repro import build_system
+from repro.fs import VFS, BindFlag, Namespace
+
+
+@pytest.fixture
+def deep_ns():
+    fs = VFS()
+    for a in range(10):
+        for b in range(10):
+            fs.mkdir(f"/d{a}/e{b}", parents=True)
+            for c in range(5):
+                fs.create(f"/d{a}/e{b}/f{c}.c", f"int x{c};\n")
+    return Namespace(fs)
+
+
+def test_perf_walks(benchmark, deep_ns):
+    def walks():
+        hits = 0
+        for a in range(10):
+            for b in range(10):
+                for c in range(5):
+                    hits += deep_ns.exists(f"/d{a}/e{b}/f{c}.c")
+        return hits
+
+    assert benchmark(walks) == 500
+
+
+def test_perf_union_lookup(benchmark, deep_ns):
+    for a in range(1, 8):
+        deep_ns.bind(f"/d{a}", "/d0", BindFlag.AFTER)
+
+    def union_reads():
+        total = 0
+        for b in range(10):
+            total += len(deep_ns.listdir(f"/d0/e{b}"))
+        return total
+
+    assert benchmark(union_reads) == 50
+
+
+def test_perf_glob(benchmark, deep_ns):
+    result = benchmark(lambda: deep_ns.glob("/d*/e*/f1.c"))
+    assert len(result) == 100
+
+
+def test_perf_helpfs_reads(benchmark):
+    system = build_system()
+    h = system.help
+    windows = [h.new_window(f"/tmp/w{i}", f"body {i}\n" * 20)
+               for i in range(20)]
+
+    def read_all():
+        total = 0
+        for w in windows:
+            total += len(system.ns.read(f"/mnt/help/{w.id}/body"))
+        return total
+
+    assert benchmark(read_all) > 0
+
+
+def test_perf_ctl_messages(benchmark):
+    system = build_system()
+    h = system.help
+    w = h.new_window("/tmp/w", "")
+
+    def edit_via_ctl():
+        w.replace_body("")
+        with system.ns.open(f"/mnt/help/{w.id}/ctl", "w") as f:
+            for i in range(50):
+                f.write(f"insert {i} x\n")
+        return len(w.body)
+
+    assert benchmark(edit_via_ctl) == 50
+
+
+def test_perf_index_generation(benchmark):
+    system = build_system()
+    h = system.help
+    for i in range(50):
+        h.new_window(f"/tmp/w{i}", "x")
+
+    index = benchmark(lambda: system.ns.read("/mnt/help/index"))
+    assert len(index.splitlines()) >= 50

@@ -1,0 +1,89 @@
+"""The "ability to handle large files gracefully" (Discussion).
+
+The paper lists large files among the features the rewrite needs.
+These benches open a ~1 MB file and verify editing, scrolling, and
+the file-server path all stay interactive.
+"""
+
+import pytest
+
+from repro import build_system
+
+LINES = 20_000
+BIG = "".join(f"line {i}: the quick brown fox jumps over the dog\n"
+              for i in range(LINES))  # ~1 MB
+
+
+@pytest.fixture(scope="module")
+def big_system():
+    system = build_system(width=120, height=48)
+    system.ns.write("/big.txt", BIG)
+    return system
+
+
+def test_perf_open_large_file(big_system, benchmark):
+    h = big_system.help
+
+    def open_it():
+        existing = h.window_by_name("/big.txt")
+        if existing is not None:
+            h.close_window(existing)
+        return h.open_path("/big.txt")
+
+    window = benchmark(open_it)
+    assert len(window.body) == len(BIG)
+
+
+def test_perf_jump_to_deep_line(big_system, benchmark):
+    h = big_system.help
+    window = h.open_path("/big.txt")
+
+    def jump():
+        window.show_line(LINES - 5)
+        return window.body.slice(window.body_sel.q0, window.body_sel.q1)
+
+    selected = benchmark(jump)
+    assert selected.startswith(f"line {LINES - 5 - 1}:")
+
+
+def test_perf_edit_deep_in_large_file(big_system, benchmark):
+    h = big_system.help
+    window = h.open_path("/big.txt")
+    middle = len(BIG) // 2
+
+    def edits():
+        for _ in range(20):
+            window.body.insert(middle, "x")
+        for _ in range(20):
+            window.body.delete(middle, middle + 1)
+        return len(window.body)
+
+    assert benchmark(edits) == len(BIG)
+
+
+def test_perf_scroll_through_large_file(big_system, benchmark):
+    h = big_system.help
+    window = h.open_path("/big.txt")
+    column = h.screen.column_of(window)
+
+    def page_down_up():
+        window.org = 0
+        for _ in range(30):
+            h.scroll(window, 40)
+        reached = window.org
+        for _ in range(30):
+            h.scroll(window, -40)
+        return reached, window.org
+
+    reached, back = benchmark(page_down_up)
+    assert reached > 0
+    assert back == 0
+
+
+def test_perf_large_body_through_fileserver(big_system, benchmark):
+    h = big_system.help
+    window = h.open_path("/big.txt")
+
+    data = benchmark(
+        lambda: big_system.ns.read(f"/mnt/help/{window.id}/body"))
+    assert len(data) == len(BIG)

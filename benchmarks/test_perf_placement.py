@@ -1,0 +1,61 @@
+"""P3: window placement and screen management throughput."""
+
+from repro.core.column import Column
+from repro.core.frame import Rect
+from repro.core.screen import Screen
+from repro.core.window import Window
+
+
+def test_perf_place_many(benchmark):
+    def churn():
+        column = Column(Rect(0, 1, 60, 61))
+        for i in range(200):
+            column.place(Window(i, f"/w{i}", "line\n" * (i % 20)))
+        return len(column.windows)
+
+    assert benchmark(churn) == 200
+
+
+def test_perf_place_and_close(benchmark):
+    def churn():
+        column = Column(Rect(0, 1, 60, 41))
+        windows = []
+        for i in range(300):
+            w = Window(i, f"/w{i}", "x\n" * 10)
+            column.place(w)
+            windows.append(w)
+            if len(windows) > 6:
+                column.remove(windows.pop(0))
+        return len(column.visible())
+
+    assert benchmark(churn) > 0
+
+
+def test_perf_hit_testing(benchmark):
+    screen = Screen(160, 60)
+    for i in range(12):
+        screen.columns[i % 2].place(Window(i, f"/w{i}", "text\n" * 8))
+
+    def sweep_pointer():
+        regions = 0
+        for y in range(0, 60, 2):
+            for x in range(0, 160, 5):
+                hit = screen.hit(x, y)
+                regions += hit.region is not None
+        return regions
+
+    assert benchmark(sweep_pointer) == 30 * 32
+
+
+def test_perf_window_moves(benchmark):
+    def drags():
+        screen = Screen(160, 60)
+        windows = [Window(i, f"/w{i}", "b\n" * 6) for i in range(10)]
+        for i, w in enumerate(windows):
+            screen.columns[i % 2].place(w)
+        for step in range(100):
+            w = windows[step % len(windows)]
+            screen.move_window(w, (step * 13) % 160, 1 + (step * 7) % 58)
+        return sum(len(c.windows) for c in screen.columns)
+
+    assert benchmark(drags) == 10

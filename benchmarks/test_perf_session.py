@@ -1,0 +1,96 @@
+"""Sustained-session throughput: a synthetic hour of work, replayed.
+
+"After a few minutes the screen is filled with active data" — this
+bench generates a long, seeded, realistic mix of the session's
+operations (open, select, execute, type, scroll, move, close) and
+measures sustained events/second through the full stack.
+"""
+
+import random
+
+import pytest
+
+from repro import build_system
+from repro.core.events import Button
+from repro.tools.corpus import SRC_DIR
+
+N_EVENTS = 400
+
+
+def make_trace(seed: int = 11, n: int = N_EVENTS):
+    """A seeded mix roughly matching the paper demo's action profile."""
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(n):
+        ops.append(rng.choices(
+            ["click", "sweep", "execute", "type", "scroll", "open",
+             "move", "close"],
+            weights=[30, 20, 15, 10, 10, 8, 5, 2])[0])
+    return ops
+
+
+def replay(system, ops):
+    h = system.help
+    rng = random.Random(99)
+    files = [f"{SRC_DIR}/{n}" for n in
+             ("help.c", "exec.c", "errs.c", "text.c", "dat.h")]
+    executed = 0
+    for op in ops:
+        windows = [w for w in h.windows.values()
+                   if h.screen.column_of(w) is not None]
+        window = rng.choice(windows)
+        column = h.screen.column_of(window)
+        rect = column.win_rect(window)
+        if rect is None:
+            column.make_visible(window)
+            rect = column.win_rect(window)
+        x = column.body_x0 + rng.randrange(0, max(1, column.text_width))
+        y = rect.y0 + rng.randrange(0, rect.height)
+        if op == "click":
+            h.left_click(x, y)
+        elif op == "sweep":
+            h.sweep(x, y, min(x + 8, column.rect.x1 - 1), y)
+        elif op == "execute":
+            h.exec_builtin("Snarf", window)
+            executed += 1
+        elif op == "type":
+            h.mouse_move(x, y)
+            h.type_text("word ")
+        elif op == "scroll":
+            h.scroll(window, rng.choice([-10, 10]))
+        elif op == "open":
+            h.open_path(rng.choice(files))
+        elif op == "move":
+            h.right_drag(column.body_x0 + 1, rect.y0,
+                         rng.randrange(0, h.screen.rect.width),
+                         rng.randrange(1, h.screen.rect.height))
+        elif op == "close" and len(windows) > 4:
+            h.close_window(window)
+    return executed
+
+
+def test_perf_sustained_session(benchmark):
+    ops = make_trace()
+
+    def session():
+        system = build_system(width=160, height=60)
+        return replay(system, ops)
+
+    executed = benchmark(session)
+    assert executed > 0
+
+
+def test_session_leaves_system_consistent():
+    system = build_system(width=160, height=60)
+    replay(system, make_trace(seed=5))
+    h = system.help
+    for column in h.screen.columns:
+        bottom = None
+        for window in column.visible():
+            rect = column.win_rect(window)
+            assert rect is not None and rect.height >= 1
+            if bottom is not None:
+                assert rect.y0 == bottom
+            bottom = rect.y1
+    index = system.ns.read("/mnt/help/index")
+    assert len(index.splitlines()) == len(h.windows)

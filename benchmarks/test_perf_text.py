@@ -1,0 +1,93 @@
+"""P1: text-engine throughput.
+
+An editor that "should be dynamic and responsive, efficient and
+invisible" lives or dies by these operations: localized inserts,
+scattered edits, undo, and the expansion scans behind the automatic
+selection rules.
+"""
+
+import random
+
+from repro.core.text import GapBuffer, Mark, Text
+
+BIG = ("int n;\nvoid f(void) { n = strlen(s); }\n" * 400)  # ~15k chars
+
+
+def test_perf_localized_inserts(benchmark):
+    """Typing at a caret: the gap buffer's best case."""
+    def typing():
+        buf = GapBuffer("x" * 4000)
+        pos = 2000
+        for i in range(500):
+            buf.insert(pos, "a")
+            pos += 1
+        return len(buf)
+
+    assert benchmark(typing) == 4500
+
+
+def test_perf_scattered_edits(benchmark):
+    rng = random.Random(7)
+    positions = [rng.randrange(0, 4000) for _ in range(300)]
+
+    def edits():
+        buf = GapBuffer("y" * 4000)
+        for pos in positions:
+            buf.insert(pos, "ab")
+            buf.delete(pos, pos + 2)
+        return buf.text()
+
+    assert benchmark(edits) == "y" * 4000
+
+
+def test_perf_undo_redo_cycle(benchmark):
+    def cycle():
+        text = Text("base text\n" * 50)
+        for i in range(100):
+            text.insert(0, f"line {i}\n")
+        while text.undo():
+            pass
+        while text.redo():
+            pass
+        return text.string()
+
+    out = benchmark(cycle)
+    assert out.startswith("line 99\n")
+
+
+def test_perf_marks_under_edits(benchmark):
+    def run():
+        text = Text("z" * 2000)
+        marks = [text.add_mark(Mark(i * 20, i * 20 + 10)) for i in range(100)]
+        for i in range(200):
+            text.insert((i * 7) % 1500, "xy")
+        return sum(m.q1 - m.q0 for m in marks)
+
+    total = benchmark(run)
+    assert total >= 100 * 10  # marks only ever grow under inserts
+
+
+def test_perf_word_scans(benchmark):
+    text = Text(BIG)
+
+    def scans():
+        hits = 0
+        for pos in range(0, len(text), 97):
+            q0, q1 = text.word_at(pos)
+            hits += q1 - q0
+        return hits
+
+    assert benchmark(scans) > 0
+
+
+def test_perf_line_arithmetic(benchmark):
+    text = Text(BIG)
+
+    def lines():
+        total = 0
+        for line in range(1, 400, 7):
+            start, end = text.line_span(line)
+            total += end - start
+        return total
+
+    assert benchmark(lines) > 0

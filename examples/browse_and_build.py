@@ -1,0 +1,117 @@
+"""The C browser and the two build tools, on a fresh project.
+
+Run:  python examples/browse_and_build.py
+
+Shows the substrates working on code that is *not* the paper's corpus:
+a small project is written into the namespace, browsed with decl/uses
+(scope-accurate, unlike grep), built with mk, edited, and rebuilt with
+the paper's proposed *inverted* mk — which finds out what to build by
+looking at which windows are dirty.
+"""
+
+from repro import build_system
+from repro.cbrowse import parse_program
+
+PROJECT = {
+    "list.h": """typedef struct Node Node;
+struct Node {
+\tNode *next;
+\tint value;
+};
+Node *push(Node *head, int value);
+int total(Node *head);
+""",
+    "list.c": """#include "list.h"
+
+static Node pool[128];
+static int used;
+
+Node *
+push(Node *head, int value)
+{
+\tNode *node;
+
+\tnode = &pool[used];
+\tused = used + 1;
+\tnode->next = head;
+\tnode->value = value;
+\treturn node;
+}
+""",
+    "sum.c": """#include "list.h"
+
+int
+total(Node *head)
+{
+\tint value;
+
+\tvalue = 0;
+\twhile(head != 0){
+\t\tvalue = value + head->value;
+\t\thead = head->next;
+\t}
+\treturn value;
+}
+""",
+    "mkfile": """OBJS=list.v sum.v
+
+liblist: $OBJS
+\tvl -o liblist $OBJS
+
+%.v: %.c list.h
+\tvc -w $stem.c
+""",
+}
+
+
+def main() -> None:
+    system = build_system(width=120, height=48)
+    ns = system.ns
+    ns.mkdir("/usr/rob/src/list", parents=True)
+    for name, text in PROJECT.items():
+        ns.write(f"/usr/rob/src/list/{name}", text)
+
+    # -- browse ------------------------------------------------------------
+    print("=== the browser's view of the project ===")
+    paths = ns.glob("/usr/rob/src/list/*.c")
+    program = parse_program(ns, paths, base_dir="/usr/rob/src/list")
+    for decl in program.decls:
+        if decl.kind in ("func", "var", "typedef", "tag"):
+            print(f"  {decl.location:16s} {decl.kind:8s} {decl.name}")
+    print()
+
+    # scope precision: 'value' means three different things
+    print("=== three different 'value's, told apart by scope ===")
+    for file, line in (("list.c", 7), ("sum.c", 10)):
+        decl = program.declaration_of("value", file, line)
+        print(f"  value at {file}:{line} binds to the {decl.kind} "
+              f"declared at {decl.location}")
+    print()
+
+    # uses of the global pool vs a grep for the same string
+    print("=== uses of 'used' vs grep used ===")
+    for use in program.uses_of("used"):
+        print(f"  {use.location}")
+    shell = system.shell("/usr/rob/src/list")
+    grep = shell.run("grep -c used /usr/rob/src/list/*.c")
+    print("  (grep counts per file:", " ".join(grep.stdout.split()), ")")
+    print()
+
+    # -- build -------------------------------------------------------------------
+    print("=== mk builds everything once ===")
+    print(shell.run("mk").stdout)
+
+    print("=== a window edit makes sum.c dirty; inverted mk notices ===")
+    window = system.help.open_path("/usr/rob/src/list/sum.c")
+    start, end = window.body.find("value + head->value")
+    window.body.replace(start, end, "value + head->value + 0")
+    window.mark_dirty()
+    # write it out and run imk, which reads /mnt/help/index
+    ns.write("/usr/rob/src/list/sum.c", window.body.string())
+    result = shell.run("imk")
+    print(result.stdout)
+    print("only sum.v and the library were rebuilt — list.v untouched.")
+
+
+if __name__ == "__main__":
+    main()

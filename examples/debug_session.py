@@ -1,0 +1,106 @@
+"""The paper's example session: fix a reported bug without typing.
+
+Run:  python examples/debug_session.py
+
+Replays pages 286-291 of the paper — mail, stack trace, browsing,
+the fix, and the rebuild — printing the windows at each step the way
+the figures show them.  Every interaction is a mouse gesture; the
+keystroke counter stays at zero the whole way through.
+"""
+
+from repro import build_system, render_window
+from repro.core.window import Subwindow
+from repro.tools.corpus import SRC_DIR
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    system = build_system(width=160, height=60)
+    h = system.help
+    h.stats.reset()
+
+    mail_stf = h.window_by_name("/help/mail/stf")
+    db_stf = h.window_by_name("/help/db/stf")
+    cbr_stf = h.window_by_name("/help/cbr/stf")
+
+    # -- Figure 5: read the mail ------------------------------------------
+    banner("Figure 5 — executing mail/headers")
+    h.execute_text(mail_stf, "headers")
+    mbox_w = h.window_by_name("/mail/box/rob/mbox")
+    print(render_window(h, mbox_w))
+
+    # -- Figure 6: Sean's message -------------------------------------------
+    banner("Figure 6 — messages applied to Sean's header line")
+    h.point_at(mbox_w, mbox_w.body.string().index("sean"))
+    h.execute_text(mail_stf, "messages")
+    msg_w = h.window_by_name("From")
+    print(render_window(h, msg_w))
+
+    # -- Figure 7: the stack of the broken process -----------------------------
+    banner("Figure 7 — db/stack applied to the broken process")
+    h.point_at(msg_w, msg_w.body.string().index("176153"))
+    h.execute_text(db_stf, "stack")
+    stack_w = h.window_by_name(f"{SRC_DIR}/")
+    print(stack_w.tag.string())
+    print(stack_w.body.string())
+
+    # -- Figure 8: open text.c at line 32 ---------------------------------------
+    banner("Figure 8 — Open on text.c:32 (the window scrolls and selects)")
+    h.point_at(stack_w, stack_w.body.string().index("text.c:32") + 2)
+    h.execute_text(stack_w, "Open")
+    text_w = h.window_by_name(f"{SRC_DIR}/text.c")
+    sel = text_w.body.slice(text_w.body_sel.q0, text_w.body_sel.q1)
+    print(f"selected at text.c:32 -> {sel!r}")
+    h.execute_text(text_w, "Close!", Subwindow.TAG)
+
+    # -- Figure 9: exec.c:252 ------------------------------------------------------
+    banner("Figure 9 — Open on exec.c:252")
+    h.point_at(stack_w, stack_w.body.string().index("exec.c:252") + 2)
+    h.execute_text(stack_w, "Open")
+    exec_w = h.window_by_name(f"{SRC_DIR}/exec.c")
+    sel = exec_w.body.slice(exec_w.body_sel.q0, exec_w.body_sel.q1)
+    print(f"selected at exec.c:252 -> {sel!r}")
+
+    # -- Figure 10: all uses of n ------------------------------------------------
+    banner("Figure 10 — uses *.c on the global n (grep would flood)")
+    start = exec_w.body.pos_of_line(252)
+    h.point_at(exec_w, exec_w.body.string().index("errs(n)", start) + 5)
+    h.execute_text(cbr_stf, "uses *.c")
+    uses_w = next(w for w in h.windows.values()
+                  if w.name() == f"{SRC_DIR}/"
+                  and "dat.h:136" in w.body.string())
+    print(uses_w.body.string())
+
+    # -- Figure 11: find the culprit write ----------------------------------------
+    banner("Figure 11 — the write that cleared n (exec.c:213)")
+    h.point_at(uses_w, uses_w.body.string().index("exec.c:213") + 2)
+    h.execute_text(uses_w, "Open")
+    culprit = exec_w.body.slice(exec_w.body_sel.q0, exec_w.body_sel.q1)
+    print(f"the jackpot: {culprit!r} in Xdie1")
+
+    # -- Figure 12: cut the line, write the file, rebuild ----------------------------
+    banner("Figure 12 — Cut, Put!, mk (three middle clicks)")
+    start, end = exec_w.body.line_span(213)
+    h.select(exec_w, start, end + 1)
+    h.execute_text(h.window_by_name("/help/edit/stf"), "Cut")
+    h.execute_text(exec_w, "Put!", Subwindow.TAG)
+    h.execute_text(cbr_stf, "mk")
+    mk_w = h.window_by_name(f"{SRC_DIR}/mk")
+    print(mk_w.tag.string())
+    print(mk_w.body.string())
+
+    banner("The claims")
+    print(f"bug fixed:        {'n = 0;' not in system.ns.read(f'{SRC_DIR}/exec.c')}")
+    print(f"binary rebuilt:   {system.ns.exists(f'{SRC_DIR}/help')}")
+    print(f"keystrokes typed: {h.stats.keystrokes}  "
+          "(\"I haven't yet touched the keyboard\")")
+
+
+if __name__ == "__main__":
+    main()

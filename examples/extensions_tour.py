@@ -1,0 +1,91 @@
+"""A tour of the implemented extensions — the paper's wish list.
+
+Run:  python examples/extensions_tour.py
+
+The Discussion section of the paper lists what the rewrite should
+gain; this example exercises each item as built here: undo, multiple
+windows per file (Clone!), shell windows, the inverted builder, the
+closed-loop src tool, a browser for a second language (rc), and the
+CPU-server arrangement.
+"""
+
+from repro import build_system
+from repro.core.window import Subwindow
+from repro.tools.corpus import SRC_DIR
+
+
+def banner(title):
+    print()
+    print("--", title, "-" * max(1, 60 - len(title)))
+
+
+def main() -> None:
+    system = build_system(width=140, height=50, extra_tools=True)
+    h = system.help
+
+    banner("undo/redo (builtins Undo and Redo)")
+    w = h.open_path("/usr/rob/lib/profile")
+    h.select(w, 0, 20)
+    h.execute_text(w, "Cut")
+    print("after Cut:   ", repr(w.body.string()[:30]))
+    h.execute_text(w, "Undo")
+    print("after Undo:  ", repr(w.body.string()[:30]))
+
+    banner("multiple windows per file (Clone!)")
+    h.execute_text(w, "Clone!", Subwindow.TAG)
+    twins = [x for x in h.windows.values() if x.name() == w.name()]
+    print(f"{len(twins)} windows on {w.name()}; scroll one to line 5:")
+    twins[1].show_line(5)
+    print("  clone org lines:", [t.body.line_of(t.org) for t in twins])
+
+    banner("a traditional shell window (Shell)")
+    h.point_at(w, 0)
+    h.execute_text(w, "Shell")
+    shell_w = h.window_by_name("/usr/rob/lib/-rc")
+    h.current = (shell_w, Subwindow.BODY)
+    h.mouse_move(-1, -1)
+    h.type_text("wc -l profile\n")
+    print(shell_w.body.string())
+
+    banner("the inverted builder (imk)")
+    sh = system.shell(SRC_DIR)
+    sh.run("mk")
+    exec_w = h.open_path(f"{SRC_DIR}/exec.c")
+    exec_w.body.insert(0, "/* tweak */\n")
+    exec_w.mark_dirty()
+    result = sh.run("imk")
+    print(result.stdout.strip())
+    print("(imk saw the dirty window in /mnt/help/index, wrote it out,")
+    print(" and rebuilt only what depends on exec.c)")
+
+    banner("closed-loop declaration lookup (src)")
+    exec_w = h.open_path(f"{SRC_DIR}/exec.c", line=252)
+    start = exec_w.body.pos_of_line(252)
+    h.point_at(exec_w, exec_w.body.string().index("errs(n)", start) + 5)
+    h.execute_text(h.window_by_name("/help/cbr/stf"), "src")
+    dat_w = h.window_by_name(f"{SRC_DIR}/dat.h")
+    print("src jumped straight to:",
+          dat_w.body.slice(dat_w.body_sel.q0, dat_w.body_sel.q1),
+          f"(dat.h line {dat_w.body.line_of(dat_w.org)})")
+
+    banner("a browser for a second language: rc")
+    system.ns.mkdir("/scripts", parents=True)
+    system.ns.write("/scripts/lib.rc",
+                    "fn deploy { echo shipping $1 }\nstage=beta\n")
+    system.ns.write("/scripts/run.rc",
+                    "deploy $stage\ndeploy production\n")
+    out = system.shell("/scripts").run("help-ruses -ideploy lib.rc run.rc")
+    print("references to fn deploy:")
+    print(out.stdout)
+
+    banner("applications on the CPU server (build_system(remote=True))")
+    remote_system = build_system(remote=True)
+    rh = remote_system.help
+    rh.execute_text(rh.window_by_name("/help/mail/stf"), "headers")
+    mbox = rh.window_by_name("/mail/box/rob/mbox")
+    print("headers ran on the CPU server; the window still filled:")
+    print(mbox.body.string().splitlines()[1])
+
+
+if __name__ == "__main__":
+    main()

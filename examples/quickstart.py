@@ -1,0 +1,65 @@
+"""Quickstart: boot help, open a file, edit it with the mouse.
+
+Run:  python examples/quickstart.py
+
+This walks the public API end to end: build the world, open windows,
+select with the left button, execute with the middle button, and
+render the screen as the paper's figures render it.
+"""
+
+from repro import build_system, render_screen
+from repro.core.window import Subwindow
+
+
+def main() -> None:
+    # One call builds the machine: namespace, tools, mailbox, a broken
+    # process to debug, and a booted two-column help screen (Figure 4).
+    system = build_system(width=120, height=40)
+    help_app = system.help
+
+    print("=== the boot screen (Figure 4) ===")
+    print(render_screen(help_app))
+    print()
+
+    # Open a file by path.  The window lands where the placement
+    # heuristic puts it; the tag shows the conventional command words.
+    window = help_app.open_path("/usr/rob/lib/profile")
+    print("=== tag of the new window ===")
+    print(window.tag.string())
+    print()
+
+    # Select the word "terminal" and replace it by typing — typed text
+    # replaces the selection in the subwindow under the mouse.
+    start, end = window.body.find("terminal")
+    help_app.select(window, start, end)
+    column = help_app.screen.column_of(window)
+    rect = column.win_rect(window)
+    help_app.mouse_move(column.body_x0, rect.y0 + 1)
+    help_app.type_text("gateway")
+    assert "gateway" in window.body.string()
+    print("=== after editing, Put! appears in the tag ===")
+    print(window.tag.string())
+    print()
+
+    # Execute Put! in the window's own tag: the file is written back.
+    help_app.execute_text(window, "Put!", Subwindow.TAG)
+    assert "gateway" in system.ns.read("/usr/rob/lib/profile")
+    print("profile saved; tag is clean again:")
+    print(window.tag.string())
+    print()
+
+    # Everything help shows is also a file: read the window back
+    # through /mnt/help, like any shell script could.
+    body = system.ns.read(f"/mnt/help/{window.id}/body")
+    assert body == window.body.string()
+    print(f"window {window.id} is /mnt/help/{window.id}/body "
+          f"({len(body)} characters)")
+
+    # And the session counts what you did.
+    stats = help_app.stats
+    print(f"\nsession stats: {stats.button_presses} button presses, "
+          f"{stats.keystrokes} keystrokes")
+
+
+if __name__ == "__main__":
+    main()

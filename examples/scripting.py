@@ -1,0 +1,78 @@
+"""Driving the user interface from shell scripts — the paper's thesis.
+
+Run:  python examples/scripting.py
+
+"The user interface is driven by a file-oriented programming
+interface that may be controlled from programs or even shell
+scripts."  This example never calls a single Help method: every
+window below is created, filled, searched and edited purely through
+rc scripts reading and writing /mnt/help.
+"""
+
+from repro import build_system, render_window
+
+
+def run(shell, script: str) -> str:
+    result = shell.run(script)
+    if result.status != 0:
+        raise SystemExit(f"script failed: {result.stderr}")
+    return result.stdout
+
+
+def main() -> None:
+    system = build_system(width=120, height=48)
+    shell = system.shell("/usr/rob")
+
+    # 1. Create a window and give it a name and contents -- pure script.
+    print("=== creating a window from rc ===")
+    out = run(shell, """x=`{cat /mnt/help/new/ctl}
+echo tag /usr/rob/notes Close! > /mnt/help/$x/ctl
+echo 'things to do:' > /mnt/help/$x/body
+echo '  fix the bug sean reported' >> /mnt/help/$x/bodyapp
+echo '  answer his mail' >> /mnt/help/$x/bodyapp
+echo $x
+""")
+    wid = int(out.strip())
+    window = system.help.windows[wid]
+    print(render_window(system.help, window))
+    print()
+
+    # 2. The paper's own examples: cp and grep on a window body.
+    print("=== cp /mnt/help/N/body file; grep pattern /mnt/help/N/body ===")
+    run(shell, f"cp /mnt/help/{wid}/body /usr/rob/notes")
+    print("saved copy:", repr(system.ns.read("/usr/rob/notes")))
+    hits = run(shell, f"grep -n bug /mnt/help/{wid}/body")
+    print("grep found:", hits.strip())
+    print()
+
+    # 3. The index file connects names to numbers.
+    print("=== /mnt/help/index ===")
+    print(run(shell, "cat /mnt/help/index"))
+
+    # 4. Edit the window with ctl messages: select, replace, show.
+    print("=== editing through ctl ===")
+    run(shell, f"""echo 'replace 0 13 AGENDA' > /mnt/help/{wid}/ctl
+echo 'select 0 6' > /mnt/help/{wid}/ctl
+""")
+    print(render_window(system.help, window))
+    print("selection:", repr(system.help.selected_text()))
+    print()
+
+    # 5. A tiny "application": number the lines of a window, in rc.
+    print("=== an rc application: numbering a window's lines ===")
+    run(shell, f"""i=1
+cat /mnt/help/{wid}/body | tee /tmp/lines > /tmp/copy
+grep -n . /mnt/help/{wid}/body > /tmp/numbered
+cp /tmp/numbered /mnt/help/{wid}/body
+""")
+    print(render_window(system.help, window))
+    print()
+
+    # 6. Windows close from scripts too.
+    run(shell, f"echo close > /mnt/help/{wid}/ctl")
+    print(f"window {wid} closed; index is now:")
+    print(run(shell, "cat /mnt/help/index"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — a reproduction of Rob Pike's *A Minimalist Global User
+Interface* (USENIX Summer 1991): the ``help`` system.
+
+Quickstart::
+
+    from repro import build_system, render_screen
+
+    system = build_system()      # VFS + tools + mailbox + booted help
+    help = system.help           # the user interface
+    ns = system.ns               # the Plan 9-style namespace
+
+    window = help.open_path('/usr/rob/src/help/help.c', line=35)
+    print(render_screen(help))
+
+Package map: :mod:`repro.core` (the help program itself),
+:mod:`repro.fs` (namespace substrate), :mod:`repro.helpfs`
+(``/mnt/help``), :mod:`repro.shell` (rc), :mod:`repro.proc`
+(processes/adb), :mod:`repro.cbrowse` (C browser), :mod:`repro.mail`,
+:mod:`repro.mk`, :mod:`repro.tools` (world assembly) and
+:mod:`repro.metrics` (interaction-cost models).
+"""
+
+from repro.core.help import Help
+from repro.core.render import render_screen, render_window
+from repro.fs import VFS, Namespace
+from repro.tools.install import System, build_system
+
+__version__ = "1.0.0"
+
+__all__ = ["Help", "System", "build_system", "render_screen",
+           "render_window", "VFS", "Namespace", "__version__"]

@@ -1,0 +1,109 @@
+"""An interactive driver: ``python -m repro``.
+
+A tiny command loop over the simulated session, for poking at the
+system by hand (or from a here-doc).  Commands:
+
+========================  ==============================================
+``render``                print the screen as an ASCII grid
+``windows``               list window numbers, names, dirty state
+``open PATH[:LINE]``      Open a file/directory
+``exec N TEXT``           execute TEXT as if middle-swept in window N
+``type N TEXT``           type TEXT into window N's body (selection first)
+``select N Q0 Q1``        set window N's body selection
+``show N``                print window N (tag + visible body)
+``sh CMD``                run an rc command in a shell on the namespace
+``demo``                  replay the paper's debugging session
+``quit``                  leave
+========================  ==============================================
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import build_system, render_screen, render_window
+from repro.core.window import Subwindow
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    width, height = 120, 40
+    if len(args) >= 2 and args[0].isdigit() and args[1].isdigit():
+        width, height = int(args[0]), int(args[1])
+    system = build_system(width=width, height=height)
+    h = system.help
+    shell = system.shell("/usr/rob")
+    print(f"help booted ({width}x{height}); 'render' to look around, "
+          f"'demo' for the paper's session, 'quit' to leave")
+
+    for raw in sys.stdin:
+        line = raw.strip()
+        if not line:
+            continue
+        cmd, _, rest = line.partition(" ")
+        try:
+            if cmd == "quit":
+                break
+            elif cmd == "render":
+                print(render_screen(h))
+            elif cmd == "windows":
+                for wid in sorted(h.windows):
+                    w = h.windows[wid]
+                    flags = "*" if w.dirty else " "
+                    print(f"{wid:4d}{flags} {w.tag.string()}")
+            elif cmd == "open":
+                from repro.core.selection import parse_address
+                address = parse_address(rest)
+                w = h.open_path(address.name, line=address.line)
+                if w is not None:
+                    print(f"window {w.id}: {w.name()}")
+            elif cmd == "exec":
+                wid, _, text = rest.partition(" ")
+                h.execute_text(h.windows[int(wid)], text)
+                print("ok")
+            elif cmd == "type":
+                wid, _, text = rest.partition(" ")
+                window = h.windows[int(wid)]
+                window.type_text(Subwindow.BODY, text.replace("\\n", "\n"))
+                h.current = (window, Subwindow.BODY)
+                print("ok")
+            elif cmd == "select":
+                wid, q0, q1 = rest.split()
+                h.select(h.windows[int(wid)], int(q0), int(q1))
+                print(f"selected {h.selected_text()!r}")
+            elif cmd == "show":
+                print(render_window(h, h.windows[int(rest)]))
+            elif cmd == "sh":
+                result = shell.run(rest)
+                sys.stdout.write(result.stdout)
+                sys.stderr.write(result.stderr)
+            elif cmd == "demo":
+                _demo(system)
+            else:
+                print(f"?unknown command {cmd!r} (render/windows/open/"
+                      f"exec/type/select/show/sh/demo/quit)")
+        except Exception as exc:  # an interactive loop shrugs and goes on
+            print(f"error: {exc}")
+        if not h.running:
+            break
+    return 0
+
+
+def _demo(system) -> None:
+    """The Figures 5-12 session, compressed."""
+    h = system.help
+    h.execute_text(h.window_by_name("/help/mail/stf"), "headers")
+    mbox = h.window_by_name("/mail/box/rob/mbox")
+    h.point_at(mbox, mbox.body.string().index("sean"))
+    h.execute_text(h.window_by_name("/help/mail/stf"), "messages")
+    msg = h.window_by_name("From")
+    h.point_at(msg, msg.body.string().index("176153"))
+    h.execute_text(h.window_by_name("/help/db/stf"), "stack")
+    stack = h.window_by_name("/usr/rob/src/help/")
+    print(stack.tag.string())
+    print(stack.body.string())
+    print("(point at any file:line above and 'exec N Open' to browse)")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

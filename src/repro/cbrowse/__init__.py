@@ -1,0 +1,25 @@
+"""The C browser: a compiler with its code generator stripped.
+
+"The implementation of the C browser ... in a nutshell, it parses the
+C source to interpret the symbols dynamically."  The paper built it by
+"spending a few hours stripping the code generator from the compiler";
+this package is that artifact built directly:
+
+- :mod:`repro.cbrowse.lexer` — a C tokenizer that tags every token
+  with its source file and line (including through ``#include``);
+- :mod:`repro.cbrowse.parser` — a scope-tracking parse that records
+  every declaration and binds every identifier use to the declaration
+  visible at that point (so ``uses n`` lists the *global* ``n`` and
+  not the local one shadowing it — the precision grep cannot give);
+- :mod:`repro.cbrowse.symbols` — the resulting program database with
+  the queries the ``decl`` and ``uses`` tools need;
+- :mod:`repro.cbrowse.tools` — the shell commands: ``cpp``, ``rcc``
+  (the stripped compiler), and friends.
+"""
+
+from repro.cbrowse.lexer import CToken, tokenize
+from repro.cbrowse.parser import parse_program, parse_source
+from repro.cbrowse.symbols import Decl, Program, Use
+
+__all__ = ["CToken", "tokenize", "parse_program", "parse_source",
+           "Decl", "Use", "Program"]

@@ -1,0 +1,144 @@
+"""A C tokenizer that remembers where every token came from.
+
+The browser's whole value is coordinates — ``dat.h:136`` — so tokens
+carry their file label and 1-based line.  Comments and whitespace are
+skipped; preprocessor lines are emitted as single ``cpp`` tokens for
+the include-resolver in the parser to interpret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset("""
+auto break case char const continue default do double else enum extern
+float for goto if int long register return short signed sizeof static
+struct switch typedef union unsigned void volatile while
+""".split())
+
+#: keywords that may begin a declaration
+TYPE_KEYWORDS = frozenset("""
+char const double enum extern float int long register short signed
+static struct typedef union unsigned void volatile auto
+""".split())
+
+_PUNCT3 = ("<<=", ">>=", "...")
+_PUNCT2 = ("->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+           "||", "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=")
+
+
+@dataclass(frozen=True)
+class CToken:
+    """One token: kind is 'ident', 'keyword', 'number', 'string',
+    'char', 'punct' or 'cpp' (a whole preprocessor line)."""
+
+    kind: str
+    text: str
+    file: str
+    line: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == "punct" and self.text == text
+
+
+class CLexError(Exception):
+    """Unterminated string/comment — reported with coordinates."""
+
+
+def tokenize(source: str, file: str = "<stdin>") -> list[CToken]:
+    """Tokenize C *source*, labelling tokens with *file*."""
+    tokens: list[CToken] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CLexError(f"{file}:{line}: unterminated comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "#" and _at_line_start(source, i):
+            start = i
+            while i < n and source[i] != "\n":
+                if source[i] == "\\" and i + 1 < n and source[i + 1] == "\n":
+                    i += 2
+                    line += 1
+                    continue
+                i += 1
+            tokens.append(CToken("cpp", source[start:i].strip(), file, line))
+            continue
+        if ch == '"' or ch == "'":
+            start = i
+            quote = ch
+            i += 1
+            while i < n and source[i] != quote:
+                if source[i] == "\\":
+                    i += 1
+                if i < n and source[i] == "\n":
+                    line += 1
+                i += 1
+            if i >= n:
+                raise CLexError(f"{file}:{line}: unterminated {quote} literal")
+            i += 1
+            kind = "string" if quote == '"' else "char"
+            tokens.append(CToken(kind, source[start:i], file, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(CToken(kind, text, file, line))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < n:
+                c = source[i]
+                if c.isalnum() or c in "._":
+                    i += 1
+                elif c in "+-" and source[i - 1] in "eE":
+                    i += 1
+                else:
+                    break
+            tokens.append(CToken("number", source[start:i], file, line))
+            continue
+        matched = False
+        for group in (_PUNCT3, _PUNCT2):
+            for punct in group:
+                if source.startswith(punct, i):
+                    tokens.append(CToken("punct", punct, file, line))
+                    i += len(punct)
+                    matched = True
+                    break
+            if matched:
+                break
+        if matched:
+            continue
+        tokens.append(CToken("punct", ch, file, line))
+        i += 1
+    return tokens
+
+
+def _at_line_start(source: str, i: int) -> bool:
+    j = i - 1
+    while j >= 0 and source[j] in " \t":
+        j -= 1
+    return j < 0 or source[j] == "\n"
+
+

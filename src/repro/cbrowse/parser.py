@@ -1,0 +1,590 @@
+"""Scope-tracking parse of C sources: declarations and bound uses.
+
+This is not a full C grammar — it is the part a browser needs, the
+part Pike kept when he "stripped the code generator from the
+compiler": scopes, declarators, and identifier binding.  The approach
+is a single token-stream walk:
+
+- braces push and pop scopes; function parameters land in the body's
+  scope; struct/union bodies declare members;
+- a statement beginning with a type (keyword or known typedef) is
+  parsed as a declaration list, handling pointers, arrays, function
+  definitions/prototypes (ANSI and K&R), and initializers;
+- every other identifier is a *use*, bound to the innermost visible
+  declaration (member accesses after ``.``/``->`` and goto labels
+  excepted);
+- ``#include "..."`` is resolved against the namespace and parsed once
+  per program (headers get ``./``-prefixed labels, matching the
+  paper's ``./dat.h:136``); ``#include <...>`` of absent system
+  headers is recorded and skipped; ``#define`` declares a macro.
+"""
+
+from __future__ import annotations
+
+from repro.cbrowse.lexer import CToken, TYPE_KEYWORDS, tokenize
+from repro.cbrowse.symbols import Decl, Program, Use
+from repro.fs.namespace import Namespace
+from repro.fs.vfs import dirname, join
+
+_QUALIFIERS = frozenset(("static", "extern", "const", "register",
+                         "volatile", "auto", "signed", "unsigned"))
+_BASE_TYPES = frozenset(("void", "char", "short", "int", "long",
+                         "float", "double"))
+_STATEMENT_KEYWORDS = frozenset(("if", "else", "while", "for", "do",
+                                 "switch", "case", "default", "return",
+                                 "break", "continue", "goto", "sizeof"))
+
+
+class _Scope:
+    """One lexical scope: bindings plus what kind of scope it is."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind            # 'global', 'block', 'struct'
+        self.bindings: dict[str, Decl] = {}
+
+
+class _Parser:
+    def __init__(self, program: Program, typedefs: set[str]) -> None:
+        self.program = program
+        self.typedefs = typedefs
+        self.scopes: list[_Scope] = [_Scope("global")]
+        self.pending_params: list[Decl] = []
+        self.tokens: list[CToken] = []
+        self.i = 0
+
+    # -- scope helpers ------------------------------------------------------
+
+    def _declare(self, name: str, kind: str, tok: CToken) -> Decl:
+        scope = self.scopes[-1]
+        if kind in ("var", "func") and scope.kind == "global":
+            # unify extern declarations, tentative definitions and
+            # prototypes: later global declarations of the same name
+            # are references to the first, not new objects
+            existing = scope.bindings.get(name)
+            if (existing is not None and existing.kind in ("var", "func")
+                    and (existing.file, existing.line) != (tok.file, tok.line)):
+                self.program.uses.append(
+                    Use(name, tok.file, tok.line, existing))
+                return existing
+        decl = Decl(name, kind, tok.file, tok.line, len(self.scopes) - 1)
+        scope.bindings[name] = decl
+        self.program.decls.append(decl)
+        if kind == "typedef":
+            self.typedefs.add(name)
+        return decl
+
+    def _lookup(self, name: str) -> Decl | None:
+        for scope in reversed(self.scopes):
+            decl = scope.bindings.get(name)
+            if decl is not None and scope.kind != "struct":
+                return decl
+        return None
+
+    def _use(self, tok: CToken) -> None:
+        self.program.uses.append(
+            Use(tok.text, tok.file, tok.line, self._lookup(tok.text)))
+
+    def _in_function(self) -> bool:
+        return any(s.kind == "block" for s in self.scopes)
+
+    def _local_kind(self) -> str:
+        if self.scopes[-1].kind == "struct":
+            return "member"
+        return "local" if self._in_function() else "var"
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> CToken | None:
+        idx = self.i + offset
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def _skip_balanced(self, open_: str, close: str,
+                      record_uses: bool = True) -> None:
+        """Consume from the current *open_* punct to its match."""
+        depth = 0
+        while self.i < len(self.tokens):
+            tok = self.tokens[self.i]
+            if tok.is_punct(open_):
+                depth += 1
+            elif tok.is_punct(close):
+                depth -= 1
+                if depth == 0:
+                    self.i += 1
+                    return
+            elif record_uses and tok.kind == "ident":
+                prev = self.tokens[self.i - 1]
+                if not (prev.is_punct(".") or prev.is_punct("->")):
+                    self._use(tok)
+            self.i += 1
+
+    # -- main walk ----------------------------------------------------------------------
+
+    def walk(self, tokens: list[CToken]) -> None:
+        self.tokens = tokens
+        self.i = 0
+        while self.i < len(tokens):
+            tok = tokens[self.i]
+            if tok.kind == "cpp":
+                self._cpp_define(tok)
+                self.i += 1
+            elif tok.is_punct("{"):
+                scope = _Scope("block")
+                for param in self.pending_params:
+                    scope.bindings[param.name] = param
+                    self.program.decls.append(param)
+                self.pending_params = []
+                self.scopes.append(scope)
+                self.i += 1
+            elif tok.is_punct("}"):
+                if len(self.scopes) > 1:
+                    self.scopes.pop()
+                self.i += 1
+            elif tok.kind == "keyword" and tok.text == "typedef":
+                self._typedef()
+            elif tok.kind == "keyword" and tok.text == "enum":
+                self._enum()
+            elif tok.kind == "keyword" and tok.text in ("struct", "union"):
+                if not self._struct():
+                    self._statement()
+            elif self._starts_declaration():
+                self._declaration()
+            elif (len(self.scopes) == 1 and tok.kind == "ident"
+                  and (nxt := self._peek(1)) is not None
+                  and nxt.is_punct("(")):
+                # implicit-int (K&R) function definition at file scope
+                self.i += 1
+                self._function(tok)
+            else:
+                self._statement()
+
+    # -- preprocessor remnants -----------------------------------------------------------
+
+    def _cpp_define(self, tok: CToken) -> None:
+        parts = tok.text.split(None, 2)
+        if len(parts) >= 2 and parts[0] in ("#define", "#") and parts[1]:
+            name = parts[1] if parts[0] == "#define" else parts[2].split()[0]
+            name = name.split("(")[0]
+            if name.isidentifier():
+                self._declare(name, "macro", tok)
+
+    # -- declarations ----------------------------------------------------------------------
+
+    def _starts_declaration(self) -> bool:
+        tok = self._peek()
+        if tok is None:
+            return False
+        if tok.kind == "keyword" and tok.text in TYPE_KEYWORDS:
+            return True
+        if tok.kind == "ident" and tok.text in self.typedefs:
+            # "Text *t;" is a declaration; "Text(x)" or "t = Text" is a use
+            nxt = self._peek(1)
+            if nxt is None:
+                return False
+            if nxt.is_punct("*") or nxt.kind == "ident":
+                return True
+        return False
+
+    def _consume_type_prefix(self) -> bool:
+        """Consume qualifiers/base types/typedef names/struct tags.
+
+        Returns False if what follows cannot be a declaration after all.
+        """
+        saw_type = False
+        while True:
+            tok = self._peek()
+            if tok is None:
+                return saw_type
+            if tok.kind == "keyword" and (tok.text in _QUALIFIERS
+                                          or tok.text in _BASE_TYPES):
+                saw_type = True
+                self.i += 1
+                continue
+            if tok.kind == "keyword" and tok.text in ("struct", "union", "enum"):
+                self.i += 1
+                tag = self._peek()
+                if tag is not None and tag.kind == "ident":
+                    self._use(tag)
+                    self.i += 1
+                if (t := self._peek()) is not None and t.is_punct("{"):
+                    # inline body: members handled by a nested walk
+                    self._struct_body()
+                saw_type = True
+                continue
+            if tok.kind == "ident" and tok.text in self.typedefs:
+                nxt = self._peek(1)
+                declarator_follows = nxt is not None and (
+                    nxt.is_punct("*") or nxt.kind == "ident"
+                    or nxt.is_punct("("))
+                if declarator_follows or not saw_type:
+                    self._use(tok)
+                    self.i += 1
+                    saw_type = True
+                    continue
+            return saw_type
+
+    def _declaration(self) -> None:
+        if not self._consume_type_prefix():
+            self._statement()
+            return
+        # declarator list
+        while self.i < len(self.tokens):
+            tok = self.tokens[self.i]
+            if tok.is_punct(";"):
+                self.i += 1
+                return
+            if tok.is_punct("*") or tok.is_punct("("):
+                # pointers and the '(' of "(*fp)" declarators
+                self.i += 1
+                continue
+            if tok.is_punct(")"):
+                self.i += 1
+                continue
+            if tok.kind != "ident":
+                # something unexpected: bail to statement scanning
+                self._statement()
+                return
+            name_tok = tok
+            self.i += 1
+            nxt = self._peek()
+            if nxt is not None and nxt.is_punct("(") and not self._mid_declarator():
+                self._function(name_tok)
+                return
+            kind = self._local_kind()
+            self._declare(name_tok.text, kind, name_tok)
+            self._after_declarator()
+            tok = self._peek()
+            if tok is None:
+                return
+            if tok.is_punct(","):
+                self.i += 1
+                continue
+            if tok.is_punct(";"):
+                self.i += 1
+                return
+            # unexpected: scan out of the statement
+            self._statement()
+            return
+
+    def _mid_declarator(self) -> bool:
+        """True inside a "(*fp)" style declarator (next '(' is the args)."""
+        prev = self.tokens[self.i - 2] if self.i >= 2 else None
+        return prev is not None and prev.is_punct("(")
+
+    def _after_declarator(self) -> None:
+        """Consume array brackets and initializers after a declared name."""
+        while self.i < len(self.tokens):
+            tok = self.tokens[self.i]
+            if tok.is_punct("["):
+                self._skip_balanced("[", "]")
+                continue
+            if tok.is_punct("("):
+                # function-pointer parameter list: uses inside are types
+                self._skip_balanced("(", ")")
+                continue
+            if tok.is_punct("="):
+                self.i += 1
+                self._initializer()
+                continue
+            return
+
+    def _initializer(self) -> None:
+        """Scan an initializer expression, recording uses."""
+        depth = 0
+        while self.i < len(self.tokens):
+            tok = self.tokens[self.i]
+            if tok.is_punct("(") or tok.is_punct("[") or tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct(")") or tok.is_punct("]") or tok.is_punct("}"):
+                depth -= 1
+            elif depth == 0 and (tok.is_punct(",") or tok.is_punct(";")):
+                return
+            elif tok.kind == "ident":
+                prev = self.tokens[self.i - 1]
+                if not (prev.is_punct(".") or prev.is_punct("->")):
+                    self._use(tok)
+            self.i += 1
+
+    def _function(self, name_tok: CToken) -> None:
+        """A declarator followed by '(': definition or prototype."""
+        self._declare(name_tok.text, "func", name_tok)
+        params = self._param_list()
+        tok = self._peek()
+        if tok is not None and tok.is_punct(";"):
+            # a prototype: ';' directly after ')'
+            self.i += 1
+            return
+        # K&R parameter type declarations sit between ')' and '{'
+        while (tok := self._peek()) is not None and not tok.is_punct("{"):
+            if tok.kind == "ident":
+                for param in params:
+                    if param.name == tok.text:
+                        break
+                else:
+                    self._use(tok)
+            self.i += 1
+        self.pending_params = params
+
+    def _param_list(self) -> list[Decl]:
+        """Parse '(...)' collecting parameter declarations."""
+        params: list[Decl] = []
+        assert self.tokens[self.i].is_punct("(")
+        self.i += 1
+        depth = 1
+        last_ident: CToken | None = None
+        prev_punct = ""
+        while self.i < len(self.tokens):
+            tok = self.tokens[self.i]
+            if tok.is_punct("("):
+                depth += 1
+            elif tok.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    if last_ident is not None:
+                        params.append(Decl(last_ident.text, "param",
+                                           last_ident.file, last_ident.line,
+                                           len(self.scopes)))
+                    self.i += 1
+                    return params
+            elif tok.is_punct(",") and depth == 1:
+                if last_ident is not None:
+                    params.append(Decl(last_ident.text, "param",
+                                       last_ident.file, last_ident.line,
+                                       len(self.scopes)))
+                last_ident = None
+            elif tok.kind == "ident" and depth == 1:
+                if tok.text in self.typedefs and last_ident is None:
+                    self._use(tok)  # a type name, not the parameter
+                else:
+                    if last_ident is not None and last_ident.text in self.typedefs:
+                        self._use(last_ident)
+                    last_ident = tok
+            self.i += 1
+        return params
+
+    # -- composites ---------------------------------------------------------------------------
+
+    def _typedef(self) -> None:
+        """typedef ... Name; — the last top-level ident is the name."""
+        start_tok = self.tokens[self.i]
+        self.i += 1
+        depth = 0
+        last_ident: CToken | None = None
+        idents: list[tuple[CToken, bool]] = []   # (token, follows struct kw)
+        prev_tag_kw = False
+        while self.i < len(self.tokens):
+            tok = self.tokens[self.i]
+            if tok.is_punct("{") or tok.is_punct("(") or tok.is_punct("["):
+                depth += 1
+            elif tok.is_punct("}") or tok.is_punct(")") or tok.is_punct("]"):
+                depth -= 1
+            elif tok.is_punct(";") and depth == 0:
+                self.i += 1
+                break
+            elif tok.kind == "ident" and depth == 0:
+                idents.append((tok, prev_tag_kw))
+                last_ident = tok
+            prev_tag_kw = (tok.kind == "keyword"
+                           and tok.text in ("struct", "union", "enum"))
+            self.i += 1
+        if last_ident is None:
+            return
+        for tok, is_tag in idents[:-1]:
+            # "typedef struct Addr Addr;" implicitly declares the tag
+            if is_tag and self._lookup(tok.text) is None:
+                self._declare(tok.text, "tag", tok)
+            else:
+                self._use(tok)
+        self._declare(last_ident.text, "typedef", last_ident)
+
+    def _enum(self) -> None:
+        """enum [Tag] { A, B = expr, ... } [vars];"""
+        self.i += 1  # 'enum'
+        tok = self._peek()
+        if tok is not None and tok.kind == "ident":
+            self._declare(tok.text, "tag", tok)
+            self.i += 1
+        tok = self._peek()
+        if tok is None or not tok.is_punct("{"):
+            return  # enum used as a type: let declaration logic continue
+        self.i += 1
+        expecting_name = True
+        while self.i < len(self.tokens):
+            tok = self.tokens[self.i]
+            if tok.is_punct("}"):
+                self.i += 1
+                break
+            if tok.is_punct(","):
+                expecting_name = True
+            elif tok.kind == "ident" and expecting_name:
+                self._declare(tok.text, "enum", tok)
+                expecting_name = False
+            elif tok.kind == "ident":
+                self._use(tok)
+            self.i += 1
+        if (tok := self._peek()) is not None and tok.is_punct(";"):
+            self.i += 1
+
+    def _struct(self) -> bool:
+        """struct Tag { members }; at statement level.
+
+        Returns False when this is really a declaration using a struct
+        type (struct Tag x;) so the caller can reparse it as one.
+        """
+        nxt = self._peek(1)
+        after = self._peek(2)
+        if nxt is not None and nxt.is_punct("{"):
+            self.i += 1
+            self._struct_body()
+            if (tok := self._peek()) is not None and tok.is_punct(";"):
+                self.i += 1
+            return True
+        if (nxt is not None and nxt.kind == "ident"
+                and after is not None and after.is_punct("{")):
+            self._declare(nxt.text, "tag", nxt)
+            self.i += 2
+            self._struct_body()
+            if (tok := self._peek()) is not None and tok.is_punct(";"):
+                self.i += 1
+            return True
+        return False  # "struct Tag variable;" — a declaration
+
+    def _struct_body(self) -> None:
+        """Parse { member declarations } in a struct scope."""
+        assert self.tokens[self.i].is_punct("{")
+        self.scopes.append(_Scope("struct"))
+        self.i += 1
+        depth = 1
+        while self.i < len(self.tokens) and depth > 0:
+            tok = self.tokens[self.i]
+            if tok.is_punct("{"):
+                depth += 1
+                self.i += 1
+            elif tok.is_punct("}"):
+                depth -= 1
+                self.i += 1
+            elif depth == 1 and (self._starts_declaration()
+                                 or (tok.kind == "keyword"
+                                     and tok.text in ("struct", "union"))):
+                if tok.kind == "keyword" and tok.text in ("struct", "union"):
+                    if self._struct():
+                        continue
+                self._declaration()
+            else:
+                self.i += 1
+        self.scopes.pop()
+
+    # -- statements ----------------------------------------------------------------------------
+
+    def _statement(self) -> None:
+        """Scan a non-declaration statement, recording identifier uses."""
+        depth = 0
+        prev_goto = False
+        while self.i < len(self.tokens):
+            tok = self.tokens[self.i]
+            if tok.is_punct("(") or tok.is_punct("["):
+                depth += 1
+            elif tok.is_punct(")") or tok.is_punct("]"):
+                depth -= 1
+            elif depth == 0 and tok.is_punct(";"):
+                self.i += 1
+                return
+            elif depth <= 0 and (tok.is_punct("{") or tok.is_punct("}")):
+                return  # scopes are the main loop's business
+            elif tok.kind == "ident":
+                prev = self.tokens[self.i - 1] if self.i > 0 else None
+                nxt = self._peek(1)
+                is_member = prev is not None and (prev.is_punct(".")
+                                                  or prev.is_punct("->"))
+                is_label = (depth == 0 and nxt is not None
+                            and nxt.is_punct(":") and prev is not None
+                            and (prev.is_punct(";") or prev.is_punct("{")
+                                 or prev.is_punct("}")))
+                if not is_member and not is_label and not prev_goto:
+                    self._use(tok)
+            prev_goto = tok.kind == "keyword" and tok.text == "goto"
+            self.i += 1
+
+
+# -- entry points -----------------------------------------------------------------------------
+
+
+def parse_source(source: str, file: str = "<stdin>",
+                 program: Program | None = None,
+                 typedefs: set[str] | None = None) -> Program:
+    """Parse one C source string (no include resolution)."""
+    if program is None:
+        program = Program()
+    if typedefs is None:
+        typedefs = set()
+    parser = _Parser(program, typedefs)
+    parser.walk(_strip_includes(tokenize(source, file), program))
+    return program
+
+
+def _strip_includes(tokens: list[CToken], program: Program) -> list[CToken]:
+    out = []
+    for tok in tokens:
+        if tok.kind == "cpp" and tok.text.startswith("#include"):
+            program.missing_includes.append(tok.text)
+            continue
+        out.append(tok)
+    return out
+
+
+def parse_program(ns: Namespace, paths: list[str],
+                  base_dir: str | None = None) -> Program:
+    """Parse a set of sources through the namespace, resolving includes.
+
+    *paths* are absolute source paths; labels in the result are
+    relative to *base_dir* (default: the first source's directory).
+    Quoted includes resolve against the including file and are labelled
+    ``./name``; angle includes of files absent from the namespace are
+    recorded in ``missing_includes`` and skipped.
+    """
+    if not paths:
+        return Program()
+    if base_dir is None:
+        base_dir = dirname(paths[0])
+    program = Program()
+    typedefs: set[str] = set()
+    parsed: set[str] = set()
+
+    def label_for(path: str, quoted: bool) -> str:
+        prefix = base_dir.rstrip("/") + "/"
+        if path.startswith(prefix):
+            rel = path[len(prefix):]
+            return f"./{rel}" if quoted else rel
+        return path
+
+    def expand(path: str, label: str) -> list[CToken]:
+        if path in parsed:
+            return []
+        parsed.add(path)
+        tokens = tokenize(ns.read(path), label)
+        out: list[CToken] = []
+        for tok in tokens:
+            if tok.kind == "cpp" and tok.text.startswith("#include"):
+                rest = tok.text[len("#include"):].strip()
+                if rest.startswith('"') and rest.endswith('"'):
+                    name = rest[1:-1]
+                    target = join(dirname(path), name)
+                    if ns.exists(target):
+                        out.extend(expand(target, label_for(target, True)))
+                    else:
+                        program.missing_includes.append(target)
+                else:
+                    name = rest.strip("<>")
+                    target = join("/sys/include", name)
+                    if ns.exists(target):
+                        out.extend(expand(target, target))
+                    else:
+                        program.missing_includes.append(rest)
+                continue
+            out.append(tok)
+        return out
+
+    parser = _Parser(program, typedefs)
+    for path in paths:
+        parser.walk(expand(path, label_for(path, False)))
+        parser.scopes = parser.scopes[:1]  # translation units share globals
+    return program

@@ -1,0 +1,114 @@
+"""The program database: declarations, uses, and the browser queries.
+
+A :class:`Program` is what parsing a set of sources produces.  Its two
+queries are exactly the two tools the paper demonstrates:
+
+- :meth:`Program.declaration_of` — given an identifier and the place
+  the user is pointing, the declaration that binds it there (``decl``);
+- :meth:`Program.uses_of` — every reference bound to the same
+  declaration (``uses``), which is how the browser shows four
+  occurrences of the global ``n`` where grep would show "every
+  occurrence of the letter n in the program".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Decl:
+    """A declaration: where *name* is introduced.
+
+    Kinds: ``var`` (file-scope), ``func``, ``param``, ``local``,
+    ``typedef``, ``tag`` (struct/union/enum), ``member``.
+    """
+
+    name: str
+    kind: str
+    file: str
+    line: int
+    scope: int = 0      # id of the scope it was declared in
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+@dataclass(frozen=True)
+class Use:
+    """One occurrence of an identifier, bound to a declaration (or not)."""
+
+    name: str
+    file: str
+    line: int
+    decl: Decl | None
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+@dataclass
+class Program:
+    """Everything the stripped compiler learned about the sources."""
+
+    decls: list[Decl] = field(default_factory=list)
+    uses: list[Use] = field(default_factory=list)
+    missing_includes: list[str] = field(default_factory=list)
+
+    # -- queries -----------------------------------------------------------
+
+    def declaration_of(self, name: str, file: str | None = None,
+                       line: int | None = None) -> Decl | None:
+        """The declaration binding *name* at (file, line).
+
+        When the position is known, prefer the binding recorded for a
+        use at that exact spot (scope-accurate); pointing *at* a
+        declaration returns it.  With no position, fall back to the
+        outermost declaration of that name.
+        """
+        if file is not None and line is not None:
+            for decl in self.decls:
+                if decl.name == name and decl.file == file and decl.line == line:
+                    return decl
+            for use in self.uses:
+                if use.name == name and use.file == file and use.line == line:
+                    return use.decl
+        candidates = [d for d in self.decls if d.name == name]
+        if not candidates:
+            return None
+        ranking = {"var": 0, "func": 0, "typedef": 0, "tag": 1,
+                   "param": 2, "local": 2, "member": 3}
+        return min(candidates, key=lambda d: (ranking.get(d.kind, 4), d.line))
+
+    def uses_of(self, name: str, file: str | None = None,
+                line: int | None = None) -> list[Use]:
+        """Every reference bound to the same declaration as *name* at
+        (file, line) — including the declaration site itself, listed
+        as a use, since the paper's Figure 10 shows ``./dat.h:136``."""
+        target = self.declaration_of(name, file, line)
+        if target is None:
+            return []
+        out = [Use(target.name, target.file, target.line, target)]
+        seen = {(target.file, target.line)}
+        for use in self.uses:
+            if use.decl == target and (use.file, use.line) not in seen:
+                seen.add((use.file, use.line))
+                out.append(use)
+        out.sort(key=lambda u: (u.file, u.line))
+        return out
+
+    def declarations_in(self, file: str) -> list[Decl]:
+        """All declarations made in *file* (the ``src`` tool's view)."""
+        return [d for d in self.decls if d.file == file]
+
+    def unresolved(self) -> list[Use]:
+        """Uses that bound to nothing (undeclared identifiers)."""
+        return [u for u in self.uses if u.decl is None]
+
+    def merge(self, other: "Program") -> None:
+        """Fold another translation unit's results in."""
+        self.decls.extend(other.decls)
+        self.uses.extend(other.uses)
+        self.missing_includes.extend(other.missing_includes)

@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the ``help`` system itself.
+
+``help`` "combines aspects of window systems, shells, and editors".
+The decomposition here mirrors the original's source files (the stack
+trace in Figure 7 names them: ``text.c``, ``ctrl.c``, ``exec.c``,
+``errs.c``, ``page.c``, ``file.c`` ...):
+
+- :mod:`repro.core.text` — the text engine (gap buffer, undo, marks);
+- :mod:`repro.core.frame` — character-cell layout of text in a rectangle;
+- :mod:`repro.core.selection` — selections and the automatic
+  null-selection expansion rules;
+- :mod:`repro.core.window` / :mod:`repro.core.column` /
+  :mod:`repro.core.screen` — tag+body windows tiled into columns, with
+  the paper's placement heuristic;
+- :mod:`repro.core.events` — the three-button mouse and keyboard model,
+  including chords;
+- :mod:`repro.core.execute` / :mod:`repro.core.builtins` — middle-button
+  execution, context rules, built-in commands;
+- :mod:`repro.core.help` — the assembled application;
+- :mod:`repro.core.render` — ASCII screenshots (regenerates the figures).
+"""
+
+__all__ = ["Help", "Button", "Mouse", "render_screen"]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports, so ``repro.core.text`` imports without the rest."""
+    if name == "Help":
+        from repro.core.help import Help
+        return Help
+    if name in ("Button", "Mouse"):
+        from repro.core import events
+        return getattr(events, name)
+    if name == "render_screen":
+        from repro.core.render import render_screen
+        return render_screen
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

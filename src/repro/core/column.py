@@ -1,0 +1,208 @@
+"""Columns: vertical stacks of windows with the paper's placement rules.
+
+"The help screen is tiled with windows of editable text, arranged in
+(usually) two side-by-side columns."  Within a column, every window has
+a top row (its tag); its extent runs to the next visible window's top
+or the column bottom.  Windows may be *hidden* — covered completely —
+and remain reachable through the tower of tabs at the column's left
+edge ("one per window ... visible or invisible, in order from top to
+bottom").
+
+The placement heuristic is transcribed from the paper's Discussion
+section, where Pike spells out the fixed version:
+
+1. place the new window at the bottom of the column: tag immediately
+   below the lowest visible text already in the column;
+2. if that would leave too little of the new window visible, cover
+   half of the lowest window;
+3. if still too little, position it over the bottom 25% of the column
+   (in a character-cell display every boundary falls on a whole line,
+   satisfying the "covers no partial line" adjustment for free),
+   hiding windows entirely when necessary.
+
+"Help attempts to make at least the tag of a window fully visible; if
+this is impossible, it covers the window completely."
+"""
+
+from __future__ import annotations
+
+from repro.core.frame import Frame, Rect
+from repro.core.window import Window
+
+# "Too little visible": the threshold below which the heuristic moves
+# to its next rule.  The paper leaves the number to taste; tag plus two
+# body lines is the smallest window you can usefully read.
+MIN_NEW_ROWS = 3
+
+
+class Column:
+    """One column of windows plus its tab tower.
+
+    The tab strip occupies the leftmost cell column of ``rect``;
+    windows draw in ``rect.x0 + 1 .. rect.x1``.
+    """
+
+    def __init__(self, rect: Rect) -> None:
+        self.rect = rect
+        self.windows: list[Window] = []
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def body_x0(self) -> int:
+        """First cell column windows may use (right of the tab strip)."""
+        return self.rect.x0 + 1
+
+    @property
+    def text_width(self) -> int:
+        """Width available to window text."""
+        return max(1, self.rect.x1 - self.body_x0)
+
+    def visible(self) -> list[Window]:
+        """Visible windows, top to bottom."""
+        return sorted((w for w in self.windows if not w.hidden),
+                      key=lambda w: w.y)
+
+    def win_rect(self, window: Window) -> Rect | None:
+        """The screen extent of *window*, or None if hidden."""
+        if window.hidden or window not in self.windows:
+            return None
+        vis = self.visible()
+        idx = vis.index(window)
+        bottom = vis[idx + 1].y if idx + 1 < len(vis) else self.rect.y1
+        return Rect(self.body_x0, window.y, self.rect.x1, bottom)
+
+    def body_frame(self, window: Window) -> Frame | None:
+        """A Frame sized for *window*'s body area (below the tag row)."""
+        rect = self.win_rect(window)
+        if rect is None or rect.height < 1:
+            return None
+        return Frame(self.text_width, rect.height - 1)
+
+    # -- invariants ---------------------------------------------------------------
+
+    def _normalize(self, priority: Window | None = None) -> None:
+        """Restore the layout invariant after any movement.
+
+        Visible windows get strictly increasing tag rows inside the
+        column; a window that cannot keep even its tag on screen is
+        covered completely.  *priority* wins ties at the same row.
+        """
+        vis = sorted((w for w in self.windows if not w.hidden),
+                     key=lambda w: (w.y, 0 if w is priority else 1))
+        prev = self.rect.y0 - 1
+        for window in vis:
+            y = max(window.y, prev + 1)
+            if y > self.rect.y1 - 1:
+                window.hidden = True
+            else:
+                window.y = y
+                prev = y
+        self.windows.sort(key=lambda w: w.y)
+
+    def _lowest_used_row(self) -> int:
+        """One past the lowest row showing text (the rule-1 target)."""
+        vis = self.visible()
+        if not vis:
+            return self.rect.y0
+        last = vis[-1]
+        rect = self.win_rect(last)
+        assert rect is not None
+        used = 0
+        if rect.height > 1:
+            frame = Frame(self.text_width, rect.height - 1)
+            layout = frame.layout(last.body.string(), last.org)
+            # The row after a trailing newline holds no text; don't
+            # count it (an entirely empty body still uses its one row).
+            if len(layout) > 1 and layout[-1].start == layout[-1].end:
+                layout.pop()
+            used = len(layout)
+        return min(last.y + 1 + used, self.rect.y1)
+
+    # -- the placement heuristic ------------------------------------------------
+
+    def place(self, window: Window) -> None:
+        """Add *window* at the position the paper's heuristic chooses."""
+        window.hidden = False
+        bottom = self.rect.y1
+        # Rule 1: tag immediately below the lowest visible text.
+        y = self._lowest_used_row()
+        if bottom - y < MIN_NEW_ROWS:
+            # Rule 2: cover half of the lowest window.
+            vis = self.visible()
+            if vis:
+                last_rect = self.win_rect(vis[-1])
+                assert last_rect is not None
+                y = vis[-1].y + max(1, last_rect.height // 2)
+            if bottom - y < MIN_NEW_ROWS:
+                # Rule 3: occupy the bottom 25% of the column.
+                quarter = max(self.rect.height // 4, MIN_NEW_ROWS)
+                y = max(self.rect.y0, bottom - quarter)
+                for other in self.windows:
+                    if not other.hidden and other.y >= y:
+                        other.hidden = True
+        window.y = y
+        self.windows.append(window)
+        self._normalize(priority=window)
+
+    # -- user operations ---------------------------------------------------------
+
+    def make_visible(self, window: Window) -> None:
+        """Tab click: show *window* "from the tag to the bottom of the column".
+
+        Everything below its tag row is covered completely.
+        """
+        if window not in self.windows:
+            raise ValueError(f"window {window.id} not in this column")
+        window.hidden = False
+        window.y = max(self.rect.y0, min(window.y, self.rect.y1 - 1))
+        for other in self.windows:
+            if other is not window and not other.hidden and other.y >= window.y:
+                other.hidden = True
+        self._normalize(priority=window)
+
+    def move_to(self, window: Window, y: int) -> None:
+        """Drop *window* (already in or newly joining this column) at row *y*.
+
+        Does "whatever local rearrangement is necessary": the drop row
+        is clamped into the column and neighbours shuffle or hide to
+        keep every visible tag on screen.
+        """
+        if window not in self.windows:
+            self.windows.append(window)
+        window.hidden = False
+        window.y = max(self.rect.y0, min(y, self.rect.y1 - 1))
+        self._normalize(priority=window)
+
+    def remove(self, window: Window) -> None:
+        """Take *window* out of the column (Close! or a cross-column move)."""
+        self.windows.remove(window)
+
+    def resize(self, rect: Rect) -> None:
+        """Give the column a new extent, re-fitting its windows."""
+        self.rect = rect
+        for window in self.windows:
+            window.y = max(rect.y0, min(window.y, rect.y1 - 1))
+        self._normalize()
+
+    # -- hit testing ------------------------------------------------------------------
+
+    def tab_order(self) -> list[Window]:
+        """Windows in tab order: top to bottom, hidden ones in place."""
+        return sorted(self.windows, key=lambda w: w.y)
+
+    def tab_at(self, y: int) -> Window | None:
+        """The window whose tab square sits at screen row *y*."""
+        index = y - self.rect.y0
+        order = self.tab_order()
+        if 0 <= index < len(order):
+            return order[index]
+        return None
+
+    def window_at(self, y: int) -> Window | None:
+        """The visible window occupying screen row *y*."""
+        for window in self.visible():
+            rect = self.win_rect(window)
+            if rect is not None and rect.y0 <= y < rect.y1:
+                return window
+        return None

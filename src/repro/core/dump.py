@@ -1,0 +1,137 @@
+"""Session dump and restore (extension).
+
+Help's descendant Acme can write its window layout to a dump file and
+recreate the session later; users of this reproduction asked the same
+of it, so: :func:`dump` serializes a session's columns, windows, and
+unsaved bodies to text, and :func:`load` rebuilds the session.
+
+The format is line-oriented and file-friendly (it can itself be opened
+in a window):
+
+```
+help-dump 1
+screen <width> <height> <ncolumns>
+column <index> <x0> <x1>
+window <column> <y> <hidden 0|1> <org> <dirty 0|1> <name>
+tag <escaped tag text>
+body <nlines>            # only for dirty/unnamed windows
+<raw body lines...>
+```
+
+Clean file-backed windows are reloaded from their files; dirty windows
+carry their body inline so no edit is lost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.helpfs.ctl import escape, unescape
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.help import Help
+
+FORMAT = "help-dump 1"
+
+
+class DumpError(Exception):
+    """A malformed dump file."""
+
+
+def dump(help_app: "Help") -> str:
+    """Serialize the session's layout and unsaved text."""
+    screen = help_app.screen
+    out = [FORMAT,
+           f"screen {screen.rect.width} {screen.rect.height} "
+           f"{len(screen.columns)}"]
+    for index, column in enumerate(screen.columns):
+        out.append(f"column {index} {column.rect.x0} {column.rect.x1}")
+    for index, column in enumerate(screen.columns):
+        for window in column.tab_order():
+            name = window.name()
+            inline = window.dirty or not name or name.endswith("/") \
+                or not help_app.ns.exists(name)
+            out.append(f"window {index} {window.y} {int(window.hidden)} "
+                       f"{window.org} {int(window.dirty)} {name}")
+            out.append(f"tag {escape(window.tag.string())}")
+            if inline:
+                body = window.body.string()
+                lines = body.split("\n")
+                out.append(f"body {len(lines)}")
+                out.extend(lines)
+            else:
+                out.append("body -")
+    return "\n".join(out) + "\n"
+
+
+def save(help_app: "Help", path: str = "/usr/rob/help.dump") -> None:
+    """Write the dump to a file in the namespace."""
+    help_app.ns.write(path, dump(help_app))
+
+
+def load(help_app: "Help", text: str) -> None:
+    """Recreate a dumped session into *help_app*.
+
+    Existing windows are closed first.  Windows are recreated column
+    by column at their dumped rows; clean file windows reload from the
+    namespace, dirty ones get their dumped bodies (and stay dirty).
+    """
+    lines = text.split("\n")
+    if not lines or lines[0] != FORMAT:
+        raise DumpError("not a help dump file")
+    for window in list(help_app.windows.values()):
+        help_app.close_window(window)
+    i = 1
+    if i >= len(lines) or not lines[i].startswith("screen "):
+        raise DumpError("missing screen line")
+    _, width, height, ncols = lines[i].split()
+    help_app.screen.resize(int(width), int(height))
+    i += 1
+    while i < len(lines) and lines[i].startswith("column "):
+        i += 1  # column extents are restored by resize proportions
+    while i < len(lines):
+        line = lines[i]
+        if not line.strip():
+            i += 1
+            continue
+        if not line.startswith("window "):
+            raise DumpError(f"unexpected dump line {line!r}")
+        fields = line.split(" ", 6)
+        if len(fields) < 6:
+            raise DumpError(f"short window line {line!r}")
+        _, col_idx, y, hidden, org, dirty = fields[:6]
+        name = fields[6] if len(fields) > 6 else ""
+        i += 1
+        if i >= len(lines) or not lines[i].startswith("tag "):
+            raise DumpError("window without tag line")
+        tag_text = unescape(lines[i][4:])
+        i += 1
+        if i >= len(lines) or not lines[i].startswith("body "):
+            raise DumpError("window without body line")
+        body_head = lines[i][5:]
+        i += 1
+        if body_head == "-":
+            body = help_app.ns.read(name)
+        else:
+            n = int(body_head)
+            body = "\n".join(lines[i:i + n])
+            i += n
+        column = help_app.screen.columns[
+            min(int(col_idx), len(help_app.screen.columns) - 1)]
+        window = help_app.new_window(name, body, column=column)
+        window.tag.set_string(tag_text)
+        window.tag_sel.set(0, 0)
+        window.y = int(y)
+        window.hidden = bool(int(hidden))
+        window.org = int(org)
+        if int(dirty):
+            if "Put!" in tag_text.split():
+                window.dirty = True    # the dumped tag already shows it
+            else:
+                window.mark_dirty()
+        column._normalize()
+
+
+def restore(help_app: "Help", path: str = "/usr/rob/help.dump") -> None:
+    """Load a dump from a file in the namespace."""
+    load(help_app, help_app.ns.read(path))

@@ -1,0 +1,155 @@
+"""The three-button mouse and keyboard model.
+
+The paper's interface grammar, in full:
+
+- **left** button selects text (press, sweep, release);
+- **middle** selects text *for execution* — releasing executes it, and
+  a click (no sweep) anywhere in a word executes the whole word;
+- **right** rearranges windows (press in a tag, drag, release);
+- **chords**: while the left button is still held after a selection,
+  clicking middle executes Cut and clicking right executes Paste; one
+  may click middle then right, still holding left, to cut-and-paste
+  (snarfing the text for later).
+
+Typing is not a gesture: "newline is just a character."
+
+:class:`MouseMachine` turns a raw press/drag/release stream into the
+semantic :class:`Gesture` records above.  The machine is deliberately
+tiny — the *brevity* rule says there are no other gestures to parse.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Button(enum.IntFlag):
+    """Mouse buttons as a bitmask (several may be down during a chord)."""
+
+    NONE = 0
+    LEFT = 1
+    MIDDLE = 2
+    RIGHT = 4
+
+
+@dataclass(frozen=True)
+class Point:
+    """A screen position in character cells."""
+
+    x: int
+    y: int
+
+
+@dataclass(frozen=True)
+class Mouse:
+    """A raw mouse sample: position plus currently held buttons."""
+
+    x: int
+    y: int
+    buttons: Button = Button.NONE
+
+
+class GestureKind(enum.Enum):
+    """Semantic interpretation of a completed (or chorded) gesture."""
+
+    SELECT = "select"        # left sweep released: select start..end
+    EXECUTE = "execute"      # middle sweep released: execute start..end
+    MOVE = "move"            # right drag released: move window start -> end
+    SWEEP = "sweep"          # in-progress left sweep (live selection update)
+    CHORD_CUT = "chord-cut"      # middle clicked while left held
+    CHORD_PASTE = "chord-paste"  # right clicked while left held
+
+
+@dataclass(frozen=True)
+class Gesture:
+    """One semantic mouse action delivered to the application."""
+
+    kind: GestureKind
+    start: Point
+    end: Point
+
+    @property
+    def is_click(self) -> bool:
+        """True when the button never moved: a click, not a sweep."""
+        return self.start == self.end
+
+
+@dataclass
+class MouseMachine:
+    """State machine from raw button transitions to gestures.
+
+    Feed it :meth:`press`, :meth:`drag` and :meth:`release`; each call
+    returns the (possibly empty) list of gestures it completed.  The
+    machine tracks exactly one *primary* button — the first one pressed
+    — and treats later presses as chords (left primary) or ignores them
+    (the original help leaves middle/right chords undefined).
+    """
+
+    primary: Button = Button.NONE
+    start: Point | None = None
+    current: Point | None = None
+    held: Button = Button.NONE
+    _chorded: bool = field(default=False, repr=False)
+
+    def press(self, x: int, y: int, button: Button) -> list[Gesture]:
+        """A button went down at (x, y)."""
+        if button not in (Button.LEFT, Button.MIDDLE, Button.RIGHT):
+            raise ValueError(f"not a single button: {button!r}")
+        self.held |= button
+        if self.primary is Button.NONE:
+            self.primary = button
+            self.start = Point(x, y)
+            self.current = Point(x, y)
+            self._chorded = False
+            return []
+        # A secondary press: only left-primary chords mean anything.
+        if self.primary is Button.LEFT and self.start is not None:
+            self._chorded = True
+            assert self.current is not None
+            if button is Button.MIDDLE:
+                return [Gesture(GestureKind.CHORD_CUT, self.start, self.current)]
+            if button is Button.RIGHT:
+                return [Gesture(GestureKind.CHORD_PASTE, self.start, self.current)]
+        return []
+
+    def drag(self, x: int, y: int) -> list[Gesture]:
+        """The mouse moved with at least one button down."""
+        if self.primary is Button.NONE or self.start is None:
+            return []
+        self.current = Point(x, y)
+        if self.primary is Button.LEFT and not self._chorded:
+            return [Gesture(GestureKind.SWEEP, self.start, self.current)]
+        return []
+
+    def release(self, x: int, y: int, button: Button) -> list[Gesture]:
+        """A button came up at (x, y)."""
+        self.held &= ~button
+        if button is not self.primary or self.start is None:
+            return []
+        start, end = self.start, Point(x, y)
+        chorded = self._chorded
+        self.primary = Button.NONE
+        self.start = self.current = None
+        self._chorded = False
+        if chorded:
+            return []  # the chord already acted; the release is spent
+        if button is Button.LEFT:
+            return [Gesture(GestureKind.SELECT, start, end)]
+        if button is Button.MIDDLE:
+            return [Gesture(GestureKind.EXECUTE, start, end)]
+        return [Gesture(GestureKind.MOVE, start, end)]
+
+    def click(self, x: int, y: int, button: Button) -> list[Gesture]:
+        """Convenience: press and release at the same point."""
+        out = self.press(x, y, button)
+        out += self.release(x, y, button)
+        return out
+
+    def sweep(self, x0: int, y0: int, x1: int, y1: int,
+              button: Button) -> list[Gesture]:
+        """Convenience: press at (x0, y0), drag, release at (x1, y1)."""
+        out = self.press(x0, y0, button)
+        out += self.drag(x1, y1)
+        out += self.release(x1, y1, button)
+        return out

@@ -1,0 +1,199 @@
+"""Character-cell frames: laying text out in a rectangle.
+
+The original ``help`` drew text with Plan 9's ``libframe`` (the crash
+in the paper's example is inside ``frinsert``).  Our display is a grid
+of character cells, so a frame is the pure function from (text, origin,
+width, height) to a list of display lines, plus the two coordinate
+maps every editor needs:
+
+- *point to char*: where in the text did the user click?
+- *char to point*: at which cell does offset *q* appear?
+
+Long lines wrap, exactly as in the original; the origin is always the
+offset of the first character of a display line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A rectangle of character cells, half-open: ``x0 <= x < x1``."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    @property
+    def width(self) -> int:
+        return max(0, self.x1 - self.x0)
+
+    @property
+    def height(self) -> int:
+        return max(0, self.y1 - self.y0)
+
+    @property
+    def empty(self) -> bool:
+        return self.width == 0 or self.height == 0
+
+    def contains(self, x: int, y: int) -> bool:
+        """True if cell (x, y) lies inside."""
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the rectangles share at least one cell."""
+        return (self.x0 < other.x1 and other.x0 < self.x1
+                and self.y0 < other.y1 and other.y0 < self.y1)
+
+    def inset_rows(self, top: int = 0, bottom: int = 0) -> "Rect":
+        """A copy with *top* rows removed above and *bottom* below."""
+        return Rect(self.x0, self.y0 + top, self.x1, self.y1 - bottom)
+
+
+@dataclass(frozen=True)
+class DisplayLine:
+    """One laid-out row: text offsets ``start..end`` shown at row *row*.
+
+    *end* excludes the newline (if the line ended in one); *hard* is
+    True when the row ends because of a newline rather than wrapping.
+    """
+
+    row: int
+    start: int
+    end: int
+    hard: bool
+
+
+class Frame:
+    """Lays out a window body (or tag) in ``width`` x ``height`` cells."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 0:
+            raise ValueError(f"bad frame size {width}x{height}")
+        self.width = width
+        self.height = height
+
+    def layout(self, text: str, org: int = 0) -> list[DisplayLine]:
+        """Display lines for *text* starting at offset *org*.
+
+        Stops after ``height`` rows.  An empty tail (org at end of
+        text) still yields one empty row so the cursor has a home.
+        """
+        lines: list[DisplayLine] = []
+        pos = org
+        n = len(text)
+        for row in range(self.height):
+            if pos > n:
+                break
+            # Search one past the width: a newline exactly at the wrap
+            # column ends the row rather than forcing an empty wrap line.
+            nl = text.find("\n", pos, pos + self.width + 1)
+            if nl >= 0:
+                lines.append(DisplayLine(row, pos, nl, hard=True))
+                pos = nl + 1
+            elif pos + self.width < n:
+                lines.append(DisplayLine(row, pos, pos + self.width, hard=False))
+                pos += self.width
+            else:
+                lines.append(DisplayLine(row, pos, n, hard=True))
+                pos = n + 1
+        return lines
+
+    def visible_span(self, text: str, org: int = 0) -> tuple[int, int]:
+        """Offsets ``(org, end)`` of the text visible from *org*."""
+        lines = self.layout(text, org)
+        if not lines:
+            return (org, org)
+        last = lines[-1]
+        end = last.end + (1 if last.hard and last.end < len(text) else 0)
+        return (org, end)
+
+    def rows_used(self, text: str, org: int = 0) -> int:
+        """How many rows the text from *org* occupies (max ``height``)."""
+        return len(self.layout(text, org))
+
+    def char_of_point(self, text: str, org: int, row: int, col: int) -> int:
+        """Text offset of a click at cell (*col*, *row*).
+
+        Clicks beyond a line's end map to the line's last position;
+        clicks below the laid-out text map to its end — the forgiving
+        behaviour a mouse-first interface needs.
+        """
+        lines = self.layout(text, org)
+        if not lines:
+            return org
+        if row >= len(lines):
+            return lines[-1].end
+        line = lines[max(0, row)]
+        return min(line.start + max(0, col), line.end)
+
+    def point_of_char(self, text: str, org: int, pos: int) -> tuple[int, int] | None:
+        """Cell (row, col) where offset *pos* is displayed, or None.
+
+        Offsets on a newline report the cell just past the line's last
+        character (where the caret would sit).
+        """
+        for line in self.layout(text, org):
+            if line.start <= pos <= line.end:
+                return (line.row, pos - line.start)
+        return None
+
+    def origin_for_line(self, text: str, line_no: int) -> int:
+        """Origin that puts 1-based *line_no* on the top row.
+
+        Wrapping is ignored here — origins always start hard lines,
+        which matches how ``Open file.c:27`` positions a window.
+        """
+        if line_no <= 1:
+            return 0
+        pos = 0
+        for _ in range(line_no - 1):
+            nl = text.find("\n", pos)
+            if nl < 0:
+                return pos
+            pos = nl + 1
+        return pos
+
+    def scroll_origins(self, text: str) -> list[int]:
+        """Offsets of every hard line start — the legal origins."""
+        origins = [0]
+        pos = text.find("\n")
+        while pos >= 0:
+            origins.append(pos + 1)
+            pos = text.find("\n", pos + 1)
+        if origins[-1] > len(text):
+            origins.pop()
+        return origins
+
+    def scroll(self, text: str, org: int, lines: int) -> int:
+        """Origin after scrolling *lines* display rows (negative = up)."""
+        if lines == 0:
+            return org
+        if lines > 0:
+            layout = self.layout(text, org)
+            for line in layout:
+                if lines == 0:
+                    break
+                org = line.end + (1 if line.hard else 0)
+                lines -= 1
+            return min(org, len(text))
+        # Scrolling up: walk hard-line starts before org, then re-wrap.
+        starts = [o for o in self.scroll_origins(text) if o <= org]
+        rows: list[int] = []
+        prev_start = starts[-1] if starts else 0
+        # expand wrapped rows of preceding hard lines until we have enough
+        idx = len(starts) - 1
+        while idx >= 0 and len(rows) < -lines:
+            start = starts[idx]
+            end = org if idx == len(starts) - 1 else starts[idx + 1] - 1
+            row_starts = list(range(start, max(end, start + 1), self.width))
+            if idx == len(starts) - 1:
+                row_starts = [r for r in row_starts if r < org] or []
+            rows = row_starts + rows
+            idx -= 1
+        if not rows:
+            return prev_start if org > 0 else 0
+        return rows[max(0, len(rows) + lines)]

@@ -1,0 +1,104 @@
+"""ASCII screenshots of a help screen.
+
+The paper's twelve figures are bitmaps of text screens; this renderer
+reproduces them as character grids so the figure benchmarks can save
+comparable artifacts.  Conventions:
+
+- row 0 is the header strip; each column's expand square is ``#``;
+- the left edge of each column carries the tab tower: ``#`` per
+  window (visible or hidden, in order), then ``|`` down the column;
+- each window's tag row is drawn between ``[`` and ``]`` so windows
+  are visually separated the way the originals' borders separate them;
+- the current selection can be marked in a footer (reverse video has
+  no ASCII equivalent that preserves the grid).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.frame import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.help import Help
+    from repro.core.window import Window
+
+
+def render_screen(help_app: "Help", footer: bool = True) -> str:
+    """The whole screen as a character grid, one string."""
+    rect = help_app.screen.rect
+    canvas = [[" "] * rect.width for _ in range(rect.height)]
+    for column in help_app.screen.columns:
+        _render_column(help_app, column, canvas)
+    lines = ["".join(row).rstrip() for row in canvas]
+    out = "\n".join(lines)
+    if footer:
+        out += "\n" + _footer(help_app)
+    return out
+
+
+def _render_column(help_app: "Help", column, canvas: list[list[str]]) -> None:
+    rect = column.rect
+    # header square for this column
+    canvas[0][rect.x0] = "#"
+    # tab tower
+    order = column.tab_order()
+    for i in range(rect.y0, rect.y1):
+        x = rect.x0
+        canvas[i][x] = "#" if i - rect.y0 < len(order) else "|"
+    # windows
+    for window in column.visible():
+        wrect = column.win_rect(window)
+        if wrect is None:
+            continue
+        width = column.text_width
+        tag = window.tag.string().split("\n", 1)[0]
+        _put(canvas, wrect.y0, column.body_x0, ("[" + tag)[:width].ljust(width, " "))
+        if width >= 1:
+            end_x = column.body_x0 + width - 1
+            if canvas[wrect.y0][end_x] == " ":
+                canvas[wrect.y0][end_x] = "]"
+        if wrect.height > 1:
+            frame = Frame(width, wrect.height - 1)
+            for line in frame.layout(window.body.string(), window.org):
+                text = window.body.slice(line.start, line.end)
+                _put(canvas, wrect.y0 + 1 + line.row, column.body_x0, text[:width])
+
+
+def _put(canvas: list[list[str]], row: int, x0: int, s: str) -> None:
+    if not 0 <= row < len(canvas):
+        return
+    for i, ch in enumerate(s):
+        x = x0 + i
+        if 0 <= x < len(canvas[row]):
+            canvas[row][x] = ch if ch != "\t" else " "
+
+
+def _footer(help_app: "Help") -> str:
+    current = help_app.current
+    if current is None:
+        return "-- no selection --"
+    window, sub = current
+    sel = window.selection(sub)
+    text = window.text(sub).slice(sel.q0, sel.q1)
+    shown = text if len(text) <= 40 else text[:37] + "..."
+    shown = shown.replace("\n", "\\n")
+    return (f"-- selection: window {window.id} ({window.name() or 'unnamed'}) "
+            f"{sub.value} {sel.q0}..{sel.q1} {shown!r} --")
+
+
+def render_window(help_app: "Help", window: "Window") -> str:
+    """Just one window (tag plus visible body), as the screen shows it."""
+    column = help_app.screen.column_of(window)
+    if column is None:
+        return ""
+    wrect = column.win_rect(window)
+    if wrect is None:
+        return f"[{window.tag.string()}] (hidden)"
+    width = column.text_width
+    lines = [window.tag.string().split(chr(10), 1)[0][:width]]
+    if wrect.height > 1:
+        frame = Frame(width, wrect.height - 1)
+        for line in frame.layout(window.body.string(), window.org):
+            lines.append(window.body.slice(line.start, line.end)[:width])
+    return "\n".join(lines)

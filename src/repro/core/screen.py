@@ -1,0 +1,199 @@
+"""The screen: columns side by side, a header strip, and hit testing.
+
+The screen owns the geometry: a one-row strip across the top whose
+squares let columns expand horizontally ("A similar row across the top
+of the columns allows the columns to expand"), and below it the
+columns, each with its own tab tower and windows.
+
+It also implements the cross-column part of window movement: the user
+"points at the tag of a window, presses the right button, drags the
+window to where it is desired, and releases"; the drop lands in
+whatever column contains the release point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.column import Column
+from repro.core.frame import Frame, Rect
+from repro.core.window import Subwindow, Window
+
+
+class Region(enum.Enum):
+    """What a screen position hits."""
+
+    HEADER = "header"      # the column-expand strip across the top
+    TAB = "tab"            # a square in a column's tab tower
+    TAG = "tag"            # a window's tag line
+    BODY = "body"          # a window's body
+    BACKGROUND = "background"  # empty column space
+
+
+@dataclass(frozen=True)
+class Hit:
+    """The result of resolving a screen position.
+
+    For TAG/BODY hits, *pos* is the character offset in the subwindow's
+    text that the point indicates.
+    """
+
+    region: Region
+    column: Column | None = None
+    window: Window | None = None
+    pos: int = 0
+
+    @property
+    def subwindow(self) -> Subwindow | None:
+        if self.region is Region.TAG:
+            return Subwindow.TAG
+        if self.region is Region.BODY:
+            return Subwindow.BODY
+        return None
+
+
+class Screen:
+    """Screen geometry: header row at the top, columns beneath.
+
+    *ncolumns* defaults to the paper's "usually two side-by-side
+    columns"; widths start equal and may be changed by
+    :meth:`expand_column`.
+    """
+
+    def __init__(self, width: int = 100, height: int = 40,
+                 ncolumns: int = 2) -> None:
+        if width < 2 * ncolumns or height < 3:
+            raise ValueError(f"screen {width}x{height} too small")
+        self.rect = Rect(0, 0, width, height)
+        self.columns: list[Column] = []
+        self._expanded: int | None = None
+        edges = self._equal_edges(ncolumns)
+        for i in range(ncolumns):
+            self.columns.append(
+                Column(Rect(edges[i], 1, edges[i + 1], height)))
+
+    # -- geometry -----------------------------------------------------------
+
+    def _equal_edges(self, n: int) -> list[int]:
+        width = self.rect.width
+        return [self.rect.x0 + (width * i) // n for i in range(n)] + [self.rect.x1]
+
+    def _apply_edges(self, edges: list[int]) -> None:
+        for column, (x0, x1) in zip(self.columns, zip(edges, edges[1:])):
+            column.resize(Rect(x0, 1, x1, self.rect.y1))
+
+    def expand_column(self, index: int) -> None:
+        """Header-strip click: toggle giving column *index* most of the width.
+
+        Expanded, the column takes ~75% of the screen; clicking its
+        square again restores equal widths.
+        """
+        if not 0 <= index < len(self.columns):
+            raise IndexError(f"no column {index}")
+        if self._expanded == index:
+            self._expanded = None
+            self._apply_edges(self._equal_edges(len(self.columns)))
+            return
+        self._expanded = index
+        n = len(self.columns)
+        if n == 1:
+            return
+        wide = (self.rect.width * 3) // 4
+        narrow = (self.rect.width - wide) // (n - 1)
+        edges = [self.rect.x0]
+        for i in range(n):
+            edges.append(edges[-1] + (wide if i == index else narrow))
+        edges[-1] = self.rect.x1
+        self._apply_edges(edges)
+
+    def column_at(self, x: int) -> Column | None:
+        """The column whose horizontal span contains *x*."""
+        for column in self.columns:
+            if column.rect.x0 <= x < column.rect.x1:
+                return column
+        return None
+
+    def column_of(self, window: Window) -> Column | None:
+        """The column currently holding *window*."""
+        for column in self.columns:
+            if window in column.windows:
+                return column
+        return None
+
+    def all_windows(self) -> list[Window]:
+        """Every window on the screen, column by column."""
+        out: list[Window] = []
+        for column in self.columns:
+            out.extend(column.tab_order())
+        return out
+
+    # -- hit testing ------------------------------------------------------------
+
+    def hit(self, x: int, y: int) -> Hit:
+        """Resolve screen cell (x, y) to a region, window and text offset."""
+        if not self.rect.contains(x, y):
+            return Hit(Region.BACKGROUND)
+        if y == self.rect.y0:
+            return Hit(Region.HEADER, column=self.column_at(x))
+        column = self.column_at(x)
+        if column is None:
+            return Hit(Region.BACKGROUND)
+        if x == column.rect.x0:
+            window = column.tab_at(y)
+            return Hit(Region.TAB, column=column, window=window)
+        window = column.window_at(y)
+        if window is None:
+            return Hit(Region.BACKGROUND, column=column)
+        rect = column.win_rect(window)
+        assert rect is not None
+        col_in_text = x - column.body_x0
+        if y == rect.y0:
+            frame = Frame(column.text_width, 1)
+            pos = frame.char_of_point(window.tag.string(), 0, 0, col_in_text)
+            return Hit(Region.TAG, column=column, window=window, pos=pos)
+        frame = Frame(column.text_width, rect.height - 1)
+        pos = frame.char_of_point(window.body.string(), window.org,
+                                  y - rect.y0 - 1, col_in_text)
+        return Hit(Region.BODY, column=column, window=window, pos=pos)
+
+    # -- window movement ------------------------------------------------------------
+
+    def move_window(self, window: Window, x: int, y: int) -> None:
+        """Right-button drop of *window* at (x, y).
+
+        Moves between columns when the drop point lies in another
+        column; the receiving column does the local rearrangement.
+        """
+        src = self.column_of(window)
+        dst = self.column_at(x) or src
+        if dst is None:
+            return
+        if src is not None and src is not dst:
+            src.remove(window)
+        dst.move_to(window, max(y, dst.rect.y0))
+
+    def resize(self, width: int, height: int) -> None:
+        """Give the whole screen a new size, re-tiling the columns.
+
+        Column width proportions are preserved; every window is
+        refitted by its column (tags stay visible or windows hide, per
+        the usual rule).
+        """
+        if width < 2 * len(self.columns) or height < 3:
+            raise ValueError(f"screen {width}x{height} too small")
+        old_width = self.rect.width
+        fractions = [column.rect.width / old_width
+                     for column in self.columns]
+        self.rect = Rect(0, 0, width, height)
+        edges = [0]
+        for fraction in fractions[:-1]:
+            edges.append(edges[-1] + max(2, int(width * fraction)))
+        edges.append(width)
+        self._apply_edges(edges)
+
+    def remove_window(self, window: Window) -> None:
+        """Take *window* off the screen entirely (Close!)."""
+        column = self.column_of(window)
+        if column is not None:
+            column.remove(window)

@@ -1,0 +1,101 @@
+"""Selection expansion: the automation and defaults rules as functions.
+
+Two of the paper's four design rules live here.
+
+*Automation*: "If the text for selection or execution is the null
+string, help invokes automatic actions to expand it to a file name or
+similar context-dependent block of text."
+
+*Defaults*: "help interprets a middle mouse button click (not double
+click) anywhere in a word as a selection of the whole word"; "if Open
+is applied to a null selection in a file name that does not begin with
+a slash, the directory name is extracted from the file name in the tag
+of the window and prepended".
+
+And the guard on both: "Making any non-null selection disables all
+such automatic actions: the resulting text is then exactly what is
+selected."
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.text import Text
+from repro.fs.vfs import join
+
+
+def expand_execution(text: Text, q0: int, q1: int) -> tuple[int, int, str]:
+    """The text a middle-button gesture at ``q0..q1`` executes.
+
+    A sweep executes exactly what was swept; a click expands to the
+    whole word under the point.  Returns ``(q0, q1, string)``.
+    """
+    if q0 != q1:
+        return (q0, q1, text.slice(q0, q1))
+    w0, w1 = text.command_at(q0)
+    return (w0, w1, text.slice(w0, w1))
+
+
+def expand_operand(text: Text, q0: int, q1: int) -> tuple[int, int, str]:
+    """The operand a command takes from a selection at ``q0..q1``.
+
+    A non-null selection is literal; a null selection expands to the
+    file-name-like token around the point (which may carry a ``:line``
+    suffix), including the name just *before* the point — Figure 3's
+    "the selection is automatically the null string at the end of the
+    file name".
+    """
+    if q0 != q1:
+        return (q0, q1, text.slice(q0, q1))
+    f0, f1 = text.filename_at(q0)
+    return (f0, f1, text.slice(f0, f1))
+
+
+# A file address is a name optionally suffixed ":N" for a 1-based line:
+# "help.c:27".  The paper notes the real syntax allowed general
+# locations; line numbers are all it uses and all we implement.
+_ADDRESS = re.compile(r"^(?P<name>.*?)(?::(?P<line>\d+))?$", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class FileAddress:
+    """A file name with an optional line number."""
+
+    name: str
+    line: int | None = None
+
+    def __str__(self) -> str:
+        return self.name if self.line is None else f"{self.name}:{self.line}"
+
+
+def parse_address(s: str) -> FileAddress:
+    """Split ``name:27`` into a :class:`FileAddress`.
+
+    >>> parse_address('text.c:32')
+    FileAddress(name='text.c', line=32)
+    >>> parse_address('/lib/font/bit/pelm/9.0').line is None
+    True
+    """
+    match = _ADDRESS.match(s.strip())
+    assert match is not None
+    name = match.group("name")
+    line = match.group("line")
+    # A bare "name." followed by digits could be a version suffix like
+    # "9.0"; only a colon separates a line, so that case never reaches
+    # here — the regex demands the colon.
+    return FileAddress(name, int(line) if line is not None else None)
+
+
+def resolve_name(name: str, context_dir: str) -> str:
+    """Absolute path for *name* in a window whose context is *context_dir*.
+
+    Names beginning with ``/`` stand alone; anything else gets the
+    window's directory prepended ("that Open prepends the directory
+    name gives each window a context").
+    """
+    if name.startswith("/"):
+        from repro.fs.vfs import normalize
+        return normalize(name)
+    return join(context_dir, name)

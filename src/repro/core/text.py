@@ -1,0 +1,420 @@
+"""The text engine: gap buffer, undo, and position-tracking marks.
+
+The original ``help`` stored window contents in a C text structure
+(``text.c`` in the paper's Figure 7 stack trace).  This module provides
+the equivalent: a :class:`GapBuffer` for efficient local editing, and a
+:class:`Text` document on top that adds
+
+- grouped **undo/redo** — the paper's Discussion lists undo first among
+  the "mundane but important features" the rewrite should gain, so this
+  reproduction includes it;
+- **marks** that ride along with edits, used for selections and for the
+  addresses handed to client programs through ``/mnt/help``;
+- the **character-class scans** behind the automatic expansion rules:
+  middle-click anywhere in a word selects the word, pointing into a
+  file name grabs the whole name (``file.c:27`` syntax included).
+
+Positions are character offsets; the half-open range ``q0..q1`` follows
+the original's naming.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+
+class GapBuffer:
+    """A classic gap buffer over characters.
+
+    Edits near the gap are O(length of edit); moving the gap costs the
+    distance moved.  This is the same structure bitmap-terminal editors
+    of the era used, and it keeps the interactive benchmarks honest.
+    """
+
+    def __init__(self, text: str = "", gap: int = 64) -> None:
+        self._min_gap = max(1, gap)
+        self._buf: list[str] = list(text) + [""] * self._min_gap
+        self._gap_start = len(text)
+        self._gap_end = len(self._buf)
+        # whole-contents cache: layout, search and the file server all
+        # ask for the full text repeatedly between edits, and a large
+        # file must not pay O(n) for each of those asks
+        self._text_cache: str | None = text
+
+    def __len__(self) -> int:
+        return len(self._buf) - (self._gap_end - self._gap_start)
+
+    def _move_gap(self, pos: int) -> None:
+        if pos < self._gap_start:
+            span = self._gap_start - pos
+            dst = self._gap_end - span
+            self._buf[dst:self._gap_end] = self._buf[pos:self._gap_start]
+            self._gap_start = pos
+            self._gap_end = dst
+        elif pos > self._gap_start:
+            span = pos - self._gap_start
+            src_end = self._gap_end + span
+            self._buf[self._gap_start:self._gap_start + span] = \
+                self._buf[self._gap_end:src_end]
+            self._gap_start += span
+            self._gap_end = src_end
+
+    def _grow(self, need: int) -> None:
+        gap = self._gap_end - self._gap_start
+        if gap >= need:
+            return
+        extra = max(need - gap, self._min_gap, len(self._buf) // 2)
+        self._buf[self._gap_end:self._gap_end] = [""] * extra
+        self._gap_end += extra
+
+    def insert(self, pos: int, s: str) -> None:
+        """Insert *s* so that its first character lands at offset *pos*."""
+        if not 0 <= pos <= len(self):
+            raise IndexError(f"insert at {pos} outside 0..{len(self)}")
+        if not s:
+            return
+        self._text_cache = None
+        self._move_gap(pos)
+        self._grow(len(s))
+        self._buf[self._gap_start:self._gap_start + len(s)] = list(s)
+        self._gap_start += len(s)
+
+    def delete(self, start: int, end: int) -> str:
+        """Remove and return the characters in ``start..end``."""
+        if not 0 <= start <= end <= len(self):
+            raise IndexError(f"delete {start}..{end} outside 0..{len(self)}")
+        if start != end:
+            self._text_cache = None
+        self._move_gap(start)
+        removed = "".join(self._buf[self._gap_end:self._gap_end + (end - start)])
+        self._gap_end += end - start
+        return removed
+
+    def slice(self, start: int, end: int) -> str:
+        """The characters in ``start..end`` (clamped to the buffer)."""
+        start = max(0, start)
+        end = min(len(self), end)
+        if start >= end:
+            return ""
+        parts: list[str] = []
+        if start < self._gap_start:
+            parts.append("".join(self._buf[start:min(end, self._gap_start)]))
+        if end > self._gap_start:
+            lo = max(start, self._gap_start)
+            parts.append("".join(
+                self._buf[self._gap_end + (lo - self._gap_start):
+                          self._gap_end + (end - self._gap_start)]))
+        return "".join(parts)
+
+    def char_at(self, pos: int) -> str:
+        """The single character at *pos* ('' past the end)."""
+        return self.slice(pos, pos + 1)
+
+    def text(self) -> str:
+        """The entire contents as one string (cached between edits)."""
+        if self._text_cache is None:
+            self._text_cache = self.slice(0, len(self))
+        return self._text_cache
+
+
+class Mark:
+    """A position (or range) that follows the text through edits.
+
+    Inserts before the mark shift it; deletes spanning it clamp it to
+    the deletion point.  An insert *at* ``q0 == q1`` keeps an empty
+    mark before the inserted text unless ``trailing`` is set (the
+    typing cursor wants to ride after what was just typed).
+    """
+
+    def __init__(self, q0: int = 0, q1: int | None = None,
+                 trailing: bool = False) -> None:
+        self.q0 = q0
+        self.q1 = q0 if q1 is None else q1
+        self.trailing = trailing
+
+    def set(self, q0: int, q1: int | None = None) -> None:
+        """Move the mark to ``q0..q1`` (a point if *q1* is omitted)."""
+        self.q0 = q0
+        self.q1 = q0 if q1 is None else q1
+
+    @property
+    def empty(self) -> bool:
+        return self.q0 == self.q1
+
+    def _adjust_insert(self, pos: int, n: int) -> None:
+        if pos < self.q0 or (pos == self.q0 and self.trailing and self.empty):
+            self.q0 += n
+        if pos < self.q1 or (pos == self.q1 and self.trailing):
+            self.q1 += n
+
+    def _adjust_delete(self, start: int, end: int) -> None:
+        n = end - start
+        self.q0 = self.q0 - n if self.q0 >= end else min(self.q0, start)
+        self.q1 = self.q1 - n if self.q1 >= end else min(self.q1, start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mark({self.q0}, {self.q1})"
+
+
+# Characters that belong to a file name when help expands a null
+# selection pointing into one.  The original accepted anything that
+# could plausibly appear in a Plan 9 path plus the :line suffix.
+_FILECHARS = re.compile(r"[A-Za-z0-9_\-./+:]")
+_WORDCHARS = re.compile(r"[A-Za-z0-9_]")
+# Command words include what file names do, plus the ! of window
+# operations: a middle click anywhere in "Close!" must execute all of
+# it, and a click in "/help/mail/headers" must execute the whole path.
+_EXECCHARS = re.compile(r"[A-Za-z0-9_\-./+:!]")
+
+
+class Text:
+    """An editable document with undo, marks, and expansion scans."""
+
+    def __init__(self, text: str = "") -> None:
+        self._buf = GapBuffer(text)
+        self._marks: list[Mark] = []
+        self._undo: list[list[tuple[str, int, str]]] = []
+        self._redo: list[list[tuple[str, int, str]]] = []
+        self._open_group: list[tuple[str, int, str]] | None = None
+
+    # -- basic access -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def string(self) -> str:
+        """The full contents."""
+        return self._buf.text()
+
+    def slice(self, q0: int, q1: int) -> str:
+        """The contents of ``q0..q1``."""
+        return self._buf.slice(q0, q1)
+
+    def char_at(self, pos: int) -> str:
+        """Character at *pos* ('' past the end)."""
+        return self._buf.char_at(pos)
+
+    # -- marks --------------------------------------------------------------
+
+    def add_mark(self, mark: Mark) -> Mark:
+        """Register *mark* so edits keep it pointing at the same text."""
+        self._marks.append(mark)
+        return mark
+
+    def drop_mark(self, mark: Mark) -> None:
+        """Stop tracking *mark*."""
+        self._marks.remove(mark)
+
+    # -- editing ------------------------------------------------------------
+
+    def insert(self, pos: int, s: str) -> None:
+        """Insert *s* at *pos*, recording it for undo."""
+        if not s:
+            return
+        self._buf.insert(pos, s)
+        for mark in self._marks:
+            mark._adjust_insert(pos, len(s))
+        self._record(("ins", pos, s))
+
+    def delete(self, q0: int, q1: int) -> str:
+        """Delete ``q0..q1``, returning the removed text."""
+        if q0 >= q1:
+            return ""
+        removed = self._buf.delete(q0, q1)
+        for mark in self._marks:
+            mark._adjust_delete(q0, q1)
+        self._record(("del", q0, removed))
+        return removed
+
+    def replace(self, q0: int, q1: int, s: str) -> None:
+        """Replace ``q0..q1`` with *s* as a single undoable group."""
+        with self.group():
+            self.delete(q0, q1)
+            self.insert(q0, s)
+
+    def set_string(self, s: str) -> None:
+        """Replace the whole document (one undo group)."""
+        self.replace(0, len(self), s)
+
+    # -- undo / redo ----------------------------------------------------------
+
+    def group(self) -> "_UndoGroup":
+        """Context manager grouping edits into one undo step::
+
+            with text.group():
+                text.delete(a, b)
+                text.insert(a, 'new')
+        """
+        return _UndoGroup(self)
+
+    def _record(self, op: tuple[str, int, str]) -> None:
+        self._redo.clear()
+        if self._open_group is not None:
+            self._open_group.append(op)
+        else:
+            self._undo.append([op])
+
+    def _apply_inverse(self, ops: list[tuple[str, int, str]]) -> list[tuple[str, int, str]]:
+        inverse: list[tuple[str, int, str]] = []
+        for kind, pos, s in reversed(ops):
+            if kind == "ins":
+                self._buf.delete(pos, pos + len(s))
+                for mark in self._marks:
+                    mark._adjust_delete(pos, pos + len(s))
+                inverse.append(("del", pos, s))
+            else:
+                self._buf.insert(pos, s)
+                for mark in self._marks:
+                    mark._adjust_insert(pos, len(s))
+                inverse.append(("ins", pos, s))
+        inverse.reverse()
+        return inverse
+
+    def undo(self) -> bool:
+        """Undo the most recent group; False if nothing to undo."""
+        if not self._undo:
+            return False
+        ops = self._undo.pop()
+        self._redo.append(self._apply_inverse(ops))
+        return True
+
+    def redo(self) -> bool:
+        """Redo the most recently undone group; False if none."""
+        if not self._redo:
+            return False
+        ops = self._redo.pop()
+        self._undo.append(self._apply_inverse(ops))
+        return True
+
+    @property
+    def can_undo(self) -> bool:
+        return bool(self._undo)
+
+    @property
+    def can_redo(self) -> bool:
+        return bool(self._redo)
+
+    # -- line arithmetic -----------------------------------------------------
+
+    def nlines(self) -> int:
+        """Number of lines (a trailing newline does not start a new one)."""
+        s = self.string()
+        if not s:
+            return 0
+        return s.count("\n") + (0 if s.endswith("\n") else 1)
+
+    def line_of(self, pos: int) -> int:
+        """1-based line number containing offset *pos*."""
+        return self.slice(0, min(pos, len(self))).count("\n") + 1
+
+    def pos_of_line(self, line: int) -> int:
+        """Offset of the first character of 1-based *line* (clamped)."""
+        if line <= 1:
+            return 0
+        pos = 0
+        s = self.string()
+        for _ in range(line - 1):
+            nl = s.find("\n", pos)
+            if nl < 0:
+                return len(s)
+            pos = nl + 1
+        return pos
+
+    def line_span(self, line: int) -> tuple[int, int]:
+        """Offsets ``(start, end)`` of 1-based *line*, newline excluded."""
+        start = self.pos_of_line(line)
+        nl = self.string().find("\n", start)
+        return (start, len(self) if nl < 0 else nl)
+
+    # -- expansion scans -------------------------------------------------------
+
+    def _scan(self, pos: int, pattern: re.Pattern[str]) -> tuple[int, int]:
+        q0 = pos
+        while q0 > 0 and pattern.match(self.char_at(q0 - 1)):
+            q0 -= 1
+        q1 = pos
+        while q1 < len(self) and pattern.match(self.char_at(q1)):
+            q1 += 1
+        return q0, q1
+
+    def word_at(self, pos: int) -> tuple[int, int]:
+        """Extent of the word containing *pos* (empty range if none).
+
+        This is the rule that makes a middle *click* anywhere in
+        ``Cut`` execute the whole word.
+        """
+        return self._scan(pos, _WORDCHARS)
+
+    def command_at(self, pos: int) -> tuple[int, int]:
+        """Extent of the command word containing *pos*.
+
+        Like :meth:`word_at` but including ``!`` and path characters,
+        so clicking in ``Close!`` or in ``/help/mail/headers``
+        executes the whole thing.
+        """
+        return self._scan(pos, _EXECCHARS)
+
+    def filename_at(self, pos: int) -> tuple[int, int]:
+        """Extent of the file-name-like token containing or ending at *pos*.
+
+        Pointing with a null selection *after* the final character of a
+        name still grabs it (Figure 3: "the selection is automatically
+        the null string at the end of the file name, so just click
+        Open").
+        """
+        q0, q1 = self._scan(pos, _FILECHARS)
+        if q0 == q1 and pos > 0:
+            q0, q1 = self._scan(pos - 1, _FILECHARS)
+        return q0, q1
+
+    # -- searching ---------------------------------------------------------------
+
+    def find(self, needle: str, start: int = 0) -> tuple[int, int] | None:
+        """First literal occurrence of *needle* at or after *start*."""
+        if not needle:
+            return None
+        idx = self.string().find(needle, start)
+        if idx < 0:
+            return None
+        return (idx, idx + len(needle))
+
+    def find_pattern(self, pattern: str, start: int = 0) -> tuple[int, int] | None:
+        """First regexp match of *pattern* at or after *start*.
+
+        Used by the edit tool's ``Pattern`` command.
+        """
+        try:
+            match = re.compile(pattern).search(self.string(), start)
+        except re.error:
+            return None
+        if match is None or match.start() == match.end():
+            return None
+        return (match.start(), match.end())
+
+    def lines(self) -> Iterable[str]:
+        """Iterate over lines without newlines."""
+        return self.string().split("\n")
+
+
+class _UndoGroup:
+    """Groups edits made inside a ``with`` block into one undo step."""
+
+    def __init__(self, text: Text) -> None:
+        self._text = text
+        self._nested = False
+
+    def __enter__(self) -> Text:
+        if self._text._open_group is not None:
+            self._nested = True
+        else:
+            self._text._open_group = []
+        return self._text
+
+    def __exit__(self, *exc: object) -> None:
+        if self._nested:
+            return
+        ops = self._text._open_group
+        self._text._open_group = None
+        if ops:
+            self._text._undo.append(ops)

@@ -1,0 +1,225 @@
+"""Windows: a tag line over a body of editable text.
+
+"Each window has two subwindows, a single tag line across the top and
+a body of text.  The tag typically contains the name of the file whose
+text appears in the body."
+
+Windows do not know where they are on screen — the column they live in
+assigns extents (see :mod:`repro.core.column`).  They do own:
+
+- the two :class:`~repro.core.text.Text` documents (tag and body),
+- one selection per subwindow ("Each subwindow has its own selection"),
+- the body origin (scroll position),
+- the dirty flag that makes ``Put!`` appear in the tag.
+
+The tag is plain editable text; the conventional command words
+(``Close!``, ``Get!``, and ``Put!`` while dirty) are just words there,
+bound to actions only when executed — nothing about them is special to
+the window.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.text import Mark, Text
+
+# Command words help writes into a fresh tag.  "By convention,
+# commands ending in an exclamation mark take no arguments; they are
+# window operations that apply to the window in which they are
+# executed."
+TAG_SUFFIX = "Close! Get!"
+PUT_WORD = "Put!"
+
+
+class Subwindow(enum.Enum):
+    """Which half of a window a position refers to."""
+
+    TAG = "tag"
+    BODY = "body"
+
+
+class Window:
+    """One help window: numbered, named by its tag, holding a body."""
+
+    def __init__(self, wid: int, name: str = "", body: str = "",
+                 tag_suffix: str = TAG_SUFFIX) -> None:
+        self.id = wid
+        self.tag = Text(f"{name} {tag_suffix}".strip())
+        self.body = Text(body)
+        self.tag_sel = self.tag.add_mark(Mark(0, 0))
+        self.body_sel = self.body.add_mark(Mark(0, 0))
+        # the scroll origin is a mark so edits carry it along: deleting
+        # text above the view must not leave org pointing past the end
+        self._org_mark = self.body.add_mark(Mark(0, 0))
+        self.dirty = False    # body modified since last Put!/Get!
+        self.hidden = False   # covered completely (tab still shows it)
+        self.y = 0            # top row (tag) in screen coordinates
+        # shell-window state (the paper's "support for traditional
+        # shell windows", implemented as an extension): text typed
+        # after input_start runs when a newline completes the line
+        self.is_shell = False
+        self.shell_input_start = 0
+
+    @property
+    def org(self) -> int:
+        """Body offset of the first displayed row."""
+        return self._org_mark.q0
+
+    @org.setter
+    def org(self, value: int) -> None:
+        self._org_mark.set(max(0, min(value, len(self.body))))
+
+    # -- naming and context -------------------------------------------------
+
+    def name(self) -> str:
+        """The window's name: the first word of the tag.
+
+        Window-operation words end in ``!`` by convention, so a tag
+        beginning with one (an unnamed window's ``Close! Get!``) has
+        no name.
+        """
+        first_line = self.tag.string().split("\n", 1)[0]
+        parts = first_line.split()
+        if not parts or parts[0].endswith("!"):
+            return ""
+        return parts[0]
+
+    def is_directory(self) -> bool:
+        """Directory windows carry a trailing slash in the tag."""
+        return self.name().endswith("/")
+
+    def directory(self) -> str:
+        """The directory context commands executed here run in.
+
+        "The various commands ... derive the directory in which to
+        execute from the tag line of the window."  A directory window
+        is its own context; a file window's context is its parent.
+        """
+        name = self.name()
+        if not name.startswith("/"):
+            return "/"
+        if self.is_directory():
+            from repro.fs.vfs import normalize
+            return normalize(name)
+        from repro.fs.vfs import dirname
+        return dirname(name)
+
+    def text(self, which: Subwindow) -> Text:
+        """The Text of the given subwindow."""
+        return self.tag if which is Subwindow.TAG else self.body
+
+    def selection(self, which: Subwindow) -> Mark:
+        """The selection Mark of the given subwindow."""
+        return self.tag_sel if which is Subwindow.TAG else self.body_sel
+
+    # -- tag maintenance -------------------------------------------------------
+
+    def set_name(self, name: str, extra: str = "") -> None:
+        """Rewrite the tag for *name*, keeping the conventional words.
+
+        *extra* adds tool-specific words after the name (the Errors
+        window, for instance, has none of the file commands).
+        """
+        words = [name] if name else []
+        if self.dirty:
+            words.append(PUT_WORD)
+        if extra:
+            words.append(extra)
+        words.append(TAG_SUFFIX)
+        self.tag.set_string(" ".join(words))
+        self.tag_sel.set(0, 0)
+
+    def mark_dirty(self) -> None:
+        """Body changed: surface ``Put!`` in the tag if not already there."""
+        if self.dirty:
+            return
+        self.dirty = True
+        tag = self.tag.string()
+        if PUT_WORD in tag.split():
+            return
+        name = self.name()
+        insert_at = len(name) if tag.startswith(name) else 0
+        self.tag.insert(insert_at, f" {PUT_WORD}" if insert_at else f"{PUT_WORD} ")
+
+    def mark_clean(self) -> None:
+        """Body saved or reloaded: retract ``Put!`` from the tag."""
+        if not self.dirty:
+            return
+        self.dirty = False
+        tag = self.tag.string()
+        idx = tag.find(f" {PUT_WORD}")
+        if idx >= 0:
+            self.tag.delete(idx, idx + len(PUT_WORD) + 1)
+            return
+        idx = tag.find(f"{PUT_WORD} ")
+        if idx >= 0:
+            self.tag.delete(idx, idx + len(PUT_WORD) + 1)
+
+    # -- editing ----------------------------------------------------------------
+
+    def type_text(self, which: Subwindow, s: str) -> None:
+        """Type *s* into a subwindow: replace its selection, caret after.
+
+        "Typed text replaces the selection in the subwindow under the
+        mouse."  Newline is just a character.
+        """
+        text = self.text(which)
+        sel = self.selection(which)
+        with text.group():
+            q0 = sel.q0
+            text.delete(sel.q0, sel.q1)
+            text.insert(q0, s)
+        sel.set(q0 + len(s))
+        if which is Subwindow.BODY and s:
+            self.mark_dirty()
+
+    def delete_selection(self, which: Subwindow) -> str:
+        """Remove the subwindow's selected text, returning it."""
+        text = self.text(which)
+        sel = self.selection(which)
+        removed = text.delete(sel.q0, sel.q1)
+        if removed and which is Subwindow.BODY:
+            self.mark_dirty()
+        return removed
+
+    def insert_at_selection(self, which: Subwindow, s: str) -> None:
+        """Insert *s* at the selection start, selecting what was pasted."""
+        text = self.text(which)
+        sel = self.selection(which)
+        q0 = sel.q0
+        text.replace(sel.q0, sel.q1, s)
+        sel.set(q0, q0 + len(s))
+        if which is Subwindow.BODY and s:
+            self.mark_dirty()
+
+    def append(self, s: str) -> None:
+        """Append *s* to the body (the ``bodyapp`` file's operation)."""
+        if not s:
+            return
+        self.body.insert(len(self.body), s)
+
+    def replace_body(self, s: str, dirty: bool = False) -> None:
+        """Replace the whole body, resetting scroll and selection."""
+        self.body.set_string(s)
+        self.body_sel.set(0, 0)
+        self.org = 0
+        if dirty:
+            self.mark_dirty()
+        else:
+            self.mark_clean()
+
+    # -- scrolling ------------------------------------------------------------------
+
+    def show_line(self, line_no: int) -> None:
+        """Scroll so 1-based *line_no* is the top displayed line and select it.
+
+        Implements the ``file.c:27`` feature: "the window will be
+        positioned so the indicated line is visible and selected."
+        """
+        self.org = self.body.pos_of_line(line_no)
+        start, end = self.body.line_span(line_no)
+        self.body_sel.set(start, end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<window {self.id} {self.name()!r}>"

@@ -1,0 +1,49 @@
+"""Plan 9 filesystem substrate.
+
+The paper's ``help`` runs on Plan 9, where *everything* — including the
+user interface itself — is reached through file operations on a
+per-process namespace assembled with ``bind`` and ``mount``.  This
+package provides that substrate in-process:
+
+- :mod:`repro.fs.vfs` — an in-memory filesystem of files and
+  directories, with a logical modification clock (used by the ``mk``
+  build substrate).
+- :mod:`repro.fs.namespace` — Plan 9 ``bind``/``mount`` semantics:
+  union directories with before/after/replace ordering, per-namespace
+  mount tables over a shared VFS.
+- :mod:`repro.fs.server` — synthetic (server-backed) files and
+  directories whose contents are computed per open, the mechanism by
+  which :mod:`repro.helpfs` serves ``/mnt/help``.
+
+All file contents are text (``str``): ``help`` "operates only on text"
+and so does this reproduction.
+"""
+
+from repro.fs.vfs import (
+    VFS,
+    Dir,
+    File,
+    FileHandle,
+    FsError,
+    Node,
+    normalize,
+    split_path,
+)
+from repro.fs.namespace import BindFlag, Namespace
+from repro.fs.server import SynthDir, SynthFile, SynthSession
+
+__all__ = [
+    "VFS",
+    "Dir",
+    "File",
+    "FileHandle",
+    "FsError",
+    "Node",
+    "Namespace",
+    "BindFlag",
+    "SynthDir",
+    "SynthFile",
+    "SynthSession",
+    "normalize",
+    "split_path",
+]

@@ -1,0 +1,183 @@
+"""Synthetic files and directories: the file-server mechanism.
+
+``help`` "provides its client processes access to its structure by
+presenting a file service".  On Plan 9 that service speaks 9P; here a
+server is simply a tree of nodes whose contents are *computed*:
+
+- a :class:`SynthFile` produces its text on open (``read_fn``) and
+  hands writes to a callback (``write_fn``), or supplies a custom
+  session factory (``open_fn``) when per-open state matters — opening
+  ``/mnt/help/new/ctl`` must create a window and let the opener read
+  the new window's name back;
+- a :class:`SynthDir` lists and looks up its children through
+  callbacks, so ``/mnt/help`` can grow a numbered directory every time
+  a window is created.
+
+Such trees are grafted into a namespace with
+:meth:`repro.fs.namespace.Namespace.mount`, after which ordinary reads
+and writes reach the server — exactly the property the paper exploits
+to let shell scripts drive the user interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fs.vfs import Dir, File, FsError, Node
+
+
+class SynthSession:
+    """Per-open state of a synthetic file.
+
+    The default session snapshots the producer's text at open time (so
+    a reader sees a consistent view even while the window changes) and
+    forwards each write, line-buffered, to the consumer.  Servers that
+    need different semantics subclass or replace it via ``open_fn``.
+    """
+
+    def __init__(self, mode: str,
+                 read_fn: Callable[[], str] | None = None,
+                 write_fn: Callable[[str], None] | None = None) -> None:
+        self.mode = mode
+        self.closed = False
+        self._read_fn = read_fn
+        self._write_fn = write_fn
+        self._snapshot: str | None = None
+        self._pending = ""
+        self.pos = 0
+
+    def _check(self, want: str) -> None:
+        if self.closed:
+            raise FsError("read/write on closed file")
+        if want == "r" and self.mode not in ("r", "rw"):
+            raise FsError("not open for reading")
+        if want == "w" and self.mode == "r":
+            raise FsError("not open for writing")
+
+    def read(self, n: int = -1) -> str:
+        """Read from the snapshot taken at first read."""
+        self._check("r")
+        if self._read_fn is None:
+            raise FsError("not readable")
+        if self._snapshot is None:
+            self._snapshot = self._read_fn()
+        data = self._snapshot
+        if n < 0:
+            out = data[self.pos:]
+            self.pos = len(data)
+        else:
+            out = data[self.pos:self.pos + n]
+            self.pos += len(out)
+        return out
+
+    def readlines(self) -> list[str]:
+        """Remaining snapshot split keeping newlines."""
+        return self.read().splitlines(keepends=True)
+
+    def write(self, s: str) -> int:
+        """Forward complete lines to the consumer; buffer the remainder."""
+        self._check("w")
+        if self._write_fn is None:
+            raise FsError("not writable")
+        self._pending += s
+        while "\n" in self._pending:
+            line, self._pending = self._pending.split("\n", 1)
+            self._write_fn(line + "\n")
+        return len(s)
+
+    def seek(self, pos: int) -> None:
+        """Reposition the read offset within the snapshot."""
+        if self._snapshot is None and self._read_fn is not None:
+            self._snapshot = self._read_fn()
+        limit = len(self._snapshot or "")
+        self.pos = max(0, min(pos, limit))
+
+    def close(self) -> None:
+        """Flush any unterminated final line, then close."""
+        if self._pending and self._write_fn is not None:
+            self._write_fn(self._pending)
+            self._pending = ""
+        self.closed = True
+
+    def __enter__(self) -> "SynthSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SynthFile(File):
+    """A file whose contents are served, not stored.
+
+    Exactly one of the two styles is used:
+
+    - *callback style*: pass ``read_fn`` and/or ``write_fn`` and every
+      open gets a default :class:`SynthSession` over them;
+    - *session style*: pass ``open_fn(mode) -> session`` for files with
+      per-open behaviour (``new/ctl``).
+    """
+
+    def __init__(self, name: str,
+                 read_fn: Callable[[], str] | None = None,
+                 write_fn: Callable[[str], None] | None = None,
+                 open_fn: Callable[[str], SynthSession] | None = None) -> None:
+        Node.__init__(self, name)  # skip File.__init__: .data is a property here
+        self._read_fn = read_fn
+        self._write_fn = write_fn
+        self._open_fn = open_fn
+
+    @property
+    def data(self) -> str:  # type: ignore[override]
+        """Reading ``.data`` serves the current contents (for `cat`-style use)."""
+        if self._read_fn is not None:
+            return self._read_fn()
+        return ""
+
+    @data.setter
+    def data(self, value: str) -> None:
+        raise FsError(f"'{self.name}': synthetic file; write through a handle")
+
+    def open(self, mode: str) -> SynthSession:
+        if mode not in ("r", "w", "a", "rw"):
+            raise FsError(f"bad open mode '{mode}'")
+        if self._open_fn is not None:
+            return self._open_fn(mode)
+        if mode in ("w", "a") and self._write_fn is None:
+            raise FsError(f"'{self.name}' not writable")
+        if mode == "r" and self._read_fn is None:
+            raise FsError(f"'{self.name}' not readable")
+        return SynthSession(mode, self._read_fn, self._write_fn)
+
+
+class SynthDir(Dir):
+    """A directory whose entries are computed on demand.
+
+    ``list_fn`` returns the live children; ``lookup_fn`` resolves a
+    single name (defaulting to a scan of ``list_fn()``).  Static
+    children attached with :meth:`~repro.fs.vfs.Dir.attach` are served
+    too, after the dynamic ones.
+    """
+
+    def __init__(self, name: str,
+                 list_fn: Callable[[], list[Node]] | None = None,
+                 lookup_fn: Callable[[str], Node | None] | None = None) -> None:
+        super().__init__(name)
+        self._list_fn = list_fn
+        self._lookup_fn = lookup_fn
+
+    def entries(self) -> list[Node]:
+        dynamic = self._list_fn() if self._list_fn is not None else []
+        seen = {node.name for node in dynamic}
+        static = [node for node in super().entries() if node.name not in seen]
+        return dynamic + static
+
+    def lookup(self, name: str) -> Node | None:
+        if self._lookup_fn is not None:
+            node = self._lookup_fn(name)
+            if node is not None:
+                return node
+        elif self._list_fn is not None:
+            for node in self._list_fn():
+                if node.name == name:
+                    return node
+        return super().lookup(name)

@@ -1,0 +1,23 @@
+"""The interface seen by programs: ``help`` as a file server.
+
+"As in 8 1/2 ... help provides its client processes access to its
+structure by presenting a file service ... Each help window is
+represented by a set of files stored in numbered directories."
+
+Mounted (conventionally at ``/mnt/help``), the tree is::
+
+    /mnt/help/index      window number, tab, first line of tag — per line
+    /mnt/help/new/ctl    open to create a window; read back its number
+    /mnt/help/<n>/tag     the window's tag line
+    /mnt/help/<n>/body    the window's body
+    /mnt/help/<n>/bodyapp append-only view of the body
+    /mnt/help/<n>/ctl     status on read; commands on write
+
+so that ``cp /mnt/help/7/body file`` and
+``grep pattern /mnt/help/7/body`` work exactly as the paper shows.
+"""
+
+from repro.helpfs.ctl import CtlError, apply_ctl, ctl_status
+from repro.helpfs.server import HelpFS
+
+__all__ = ["HelpFS", "apply_ctl", "ctl_status", "CtlError"]

@@ -1,0 +1,141 @@
+"""The ctl message language: how programs edit windows.
+
+The paper says writes to ``ctl`` "effect changes such as insertion
+and deletion of text in contents of the window" without spelling the
+grammar out; this module defines the reproduction's grammar, one
+message per line:
+
+================================  ============================================
+``name <text>``                   set the window's name (tag rebuilt with the
+                                  conventional command words)
+``tag <text>``                    replace the whole tag line
+``insert <pos> <text>``           insert text at a body offset
+``delete <q0> <q1>``              delete a body range
+``replace <q0> <q1> <text>``      replace a body range
+``select <q0> <q1>``              set the body selection (and make current)
+``show <line>``                   scroll so the 1-based line is first, select it
+``scroll <lines>``                scroll by display rows (negative = up)
+``clean`` / ``dirty``             clear or set the modified flag
+``close``                         delete the window
+================================  ============================================
+
+Text arguments use ``\\n``, ``\\t`` and ``\\\\`` escapes so multi-line
+insertions fit on one message line.
+
+Reading ``ctl`` yields one status line::
+
+    <id> <taglen> <bodylen> <dirty> <q0> <q1>
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.window import Window
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.help import Help
+
+
+class CtlError(Exception):
+    """A malformed or inapplicable ctl message."""
+
+
+def unescape(s: str) -> str:
+    """Decode the ctl text escapes."""
+    out: list[str] = []
+    i = 0
+    while i < len(s):
+        ch = s[i]
+        if ch == "\\" and i + 1 < len(s):
+            nxt = s[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt == "t":
+                out.append("\t")
+            elif nxt == "\\":
+                out.append("\\")
+            else:
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def escape(s: str) -> str:
+    """Encode text for a one-line ctl message."""
+    return s.replace("\\", "\\\\").replace("\n", "\\n").replace("\t", "\\t")
+
+
+def ctl_status(window: Window) -> str:
+    """The line a read of ``ctl`` returns."""
+    sel = window.body_sel
+    return (f"{window.id} {len(window.tag)} {len(window.body)} "
+            f"{int(window.dirty)} {sel.q0} {sel.q1}\n")
+
+
+def _clamped_range(args: list[str], limit: int, message: str) -> tuple[int, int]:
+    """Two offsets, normalized (lo <= hi) and clamped into the body."""
+    q0, q1 = _int_args(args, 2, message)
+    lo = max(0, min(q0, q1, limit))
+    hi = max(0, min(max(q0, q1), limit))
+    return lo, hi
+
+
+def _int_args(args: list[str], n: int, message: str) -> list[int]:
+    if len(args) < n:
+        raise CtlError(f"ctl: {message}: missing arguments")
+    try:
+        return [int(a) for a in args[:n]]
+    except ValueError as exc:
+        raise CtlError(f"ctl: {message}: bad number") from exc
+
+
+def apply_ctl(help_app: "Help", window: Window, line: str) -> None:
+    """Apply one ctl message *line* to *window*.
+
+    Raises :class:`CtlError` for malformed messages; unknown verbs are
+    errors too (silently ignoring commands would hide tool bugs).
+    """
+    line = line.rstrip("\n")
+    if not line.strip():
+        return
+    verb, _, rest = line.partition(" ")
+    body = window.body
+
+    if verb == "name":
+        window.set_name(rest.strip())
+    elif verb == "tag":
+        window.tag.set_string(unescape(rest))
+        window.tag_sel.set(0, 0)
+    elif verb == "insert":
+        pos_str, _, text = rest.partition(" ")
+        (pos,) = _int_args([pos_str], 1, "insert")
+        body.insert(min(max(pos, 0), len(body)), unescape(text))
+    elif verb == "delete":
+        q0, q1 = _clamped_range(rest.split(), len(body), "delete")
+        body.delete(q0, q1)
+    elif verb == "replace":
+        parts = rest.split(" ", 2)
+        q0, q1 = _clamped_range(parts[:2], len(body), "replace")
+        text = unescape(parts[2]) if len(parts) > 2 else ""
+        body.replace(q0, q1, text)
+    elif verb == "select":
+        q0, q1 = _int_args(rest.split(), 2, "select")
+        help_app.select(window, q0, q1)
+    elif verb == "show":
+        (line_no,) = _int_args(rest.split(), 1, "show")
+        window.show_line(max(1, line_no))
+    elif verb == "scroll":
+        (rows,) = _int_args(rest.split(), 1, "scroll")
+        help_app.scroll(window, rows)
+    elif verb == "clean":
+        window.mark_clean()
+    elif verb == "dirty":
+        window.mark_dirty()
+    elif verb == "close":
+        help_app.close_window(window)
+    else:
+        raise CtlError(f"ctl: unknown message {verb!r}")

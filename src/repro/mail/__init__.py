@@ -1,0 +1,18 @@
+"""The mail substrate: mbox storage and the mail tool's operations.
+
+"Sean Dorward wrote the mail tools" — ``/help/mail/stf`` lists
+``headers messages delete reread send``.  This package provides the
+mailbox those scripts operate on:
+
+- :mod:`repro.mail.mbox` — classic ``From ``-separated mailbox
+  parsing and formatting over the namespace;
+- :mod:`repro.mail.tools` — the ``mbox`` shell command the rc scripts
+  call, plus :func:`repro.mail.tools.sample_mailbox`, which rebuilds
+  the seven-message mailbox of Figure 5 (including Sean's crash
+  report).
+"""
+
+from repro.mail.mbox import Mailbox, Message
+from repro.mail.tools import cmd_mbox, sample_mailbox
+
+__all__ = ["Mailbox", "Message", "cmd_mbox", "sample_mailbox"]

@@ -1,0 +1,119 @@
+"""mbox parsing and formatting.
+
+The format is the classic one: each message begins with a separator
+line ``From <sender> <date>``; body lines that begin with ``From``
+are quoted with ``>`` on write and unquoted on read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.namespace import Namespace
+
+
+@dataclass
+class Message:
+    """One mail message."""
+
+    sender: str
+    date: str
+    body: str
+
+    def header_line(self) -> str:
+        """The line ``headers`` shows for this message."""
+        return f"{self.sender} {self.date}"
+
+    def render(self) -> str:
+        """The full text ``messages`` shows (Figure 6)."""
+        return f"From {self.sender} {self.date}\n{self.body}"
+
+
+class Mailbox:
+    """A mailbox stored at a namespace path."""
+
+    def __init__(self, ns: Namespace, path: str = "/mail/box/rob/mbox") -> None:
+        self.ns = ns
+        self.path = path
+
+    # -- parsing ------------------------------------------------------------
+
+    def messages(self) -> list[Message]:
+        """Parse the mailbox (missing file = empty box)."""
+        if not self.ns.exists(self.path):
+            return []
+        return parse_mbox(self.ns.read(self.path))
+
+    # -- mutation -----------------------------------------------------------
+
+    def _store(self, messages: list[Message]) -> None:
+        self.ns.write(self.path, format_mbox(messages))
+
+    def append(self, message: Message) -> None:
+        """Deliver a message to the end of the box."""
+        messages = self.messages()
+        messages.append(message)
+        self._store(messages)
+
+    def delete(self, number: int) -> Message:
+        """Remove 1-based message *number*, returning it."""
+        messages = self.messages()
+        if not 1 <= number <= len(messages):
+            raise IndexError(f"no message {number}")
+        removed = messages.pop(number - 1)
+        self._store(messages)
+        return removed
+
+    def get(self, number: int) -> Message:
+        """1-based message *number*."""
+        messages = self.messages()
+        if not 1 <= number <= len(messages):
+            raise IndexError(f"no message {number}")
+        return messages[number - 1]
+
+    def headers(self) -> str:
+        """The numbered header listing (Figure 5's window body)."""
+        return "".join(f"{i} {m.header_line()}\n"
+                       for i, m in enumerate(self.messages(), start=1))
+
+
+def parse_mbox(text: str) -> list[Message]:
+    """Split mbox *text* into messages."""
+    messages: list[Message] = []
+    current: list[str] | None = None
+    sender = date = ""
+    for line in text.splitlines():
+        if line.startswith("From ") and " " in line[5:]:
+            if current is not None:
+                messages.append(Message(sender, date, _join(current)))
+            rest = line[5:]
+            sender, _, date = rest.partition(" ")
+            current = []
+            continue
+        if current is not None:
+            if line.startswith(">From"):
+                line = line[1:]
+            current.append(line)
+    if current is not None:
+        messages.append(Message(sender, date, _join(current)))
+    return messages
+
+
+def _join(lines: list[str]) -> str:
+    # drop the conventional blank line before the next separator
+    while lines and lines[-1] == "":
+        lines.pop()
+    return "".join(line + "\n" for line in lines)
+
+
+def format_mbox(messages: list[Message]) -> str:
+    """Render messages back to mbox text."""
+    out: list[str] = []
+    for message in messages:
+        out.append(f"From {message.sender} {message.date}\n")
+        for line in message.body.splitlines():
+            if line.startswith("From"):
+                line = ">" + line
+            out.append(line + "\n")
+        out.append("\n")
+    return "".join(out)

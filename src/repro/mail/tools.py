@@ -1,0 +1,118 @@
+"""The ``mbox`` shell command and the Figure-5 sample mailbox.
+
+The rc scripts in ``/help/mail`` shell out to this command::
+
+    mbox headers            # numbered header lines
+    mbox show 2             # full text of message 2
+    mbox delete 2           # remove message 2
+    mbox send rob 'text'    # deliver a message
+    mbox path               # where the mailbox lives
+
+The mailbox path defaults to ``/mail/box/$user/mbox`` (user from the
+shell's ``$user``, default ``rob``).
+"""
+
+from __future__ import annotations
+
+from repro.fs.namespace import Namespace
+from repro.mail.mbox import Mailbox, Message
+from repro.shell.interp import IO, Interp
+
+# Senders and dates exactly as the Figure 5 window lists them.
+_FIGURE5 = [
+    ("chk@alias.com", "Tue Apr 16 19:30 EDT 1991",
+     "Subject: graphics question\n\nHow do I draw into an offscreen bitmap?\n"),
+    ("sean", "Tue Apr 16 19:26:14 EDT 1991",
+     "i tried your new help and got this:\n"
+     "help 176153: user TLB miss (load or fetch) badvaddr=0x0\n"
+     "help 176153: status=0xfb0c pc=0x18df4 sp=0x3f4e8\n"),
+    ("attunix!rrg", "Tue Apr 16 19:03 EDT 1991",
+     "Subject: UNIX in song & verse\n\nRob,\n\n"
+     "The UKUUG are collecting old-time verses about UNIX before they\n"
+     "disappear from the minds of those who remember them.\n"),
+    ("knight%MRCO.CARLETON.CA@mitvma.mit.edu", "Tue Apr 16 19:01 EDT 1991",
+     "Subject: plan 9 paper\n\nCould you send me a copy of the paper?\n"),
+    ("deutsch%PARCPLACE.COM@mitvma.mit.edu", "Tue Apr 16 18:54 EDT 1991",
+     "Subject: window systems\n\nInteresting approach.\n"),
+    ("howard", "Tue Apr 16 15:02 EDT 1991",
+     "lunch tomorrow?\n"),
+    ("deutsch%PARCPLACE.COM@mitvma.mit.edu", "Tue Apr 16 12:52 EDT 1991",
+     "Subject: re: window systems\n\nFollowing up on my earlier note.\n"),
+]
+
+
+def sample_mailbox(ns: Namespace, user: str = "rob") -> Mailbox:
+    """Install the seven-message mailbox the example session reads."""
+    box = Mailbox(ns, f"/mail/box/{user}/mbox")
+    ns.mkdir(f"/mail/box/{user}", parents=True)
+    for sender, date, body in _FIGURE5:
+        box.append(Message(sender, date, body))
+    return box
+
+
+def _box_for(interp: Interp) -> Mailbox:
+    user = (interp.get("user") or ["rob"])[0]
+    return Mailbox(interp.ns, f"/mail/box/{user}/mbox")
+
+
+def cmd_mbox(interp: Interp, args: list[str], io: IO) -> int:
+    """The mbox command: headers | show N | delete N | send who text | path."""
+    if not args:
+        io.stderr.append("usage: mbox headers|show|delete|send|path ...\n")
+        return 1
+    box = _box_for(interp)
+    verb, rest = args[0], args[1:]
+    if verb == "path":
+        io.stdout.append(box.path + "\n")
+        return 0
+    if verb == "headers":
+        io.stdout.append(box.headers())
+        return 0
+    if verb in ("show", "delete"):
+        if not rest or not rest[0].isdigit():
+            io.stderr.append(f"mbox {verb}: need a message number\n")
+            return 1
+        number = int(rest[0])
+        try:
+            if verb == "show":
+                io.stdout.append(box.get(number).render())
+            else:
+                box.delete(number)
+        except IndexError:
+            io.stderr.append(f"mbox: no message {number}\n")
+            return 1
+        return 0
+    if verb == "from":
+        if not rest or not rest[0].isdigit():
+            io.stderr.append("mbox from: need a message number\n")
+            return 1
+        try:
+            io.stdout.append(box.get(int(rest[0])).sender + "\n")
+        except IndexError:
+            io.stderr.append(f"mbox: no message {rest[0]}\n")
+            return 1
+        return 0
+    if verb == "sendstdin":
+        if not rest:
+            io.stderr.append("usage: mbox sendstdin recipient\n")
+            return 1
+        recipient = rest[0]
+        target = Mailbox(interp.ns, f"/mail/box/{recipient}/mbox")
+        interp.ns.mkdir(f"/mail/box/{recipient}", parents=True)
+        sender = (interp.get("user") or ["rob"])[0]
+        from repro.shell.commands import EPOCH
+        target.append(Message(sender, EPOCH, io.stdin))
+        return 0
+    if verb == "send":
+        if len(rest) < 2:
+            io.stderr.append("usage: mbox send recipient text...\n")
+            return 1
+        recipient, text = rest[0], " ".join(rest[1:])
+        target = Mailbox(interp.ns, f"/mail/box/{recipient}/mbox")
+        interp.ns.mkdir(f"/mail/box/{recipient}", parents=True)
+        sender = (interp.get("user") or ["rob"])[0]
+        from repro.shell.commands import EPOCH
+        target.append(Message(sender, EPOCH, text + "\n"))
+        return 0
+    io.stderr.append(f"mbox: unknown verb {verb!r}\n")
+    return 1

@@ -1,0 +1,50 @@
+"""Counting what the user actually did: clicks, sweeps, keystrokes.
+
+:class:`InteractionStats` is attached to every
+:class:`repro.core.help.Help` instance and updated by its event layer;
+integration tests assert the paper's numbers against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class InteractionStats:
+    """Tallies of user input since the session began (or last reset)."""
+
+    button_presses: int = 0
+    keystrokes: int = 0
+    gestures: list[str] = field(default_factory=list)
+
+    def press(self, button_name: str) -> None:
+        """Record one mouse button press."""
+        self.button_presses += 1
+        self.gestures.append(f"press:{button_name}")
+
+    def keys(self, n: int) -> None:
+        """Record *n* typed characters."""
+        self.keystrokes += n
+        if n:
+            self.gestures.append(f"type:{n}")
+
+    def note(self, what: str) -> None:
+        """Record a semantic event (executed command, chord, ...)."""
+        self.gestures.append(what)
+
+    def reset(self) -> None:
+        """Zero the counters (start of a measured task)."""
+        self.button_presses = 0
+        self.keystrokes = 0
+        self.gestures.clear()
+
+    @property
+    def middle_clicks(self) -> int:
+        """Presses of the middle (execute) button."""
+        return sum(1 for g in self.gestures if g == "press:middle")
+
+    @property
+    def touched_keyboard(self) -> bool:
+        """True if any text was typed (the zero-keystroke claim)."""
+        return self.keystrokes > 0

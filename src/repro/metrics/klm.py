@@ -1,0 +1,103 @@
+"""A keystroke-level model (KLM) of interaction cost.
+
+Card, Moran & Newell's keystroke-level model assigns an expert time to
+each physical operator; summing a task's operators predicts its
+duration.  The paper argues in these exact terms — "involving less
+mouse activity than with a typical pop-up menu", "it often seems
+easier to retype the text than to use the mouse to pick it up, which
+indicates that the interface has failed" — so the benchmarks score
+help and a traditional interface with the same model.
+
+Operator times are the standard published values (seconds).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Op(enum.Enum):
+    """KLM operators."""
+
+    K = "keystroke"      # one key press (skilled typist)
+    P = "point"          # point with the mouse at a target
+    B = "button"         # mouse button press or release
+    H = "home"           # move hands keyboard <-> mouse
+    M = "mental"         # mental preparation
+
+
+#: Expert operator times in seconds (Card, Moran & Newell 1980).
+KLM_TIMES: dict[Op, float] = {
+    Op.K: 0.28,
+    Op.P: 1.10,
+    Op.B: 0.10,
+    Op.H: 0.40,
+    Op.M: 1.35,
+}
+
+
+@dataclass(frozen=True)
+class Action:
+    """*count* repetitions of one operator, with a note for the report."""
+
+    op: Op
+    count: int = 1
+    note: str = ""
+
+    @property
+    def seconds(self) -> float:
+        return KLM_TIMES[self.op] * self.count
+
+
+@dataclass
+class Script:
+    """A task as a sequence of KLM actions."""
+
+    name: str
+    actions: list[Action] = field(default_factory=list)
+
+    def add(self, op: Op, count: int = 1, note: str = "") -> "Script":
+        """Append an action; returns self for chaining."""
+        self.actions.append(Action(op, count, note))
+        return self
+
+    @property
+    def seconds(self) -> float:
+        return sum(action.seconds for action in self.actions)
+
+    def count(self, op: Op) -> int:
+        """Total repetitions of *op* in the script."""
+        return sum(a.count for a in self.actions if a.op is op)
+
+    @property
+    def clicks(self) -> int:
+        """Button *presses*: half the B operators (press + release)."""
+        return self.count(Op.B) // 2
+
+    @property
+    def keystrokes(self) -> int:
+        return self.count(Op.K)
+
+    def report(self) -> str:
+        """A one-line summary for the benchmark output."""
+        return (f"{self.name}: {self.seconds:.2f}s "
+                f"({self.clicks} clicks, {self.keystrokes} keystrokes)")
+
+
+def script_time(actions: list[Action]) -> float:
+    """Total time of a bare action list."""
+    return sum(action.seconds for action in actions)
+
+
+# -- help-side script builders ----------------------------------------------
+
+
+def help_click(script: Script, note: str) -> Script:
+    """Point somewhere and click: P B B."""
+    return script.add(Op.P, 1, note).add(Op.B, 2, "press+release")
+
+
+def help_chord(script: Script, note: str) -> Script:
+    """A chord click needs no pointing: the hand is already there."""
+    return script.add(Op.B, 2, note)

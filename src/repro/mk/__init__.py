@@ -1,0 +1,29 @@
+"""The build substrate: mk, a toy toolchain, and the inverted builder.
+
+Figure 12 ends the demo by executing ``mk`` "to compile the program
+(a total of three clicks of the middle button)".  This package makes
+that click work:
+
+- :mod:`repro.mk.mkfile` — mkfile parsing: assignments, rules,
+  ``%``-meta-rules with ``$stem``;
+- :mod:`repro.mk.build` — the mtime-driven builder, running recipes
+  through the rc interpreter;
+- :mod:`repro.mk.toolchain` — ``vc``/``vl``, the simulated Plan 9
+  MIPS compiler and loader the corpus mkfile invokes;
+- :mod:`repro.mk.inverted` — the paper's future-work proposal: "a
+  tool that, perhaps by examining the index file, sees what source
+  files have been modified and builds the targets that depend on
+  them" — make run in reverse.
+"""
+
+from repro.mk.build import Builder, BuildError, BuildResult, cmd_mk
+from repro.mk.inverted import affected_targets, cmd_imk, modified_from_index
+from repro.mk.mkfile import Mkfile, MkfileError, Rule, parse_mkfile
+from repro.mk.toolchain import cmd_vc, cmd_vl
+
+__all__ = [
+    "Mkfile", "Rule", "parse_mkfile", "MkfileError",
+    "Builder", "BuildResult", "BuildError", "cmd_mk",
+    "affected_targets", "modified_from_index", "cmd_imk",
+    "cmd_vc", "cmd_vl",
+]

@@ -1,0 +1,141 @@
+"""mkfile parsing.
+
+The subset of Plan 9 mk the corpus and examples use::
+
+    OBJS=help.v ctrl.v exec.v
+
+    help: $OBJS
+    \tvl -o help $OBJS
+
+    %.v: %.c dat.h
+    \tvc -w $stem.c
+
+Assignments hold word lists; ``$NAME`` expands in targets, prereqs
+and recipes; a ``%`` in a rule head makes it a meta-rule, with
+``$stem`` bound in its recipe at instantiation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+class MkfileError(Exception):
+    """Malformed mkfile."""
+
+
+@dataclass
+class Rule:
+    """One rule: targets, prerequisites, recipe lines (tab-stripped)."""
+
+    targets: list[str]
+    prereqs: list[str]
+    recipe: list[str] = field(default_factory=list)
+
+    @property
+    def is_meta(self) -> bool:
+        return any("%" in t for t in self.targets)
+
+    def match(self, name: str) -> str | None:
+        """The stem if *name* matches a meta-target pattern, else None."""
+        for target in self.targets:
+            if "%" not in target:
+                if target == name:
+                    return ""
+                continue
+            prefix, _, suffix = target.partition("%")
+            if (name.startswith(prefix) and name.endswith(suffix)
+                    and len(name) > len(prefix) + len(suffix) - 1):
+                return name[len(prefix):len(name) - len(suffix)]
+        return None
+
+
+@dataclass
+class Mkfile:
+    """A parsed mkfile: variables plus rules in order."""
+
+    variables: dict[str, list[str]] = field(default_factory=dict)
+    rules: list[Rule] = field(default_factory=list)
+
+    def explicit_rule(self, target: str) -> Rule | None:
+        """The non-meta rule naming *target*, if any."""
+        for rule in self.rules:
+            if not rule.is_meta and target in rule.targets:
+                return rule
+        return None
+
+    def meta_rule(self, target: str) -> tuple[Rule, str] | None:
+        """(rule, stem) for the first meta-rule matching *target*."""
+        for rule in self.rules:
+            if rule.is_meta:
+                stem = rule.match(target)
+                if stem is not None:
+                    return (rule, stem)
+        return None
+
+    def default_target(self) -> str | None:
+        """The first explicit target — what bare ``mk`` builds."""
+        for rule in self.rules:
+            if not rule.is_meta and rule.targets:
+                return rule.targets[0]
+        return None
+
+    def all_targets(self) -> list[str]:
+        """Every explicit target, in order."""
+        out: list[str] = []
+        for rule in self.rules:
+            if not rule.is_meta:
+                out.extend(t for t in rule.targets if t not in out)
+        return out
+
+
+_VAR = re.compile(r"\$(?:\{(\w+)\}|(\w+))")
+
+
+def expand(text: str, variables: dict[str, list[str]]) -> str:
+    """Expand ``$NAME``/``${NAME}`` against *variables*.
+
+    Unknown references pass through untouched: recipes are rc, and
+    ``$stem``/``$target``/``$prereq`` are bound by the shell at
+    execution time, not here.
+    """
+    def sub(match: re.Match[str]) -> str:
+        name = match.group(1) or match.group(2)
+        if name not in variables:
+            return match.group(0)
+        return " ".join(variables[name])
+    return _VAR.sub(sub, text)
+
+
+def parse_mkfile(text: str) -> Mkfile:
+    """Parse mkfile *text*."""
+    mkfile = Mkfile()
+    current: Rule | None = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        if raw.startswith("\t"):
+            if current is None:
+                raise MkfileError(f"line {line_no}: recipe outside a rule")
+            current.recipe.append(raw[1:])
+            continue
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            current = None
+            continue
+        assign = re.match(r"^(\w+)\s*=\s*(.*)$", line)
+        if assign is not None:
+            value = expand(assign.group(2), mkfile.variables)
+            mkfile.variables[assign.group(1)] = value.split()
+            current = None
+            continue
+        if ":" in line:
+            head, _, tail = line.partition(":")
+            targets = expand(head, mkfile.variables).split()
+            prereqs = expand(tail, mkfile.variables).split()
+            if not targets:
+                raise MkfileError(f"line {line_no}: rule with no targets")
+            current = Rule(targets, prereqs)
+            mkfile.rules.append(current)
+            continue
+        raise MkfileError(f"line {line_no}: cannot parse {line!r}")
+    return mkfile

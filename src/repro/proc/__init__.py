@@ -1,0 +1,26 @@
+"""Simulated processes and the adb debugger substrate.
+
+"A new version of help has crashed and a broken process lies about
+waiting to be examined.  (This is a property of Plan 9, not of
+help.)"  This package supplies that property:
+
+- :mod:`repro.proc.symtab` — symbol tables mapping functions and
+  globals to file:line coordinates and synthetic addresses;
+- :mod:`repro.proc.process` — a process table with running/broken
+  states and core images (registers, fault, call stack);
+- :mod:`repro.proc.crash` — builders for crash scenarios, including
+  the exact Figure-7 crash of ``help`` itself;
+- :mod:`repro.proc.adb` — a debugger with adb's "notoriously cryptic
+  input language" (``$c``, ``$C``, ``$r``, ``$e``), which the
+  ``/help/db`` scripts package into easy-to-use operations.
+"""
+
+from repro.proc.adb import Adb, cmd_adb, cmd_ps
+from repro.proc.crash import paper_crash
+from repro.proc.process import CoreImage, Frame, Process, ProcessTable, Registers
+from repro.proc.symtab import Symbol, SymbolTable
+
+__all__ = [
+    "Adb", "CoreImage", "Frame", "Process", "ProcessTable", "Registers",
+    "Symbol", "SymbolTable", "paper_crash", "cmd_adb", "cmd_ps",
+]

@@ -1,0 +1,132 @@
+"""adb: "a primitive debugger" with a notoriously cryptic language.
+
+The subset the ``/help/db`` scripts package up:
+
+====== =======================================================
+``$c``  call-stack traceback
+``$C``  traceback with local variables (what ``stack`` shows)
+``$r``  registers
+``$e``  the exception that broke the process
+``$p``  just the faulting pc as ``file:line``
+====== =======================================================
+
+Output formats follow Figure 7 byte-for-byte in shape, e.g.::
+
+    strlen(s=0x0) called from textinsert+0x30 text.c:32
+
+:func:`cmd_adb` and :func:`cmd_ps` adapt the debugger to the shell's
+command table so rc scripts can run ``echo '$C' | adb 176153``.
+"""
+
+from __future__ import annotations
+
+from repro.proc.process import CoreImage, Process, ProcessTable, ProcState
+from repro.shell.interp import IO, Interp
+
+
+class Adb:
+    """A debugger session attached to one process."""
+
+    def __init__(self, proc: Process) -> None:
+        self.proc = proc
+
+    def _core(self) -> CoreImage | None:
+        if self.proc.state is not ProcState.BROKEN or self.proc.core is None:
+            return None
+        return self.proc.core
+
+    def run(self, command: str) -> str:
+        """Execute one cryptic command, returning its output."""
+        command = command.strip()
+        core = self._core()
+        if core is None:
+            return f"adb: {self.proc.pid}: not broken\n"
+        if command == "$c":
+            return self.trace(core, with_locals=False)
+        if command == "$C":
+            return self.trace(core, with_locals=True)
+        if command == "$r":
+            return "".join(line + "\n" for line in core.registers.lines())
+        if command == "$e":
+            return f"last exception: {core.exception}\n"
+        if command == "$p":
+            return f"{core.fault_file}:{core.fault_line}\n"
+        if command == "$s":
+            return (self.proc.srcdir or "/") + "\n"
+        if command == "$K":
+            if not core.kernel_frames:
+                return "no kernel stack\n"
+            out = []
+            for frame in core.kernel_frames:
+                args = ", ".join(f"{name}=0x{value:x}"
+                                 for name, value in frame.args)
+                out.append(f"{frame.func}({args}) called from "
+                           f"{frame.caller}+0x{frame.caller_offset:x} "
+                           f"{frame.file}:{frame.line}\n")
+            return "".join(out)
+        return f"adb: bad command {command!r}\n"
+
+    # -- formatting -----------------------------------------------------------
+
+    def trace(self, core: CoreImage, with_locals: bool) -> str:
+        """The Figure-7 traceback."""
+        out = [f"last exception: {core.exception}\n"]
+        if core.fault_file:
+            fault_fn = core.frames[0].func if core.frames else "?"
+            out.append(f"{core.fault_file}:{core.fault_line} "
+                       f"{fault_fn}+0x{core.registers.pc & 0xff:x}?"
+                       f"\t{core.fault_instr}\n")
+        for frame in core.frames:
+            args = ", ".join(f"{name}=0x{value:x}"
+                             for name, value in frame.args)
+            out.append(f"{frame.func}({args}) called from "
+                       f"{frame.caller}+0x{frame.caller_offset:x} "
+                       f"{frame.file}:{frame.line}\n")
+            if with_locals:
+                out.extend(f"\t{name} = 0x{value:x}\n"
+                           for name, value in frame.locals)
+        return "".join(out)
+
+
+# -- shell command adapters ----------------------------------------------------
+
+
+def cmd_adb(procs: ProcessTable):
+    """Build the ``adb`` shell command over a process table.
+
+    Usage from rc: ``echo '$C' | adb <pid>`` — commands arrive on
+    standard input, exactly as with the real adb.
+    """
+    def adb(interp: Interp, args: list[str], io: IO) -> int:
+        if not args or not args[0].isdigit():
+            io.stderr.append("usage: adb pid  (commands on stdin)\n")
+            return 1
+        proc = procs.get(int(args[0]))
+        if proc is None:
+            io.stderr.append(f"adb: no process {args[0]}\n")
+            return 1
+        session = Adb(proc)
+        status = 0
+        for line in io.stdin.splitlines():
+            if not line.strip():
+                continue
+            output = session.run(line)
+            if output.startswith("adb:"):
+                io.stderr.append(output)
+                status = 1
+            else:
+                io.stdout.append(output)
+        return status
+    return adb
+
+
+def cmd_ps(procs: ProcessTable):
+    """Build the ``ps`` shell command over a process table."""
+    def ps(interp: Interp, args: list[str], io: IO) -> int:
+        broken_only = bool(args) and args[0] == "-b"
+        listing = procs.broken() if broken_only else procs.all()
+        for proc in listing:
+            io.stdout.append(
+                f"{proc.pid:8d} {proc.state.value:8s} {proc.name}\n")
+        return 0
+    return ps

@@ -1,0 +1,76 @@
+"""A simulated CPU server: run applications away from the terminal.
+
+"Help does not exploit the multi-machine Plan 9 environment as well
+as it could ... help could run on the terminal and make an invisible
+call to the CPU server, sending requests to run applications to the
+remote shell-like process."
+
+This module is that invisible call, simulated.  Dialing the server
+exports the terminal's namespace (a fork: same files, same mounted
+``/mnt/help``, independent mount table — exactly Plan 9's model), and
+a :class:`RemoteRunner` satisfies help's runner contract by shipping
+each command line to the connection.  Applications then really do run
+"on another machine": binds they make are invisible to the terminal,
+while their writes to ``/mnt/help`` reach the screen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.execute import CommandResult
+from repro.fs.namespace import Namespace
+from repro.shell.interp import Command, Interp
+
+
+@dataclass
+class CpuConnection:
+    """One dialed session: the exported namespace plus a command table."""
+
+    ns: Namespace
+    commands: dict[str, Command]
+    user: str = "rob"
+    history: list[str] = field(default_factory=list)
+
+    def run(self, cmdline: str, cwd: str, env: dict[str, str]) -> CommandResult:
+        """Run *cmdline* in the remote shell and return its streams."""
+        self.history.append(cmdline)
+        interp = Interp(self.ns, cwd=cwd, commands=self.commands)
+        interp.set("user", [self.user])
+        interp.set("home", [f"/usr/{self.user}"])
+        interp.set("cpu", ["1"])  # scripts can tell where they run
+        for key, value in env.items():
+            interp.set(key, [value])
+        result = interp.run(cmdline)
+        return CommandResult(result.status, result.stdout, result.stderr)
+
+
+class CpuServer:
+    """The machine on the other end of the wire."""
+
+    def __init__(self, name: str = "bootes") -> None:
+        self.name = name
+        self.connections: list[CpuConnection] = []
+
+    def dial(self, terminal_ns: Namespace, commands: dict[str, Command],
+             user: str = "rob") -> CpuConnection:
+        """Export the terminal's namespace and open a session.
+
+        The fork shares the VFS (files written remotely appear at the
+        terminal) but copies the mount table (remote binds stay
+        remote) — the Plan 9 semantics the paper takes for granted.
+        """
+        connection = CpuConnection(terminal_ns.fork(), dict(commands), user)
+        self.connections.append(connection)
+        return connection
+
+
+class RemoteRunner:
+    """help's runner contract, fulfilled by a CPU connection."""
+
+    def __init__(self, connection: CpuConnection) -> None:
+        self.connection = connection
+
+    def __call__(self, cmdline: str, cwd: str,
+                 env: dict[str, str]) -> CommandResult:
+        return self.connection.run(cmdline, cwd, env)

@@ -1,0 +1,120 @@
+"""Crash scenarios — including the paper's own.
+
+:func:`paper_crash` reconstructs the broken ``help`` process from the
+example session (pid 176153, a TLB miss in ``strchr`` reached through
+``strlen`` from ``textinsert``, because ``Xdie1`` cleared the global
+``n`` that ``Xdie2`` later passed to ``errs``).  Every name, offset,
+argument and local mirrors Figure 7.
+
+:func:`synthetic_crash` builds arbitrary-depth crashes for benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.proc.process import CoreImage, Frame, Process, ProcessTable, Registers
+from repro.proc.symtab import SymbolTable
+
+PAPER_PID = 176153
+
+# (func, args, caller, caller_offset, file:line of call site, locals)
+_PAPER_FRAMES = [
+    ("strchr", [("c", 0x3c), ("s", 0x0)],
+     "strlen", 0x1c, "/sys/src/libc/port/strlen.c", 7, []),
+    ("strlen", [("s", 0x0)],
+     "textinsert", 0x30, "text.c", 32, []),
+    ("textinsert", [("sel", 0x1), ("t", 0x40e60), ("s", 0x0),
+                    ("q0", 0xd), ("full", 0x1)],
+     "errs", 0xe8, "errs.c", 34, [("n", 0x3d7cc)]),
+    ("errs", [("s", 0x0)],
+     "Xdie2", 0x14, "exec.c", 252, [("p", 0x40d88)]),
+    ("Xdie2", [],
+     "lookup", 0xc4, "exec.c", 101, []),
+    ("lookup", [("s", 0x40be8)],
+     "execute", 0x50, "exec.c", 207, [("i", 0xf), ("n", 0xc5bf)]),
+    ("execute", [("t", 0x3ebbc), ("p0", 0x2), ("p1", 0x2)],
+     "control", 0x430, "ctrl.c", 331, []),
+    ("control", [],
+     "control", 0x0, "ctrl.c", 320, []),
+]
+
+
+def help_symtab() -> SymbolTable:
+    """The symbol table of the (simulated) help binary."""
+    table = SymbolTable("/bin/help")
+    table.add_func("main", "help.c", 20)
+    table.add_func("control", "ctrl.c", 300)
+    table.add_func("execute", "exec.c", 190)
+    table.add_func("lookup", "exec.c", 90)
+    table.add_func("Xdie1", "exec.c", 210)
+    table.add_func("Xdie2", "exec.c", 249)
+    table.add_func("errs", "errs.c", 28)
+    table.add_func("textinsert", "text.c", 20)
+    table.add_func("strlen", "/sys/src/libc/port/strlen.c", 3)
+    table.add_func("strchr", "/sys/src/libc/mips/strchr.s", 20)
+    table.add_data("n", "dat.h", 136)
+    return table
+
+
+def paper_core() -> CoreImage:
+    """The core image of Figure 7."""
+    frames = [Frame(func, list(args), caller, off, file, line, list(locals_))
+              for func, args, caller, off, file, line, locals_
+              in _PAPER_FRAMES]
+    return CoreImage(
+        exception="TLB miss (load or fetch)",
+        registers=Registers(pc=0x18df4, sp=0x3f4e8, status=0xfb0c,
+                            badvaddr=0x0),
+        frames=frames,
+        fault_file="/sys/src/libc/mips/strchr.s",
+        fault_line=34,
+        fault_instr="MOVW 0(R3),R5",
+    )
+
+
+def paper_crash(procs: ProcessTable) -> Process:
+    """Install the paper's broken help process in *procs*."""
+    proc = procs.spawn("help", pid=PAPER_PID)
+    proc.symtab = help_symtab()
+    proc.srcdir = "/usr/rob/src/help"
+    core = paper_core()
+    core.kernel_frames = [
+        Frame("fault", [("addr", 0x0)], "trap", 0x1a4,
+              "/sys/src/9/mips/trap.c", 112),
+        Frame("trap", [("ur", 0x80014000)], "vector", 0x40,
+              "/sys/src/9/mips/l.s", 221),
+    ]
+    proc.break_with(core)
+    return proc
+
+
+def crash_report(pid: int = PAPER_PID) -> str:
+    """The text of Sean's mail message reporting the crash (Figure 6)."""
+    return (f"i tried your new help and got this:\n"
+            f"help {pid}: user TLB miss (load or fetch) badvaddr=0x0\n"
+            f"help {pid}: status=0xfb0c pc=0x18df4 sp=0x3f4e8\n")
+
+
+def synthetic_crash(procs: ProcessTable, name: str = "victim",
+                    depth: int = 10) -> Process:
+    """A crash with *depth* frames, for stress tests and benchmarks."""
+    frames = []
+    for i in range(depth):
+        frames.append(Frame(
+            func=f"fn{i}",
+            args=[("x", i), ("y", i * 16)],
+            caller=f"fn{i + 1}" if i + 1 < depth else "main",
+            caller_offset=0x10 + 4 * i,
+            file=f"mod{i % 4}.c",
+            line=10 + i,
+            locals=[("tmp", 0x100 + i)] if i % 2 == 0 else [],
+        ))
+    proc = procs.spawn(name)
+    proc.break_with(CoreImage(
+        exception="divide by zero",
+        registers=Registers(pc=0x2000, sp=0x7ffc),
+        frames=frames,
+        fault_file="mod0.c",
+        fault_line=10,
+        fault_instr="DIV R1,R0",
+    ))
+    return proc

@@ -1,0 +1,131 @@
+"""The process table: pids, states, and core images of broken processes.
+
+On Plan 9 a faulting process is not reaped; it enters the *Broken*
+state and waits to be examined by a debugger.  That behaviour is what
+lets the paper's demo point at a pid and run ``stack`` minutes after
+the crash.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ProcState(enum.Enum):
+    RUNNING = "Running"
+    READY = "Ready"
+    BROKEN = "Broken"
+    DONE = "Done"
+
+
+@dataclass
+class Registers:
+    """The machine state a fault captures (MIPS names, as in Figure 6)."""
+
+    pc: int = 0
+    sp: int = 0
+    status: int = 0
+    badvaddr: int = 0
+    gp: dict[str, int] = field(default_factory=dict)
+
+    def lines(self) -> list[str]:
+        """adb's $r listing."""
+        out = [f"pc\t0x{self.pc:x}", f"sp\t0x{self.sp:x}",
+               f"status\t0x{self.status:x}", f"badvaddr\t0x{self.badvaddr:x}"]
+        out.extend(f"{name}\t0x{value:x}" for name, value in self.gp.items())
+        return out
+
+
+@dataclass
+class Frame:
+    """One call frame of a broken process.
+
+    ``func(args) called from caller+offset file:line`` plus locals —
+    the exact shape adb prints in Figure 7.
+    """
+
+    func: str
+    args: list[tuple[str, int]] = field(default_factory=list)
+    caller: str = ""
+    caller_offset: int = 0
+    file: str = ""
+    line: int = 0
+    locals: list[tuple[str, int]] = field(default_factory=list)
+
+    def call_site(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+@dataclass
+class CoreImage:
+    """Everything the debugger can see of a broken process."""
+
+    exception: str = ""                 # "TLB miss (load or fetch)"
+    registers: Registers = field(default_factory=Registers)
+    frames: list[Frame] = field(default_factory=list)   # innermost first
+    fault_file: str = ""                # where the pc points
+    fault_line: int = 0
+    fault_instr: str = ""               # disassembly of the faulting insn
+    kernel_frames: list[Frame] = field(default_factory=list)  # $K view
+
+
+@dataclass
+class Process:
+    """One simulated process."""
+
+    pid: int
+    name: str
+    state: ProcState = ProcState.RUNNING
+    core: CoreImage | None = None
+    symtab: "SymbolTable | None" = None
+    srcdir: str = ""    # where the binary's sources live ($s in adb)
+
+    def break_with(self, core: CoreImage) -> None:
+        """Fault: keep the corpse around for debugging."""
+        self.state = ProcState.BROKEN
+        self.core = core
+
+    def finish(self) -> None:
+        self.state = ProcState.DONE
+
+
+class ProcessTable:
+    """All processes on the machine; pids grow monotonically."""
+
+    def __init__(self, first_pid: int = 100) -> None:
+        self._procs: dict[int, Process] = {}
+        self._next = first_pid
+
+    def spawn(self, name: str, pid: int | None = None) -> Process:
+        """Create a running process (a specific pid may be requested)."""
+        if pid is None:
+            pid = self._next
+            self._next += 1
+        elif pid in self._procs:
+            raise ValueError(f"pid {pid} in use")
+        else:
+            self._next = max(self._next, pid + 1)
+        proc = Process(pid, name)
+        self._procs[pid] = proc
+        return proc
+
+    def get(self, pid: int) -> Process | None:
+        return self._procs.get(pid)
+
+    def remove(self, pid: int) -> None:
+        self._procs.pop(pid, None)
+
+    def all(self) -> list[Process]:
+        return [self._procs[pid] for pid in sorted(self._procs)]
+
+    def broken(self) -> list[Process]:
+        """The corpses available for examination."""
+        return [p for p in self.all() if p.state is ProcState.BROKEN]
+
+    def ps_lines(self) -> list[str]:
+        """The ps listing: pid, state, name."""
+        return [f"{p.pid:8d} {p.state.value:8s} {p.name}" for p in self.all()]
+
+
+from repro.proc.symtab import SymbolTable  # noqa: E402  (dataclass forward ref)

@@ -1,0 +1,87 @@
+"""Symbol tables for simulated binaries.
+
+The stack window in Figure 7 "has many file names in it.  These are
+extracted from the symbol table of the broken program" — so a binary
+here carries a table mapping every function and global to the source
+coordinate it was defined at, plus a synthetic text address used to
+format ``func+0x68``-style locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Functions are laid out this far apart in the synthetic text segment,
+# leaving room for plausible intra-function offsets.
+FUNC_STRIDE = 0x400
+TEXT_BASE = 0x1000
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One named thing in a binary."""
+
+    name: str
+    kind: str          # 'func' or 'data'
+    file: str          # defining source file
+    line: int          # 1-based line of the definition
+    address: int = 0
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+class SymbolTable:
+    """Symbols of one binary, addressable by name and by address."""
+
+    def __init__(self, binary: str = "") -> None:
+        self.binary = binary
+        self._by_name: dict[str, Symbol] = {}
+        self._next_addr = TEXT_BASE
+
+    def add_func(self, name: str, file: str, line: int) -> Symbol:
+        """Register a function, assigning it the next text address."""
+        symbol = Symbol(name, "func", file, line, self._next_addr)
+        self._next_addr += FUNC_STRIDE
+        self._by_name[name] = symbol
+        return symbol
+
+    def add_data(self, name: str, file: str, line: int) -> Symbol:
+        """Register a global datum."""
+        symbol = Symbol(name, "data", file, line)
+        self._by_name[name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        """The symbol called *name*, or None."""
+        return self._by_name.get(name)
+
+    def functions(self) -> list[Symbol]:
+        """All function symbols, in address order."""
+        return sorted((s for s in self._by_name.values() if s.kind == "func"),
+                      key=lambda s: s.address)
+
+    def globals(self) -> list[Symbol]:
+        """All data symbols, in name order."""
+        return sorted((s for s in self._by_name.values() if s.kind == "data"),
+                      key=lambda s: s.name)
+
+    def find_address(self, address: int) -> tuple[Symbol, int] | None:
+        """(function, offset) containing *address*, adb's a2l."""
+        best: Symbol | None = None
+        for symbol in self.functions():
+            if symbol.address <= address:
+                best = symbol
+            else:
+                break
+        if best is None:
+            return None
+        return (best, address - best.address)
+
+    def files(self) -> list[str]:
+        """Every source file mentioned, sorted."""
+        return sorted({s.file for s in self._by_name.values()})
+
+    def __len__(self) -> int:
+        return len(self._by_name)

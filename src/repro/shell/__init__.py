@@ -1,0 +1,28 @@
+"""An rc-subset shell: the substrate help's tools are written in.
+
+"Decl is a shell script, a program for the Plan 9 shell, rc" — the
+paper's applications are suites of tiny rc scripts, so reproducing
+them requires an rc interpreter.  This package implements the subset
+those scripts (and the profile in Figure 2) exercise:
+
+- words with rc quoting (``'...'``), caret/adjacency concatenation,
+  and glob expansion;
+- list-valued variables: ``$var``, ``$#var`` (count), ``$"var``
+  (flattened), ``x=(a b c)``;
+- command substitution `` `{...} `` splitting output into words;
+- pipelines, ``>`` ``>>`` ``<`` redirections, ``;`` ``&&`` ``||`` ``!``;
+- control flow: ``if(...)``, ``if not``, ``for(x in ...)``,
+  ``while(...)``, ``switch/case``, ``fn`` definitions, ``{}`` blocks;
+- ``~`` pattern matching and ``eval`` as builtins;
+- a simulated userland (:mod:`repro.shell.commands`): echo, cat, cp,
+  grep, sed, ls, wc, bind, ... all operating on the namespace.
+
+Everything runs in-process against a :class:`repro.fs.Namespace`;
+"processes" are function calls, pipes are strings.
+"""
+
+from repro.shell.interp import Interp, ShellError
+from repro.shell.lexer import LexError
+from repro.shell.parser import ParseError, parse
+
+__all__ = ["Interp", "ShellError", "parse", "ParseError", "LexError"]

@@ -1,0 +1,145 @@
+"""AST nodes for the rc subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.shell.lexer import Fragment
+
+
+@dataclass
+class Word:
+    """One shell word: adjacent fragments concatenate at evaluation.
+
+    *pos* is the source offset of the word's first character, kept so
+    tools (the rc browser) can report accurate coordinates.
+    """
+
+    fragments: list[Fragment]
+    pos: int = 0
+
+
+@dataclass
+class Redir:
+    """An I/O redirection: ``>``, ``>>`` or ``<`` to/from *target*."""
+
+    kind: str
+    target: Word
+
+
+@dataclass
+class Assign:
+    """``name=word`` or ``name=(w1 w2 ...)``."""
+
+    name: str
+    values: list[Word]
+
+
+@dataclass
+class Simple:
+    """A simple command: optional assignments, argv, redirections.
+
+    With an empty argv the assignments are global; otherwise they
+    scope to this one command (rc semantics).
+    """
+
+    assigns: list[Assign] = field(default_factory=list)
+    argv: list[Word] = field(default_factory=list)
+    redirs: list[Redir] = field(default_factory=list)
+
+
+@dataclass
+class Block:
+    """``{ ... }`` — a grouped sequence, usable as a pipeline stage."""
+
+    body: "Seq"
+    redirs: list[Redir] = field(default_factory=list)
+
+
+@dataclass
+class Pipeline:
+    """Stages joined by ``|``; status is the last stage's."""
+
+    stages: list["Command"]
+
+
+@dataclass
+class Not:
+    """``! cmd`` — invert the exit status."""
+
+    cmd: "Command"
+
+
+@dataclass
+class AndOr:
+    """``a && b || c`` chains, evaluated left to right."""
+
+    first: "Command"
+    rest: list[tuple[str, "Command"]]
+
+
+@dataclass
+class Seq:
+    """Commands separated by ``;`` or newline."""
+
+    commands: list["Command"]
+
+
+@dataclass
+class If:
+    """``if(cond) body`` — body runs when cond's status is 0."""
+
+    cond: Seq
+    body: "Command"
+
+
+@dataclass
+class IfNot:
+    """``if not body`` — body runs when the previous If's cond failed."""
+
+    body: "Command"
+
+
+@dataclass
+class For:
+    """``for(var in w1 w2) body`` (``in ...`` defaults to ``$*``)."""
+
+    var: str
+    words: list[Word] | None
+    body: "Command"
+
+
+@dataclass
+class While:
+    """``while(cond) body``."""
+
+    cond: Seq
+    body: "Command"
+
+
+@dataclass
+class Case:
+    """One ``case pat...`` arm of a switch."""
+
+    patterns: list[Word]
+    body: Seq
+
+
+@dataclass
+class Switch:
+    """``switch(word){ case ... }`` — first matching arm runs."""
+
+    subject: Word
+    cases: list[Case]
+
+
+@dataclass
+class FnDef:
+    """``fn name { body }`` (empty body deletes the function)."""
+
+    name: str
+    body: Block | None
+
+
+Command = (Simple | Block | Pipeline | Not | AndOr | Seq | If | IfNot
+           | For | While | Switch | FnDef)

@@ -1,0 +1,291 @@
+"""Lexer for the rc subset.
+
+Produces a flat token stream.  Words are composite: a WORD token
+carries *fragments* — literal text, variable references, and
+backquote substitutions — because rc concatenates adjacent fragments
+(``-i$id`` is one word made of a literal and a variable).
+
+Quoting follows rc: single quotes only, a doubled ``''`` inside a
+quoted string is a literal quote.  ``#`` starts a comment.  Newlines
+are tokens (they terminate commands) except immediately after ``|``,
+``&&``, ``||`` or an opening brace/paren, where rc continues the line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class LexError(Exception):
+    """Malformed input (unterminated quote or backquote block)."""
+
+
+class TokKind(enum.Enum):
+    WORD = "word"
+    NEWLINE = "newline"
+    SEMI = ";"
+    PIPE = "|"
+    ANDAND = "&&"
+    OROR = "||"
+    BANG = "!"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    GREAT = ">"
+    DGREAT = ">>"
+    LESS = "<"
+    AMP = "&"
+    EQUALS = "="      # only produced inside assignment splitting (parser)
+    EOF = "eof"
+
+
+# -- word fragments -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lit:
+    """Literal text.  ``quoted`` disables globbing of this fragment."""
+
+    text: str
+    quoted: bool = False
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """``$name``, ``$#name`` (count), ``$"name`` (flatten), or the
+    subscripted ``$name(1 3)`` selecting 1-based elements."""
+
+    name: str
+    count: bool = False
+    flatten: bool = False
+    indices: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class Backquote:
+    """`` `{command text} `` — the raw source, parsed lazily.
+
+    *pos* is the offset of the command text in the enclosing source,
+    so browsers can map positions inside the backquote back out.
+    """
+
+    source: str
+    pos: int = 0
+
+
+Fragment = Lit | VarRef | Backquote
+
+
+@dataclass
+class Token:
+    kind: TokKind
+    fragments: list[Fragment] = field(default_factory=list)
+    pos: int = 0
+
+    def literal(self) -> str:
+        """The word's text if it is entirely unquoted literal, else ''."""
+        if self.kind is not TokKind.WORD:
+            return ""
+        parts = []
+        for frag in self.fragments:
+            if not isinstance(frag, Lit) or frag.quoted:
+                return ""
+            parts.append(frag.text)
+        return "".join(parts)
+
+
+_SELF = "\n;|{}()<&="
+_WORD_END = set(" \t\n;|{}()<>&#`'$^=")
+_VARNAME_CHARS = set("abcdefghijklmnopqrstuvwxyz"
+                     "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_*")
+
+
+class Lexer:
+    """Tokenizes rc source."""
+
+    def __init__(self, src: str) -> None:
+        self.src = src
+        self.pos = 0
+
+    def tokens(self) -> list[Token]:
+        """The full token list, ending with EOF."""
+        out: list[Token] = []
+        while True:
+            tok = self._next()
+            # a newline right after a continuation token is invisible
+            if (tok.kind is TokKind.NEWLINE and out
+                    and out[-1].kind in (TokKind.PIPE, TokKind.ANDAND,
+                                         TokKind.OROR, TokKind.LBRACE,
+                                         TokKind.LPAREN, TokKind.NEWLINE,
+                                         TokKind.SEMI, TokKind.BANG)):
+                continue
+            out.append(tok)
+            if tok.kind is TokKind.EOF:
+                return out
+
+    # -- scanning ---------------------------------------------------------
+
+    def _peek(self) -> str:
+        return self.src[self.pos] if self.pos < len(self.src) else ""
+
+    def _next(self) -> Token:
+        src = self.src
+        while self.pos < len(src) and src[self.pos] in " \t":
+            self.pos += 1
+        if self.pos < len(src) and src[self.pos] == "#":
+            while self.pos < len(src) and src[self.pos] != "\n":
+                self.pos += 1
+        start = self.pos
+        if self.pos >= len(src):
+            return Token(TokKind.EOF, pos=start)
+        ch = src[self.pos]
+        if ch == "\n":
+            self.pos += 1
+            return Token(TokKind.NEWLINE, pos=start)
+        if ch == ";":
+            self.pos += 1
+            return Token(TokKind.SEMI, pos=start)
+        if ch == "&":
+            self.pos += 1
+            if self._peek() == "&":
+                self.pos += 1
+                return Token(TokKind.ANDAND, pos=start)
+            return Token(TokKind.AMP, pos=start)
+        if ch == "|":
+            self.pos += 1
+            if self._peek() == "|":
+                self.pos += 1
+                return Token(TokKind.OROR, pos=start)
+            return Token(TokKind.PIPE, pos=start)
+        if ch == ">":
+            self.pos += 1
+            if self._peek() == ">":
+                self.pos += 1
+                return Token(TokKind.DGREAT, pos=start)
+            return Token(TokKind.GREAT, pos=start)
+        if ch == "<":
+            self.pos += 1
+            return Token(TokKind.LESS, pos=start)
+        if ch == "!":
+            # "!" alone is the negation operator; "!x" begins a word
+            if (self.pos + 1 >= len(src)
+                    or src[self.pos + 1] in " \t\n;|{}()"):
+                self.pos += 1
+                return Token(TokKind.BANG, pos=start)
+        simple = {"{": TokKind.LBRACE, "}": TokKind.RBRACE,
+                  "(": TokKind.LPAREN, ")": TokKind.RPAREN}
+        if ch in simple:
+            self.pos += 1
+            return Token(simple[ch], pos=start)
+        return self._word(start)
+
+    def _word(self, start: int) -> Token:
+        fragments: list[Fragment] = []
+        src = self.src
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch == "'":
+                fragments.append(self._quote())
+            elif ch == "$":
+                fragments.append(self._var())
+            elif ch == "`":
+                fragments.append(self._backquote())
+            elif ch == "^":
+                self.pos += 1  # explicit concatenation: fragments already adjoin
+            elif ch == "!" and self.pos > start:
+                # '!' inside a word is literal (e.g. Close!)
+                fragments.append(Lit("!"))
+                self.pos += 1
+            elif ch in _WORD_END and not (ch == "!" and self.pos == start):
+                if ch == "=" :
+                    # '=' inside a word: literal except it may split an
+                    # assignment — the parser decides; keep it literal.
+                    fragments.append(Lit("="))
+                    self.pos += 1
+                    continue
+                break
+            else:
+                run_start = self.pos
+                while (self.pos < len(src)
+                       and src[self.pos] not in _WORD_END
+                       and src[self.pos] != "^"):
+                    self.pos += 1
+                fragments.append(Lit(src[run_start:self.pos]))
+        if not fragments:
+            raise LexError(f"empty word at {start}")
+        return Token(TokKind.WORD, fragments, pos=start)
+
+    def _quote(self) -> Lit:
+        assert self.src[self.pos] == "'"
+        self.pos += 1
+        out: list[str] = []
+        src = self.src
+        while True:
+            if self.pos >= len(src):
+                raise LexError("unterminated quote")
+            ch = src[self.pos]
+            if ch == "'":
+                if self.pos + 1 < len(src) and src[self.pos + 1] == "'":
+                    out.append("'")
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return Lit("".join(out), quoted=True)
+            out.append(ch)
+            self.pos += 1
+
+    def _var(self) -> VarRef:
+        assert self.src[self.pos] == "$"
+        self.pos += 1
+        src = self.src
+        count = flatten = False
+        if self._peek() == "#":
+            count = True
+            self.pos += 1
+        elif self._peek() == '"':
+            flatten = True
+            self.pos += 1
+        start = self.pos
+        while self.pos < len(src) and src[self.pos] in _VARNAME_CHARS:
+            self.pos += 1
+        name = src[start:self.pos]
+        if not name:
+            raise LexError(f"bad variable reference at {start}")
+        indices: tuple[int, ...] | None = None
+        if (not count and not flatten and self._peek() == "("):
+            # $name(1 3): subscripts, digits and spaces only — anything
+            # else means the paren belongs to the surrounding syntax
+            end = src.find(")", self.pos + 1)
+            inner = src[self.pos + 1:end] if end > 0 else ""
+            if end > 0 and inner.strip() and all(
+                    c.isdigit() or c.isspace() for c in inner):
+                indices = tuple(int(w) for w in inner.split())
+                self.pos = end + 1
+        return VarRef(name, count=count, flatten=flatten, indices=indices)
+
+    def _backquote(self) -> Backquote:
+        assert self.src[self.pos] == "`"
+        self.pos += 1
+        if self._peek() != "{":
+            raise LexError("` must be followed by {")
+        self.pos += 1
+        depth = 1
+        start = self.pos
+        src = self.src
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch == "'":
+                self._quote()
+                continue
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    source = src[start:self.pos]
+                    self.pos += 1
+                    return Backquote(source, start)
+            self.pos += 1
+        raise LexError("unterminated `{")

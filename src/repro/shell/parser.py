@@ -1,0 +1,286 @@
+"""Recursive-descent parser for the rc subset.
+
+Grammar (simplified)::
+
+    program  : seq EOF
+    seq      : cmd ((';' | NEWLINE)+ cmd)*
+    cmd      : andor
+    andor    : pipeline (('&&' | '||') pipeline)*
+    pipeline : unit ('|' unit)*
+    unit     : '!'? item redir*
+    item     : simple | block | if | ifnot | for | while | switch | fn
+    simple   : assign* word+ | assign+
+    block    : '{' seq '}'
+
+Keywords (``if``, ``for``, ``while``, ``switch``, ``case``, ``fn``,
+``not``, ``in``) are ordinary words recognized positionally, as in rc.
+"""
+
+from __future__ import annotations
+
+from repro.shell import ast
+from repro.shell.lexer import Lexer, Lit, Token, TokKind
+
+
+class ParseError(Exception):
+    """Syntactically invalid input."""
+
+
+def parse(src: str) -> ast.Seq:
+    """Parse rc source into a command sequence.
+
+    Lexical errors surface as :class:`ParseError` so callers have a
+    single failure mode for bad input.
+    """
+    from repro.shell.lexer import LexError
+    try:
+        tokens = Lexer(src).tokens()
+    except LexError as exc:
+        raise ParseError(str(exc)) from exc
+    return _Parser(tokens).program()
+
+
+_SEPARATORS = (TokKind.SEMI, TokKind.NEWLINE, TokKind.AMP)
+_REDIRS = {TokKind.GREAT: ">", TokKind.DGREAT: ">>", TokKind.LESS: "<"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: TokKind) -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            raise ParseError(f"expected {kind.value}, got {tok.kind.value}"
+                             f" at {tok.pos}")
+        return self.advance()
+
+    def _skip_separators(self) -> None:
+        while self.peek().kind in _SEPARATORS:
+            self.advance()
+
+    def _at_keyword(self, *names: str) -> bool:
+        tok = self.peek()
+        return tok.kind is TokKind.WORD and tok.literal() in names
+
+    # -- grammar ----------------------------------------------------------------
+
+    def program(self) -> ast.Seq:
+        seq = self.seq(until=(TokKind.EOF,))
+        self.expect(TokKind.EOF)
+        return seq
+
+    def seq(self, until: tuple[TokKind, ...]) -> ast.Seq:
+        commands: list[ast.Command] = []
+        self._skip_separators()
+        while self.peek().kind not in until:
+            commands.append(self.command())
+            if self.peek().kind in _SEPARATORS:
+                self._skip_separators()
+            elif self.peek().kind not in until:
+                tok = self.peek()
+                raise ParseError(f"unexpected {tok.kind.value} at {tok.pos}")
+        return ast.Seq(commands)
+
+    def command(self) -> ast.Command:
+        return self.andor()
+
+    def andor(self) -> ast.Command:
+        first = self.pipeline()
+        rest: list[tuple[str, ast.Command]] = []
+        while self.peek().kind in (TokKind.ANDAND, TokKind.OROR):
+            op = "&&" if self.advance().kind is TokKind.ANDAND else "||"
+            rest.append((op, self.pipeline()))
+        if not rest:
+            return first
+        return ast.AndOr(first, rest)
+
+    def pipeline(self) -> ast.Command:
+        stages = [self.unit()]
+        while self.peek().kind is TokKind.PIPE:
+            self.advance()
+            stages.append(self.unit())
+        if len(stages) == 1:
+            return stages[0]
+        return ast.Pipeline(stages)
+
+    def unit(self) -> ast.Command:
+        if self.peek().kind is TokKind.BANG:
+            self.advance()
+            return ast.Not(self.unit())
+        item = self.item()
+        redirs = self._redirs()
+        if redirs:
+            if isinstance(item, ast.Simple):
+                item.redirs.extend(redirs)
+            elif isinstance(item, ast.Block):
+                item.redirs.extend(redirs)
+            else:
+                item = ast.Block(ast.Seq([item]), redirs)
+        return item
+
+    def _redirs(self) -> list[ast.Redir]:
+        out: list[ast.Redir] = []
+        while self.peek().kind in _REDIRS:
+            kind = _REDIRS[self.advance().kind]
+            target = self.expect(TokKind.WORD)
+            out.append(ast.Redir(kind, ast.Word(target.fragments, target.pos)))
+        return out
+
+    def item(self) -> ast.Command:
+        tok = self.peek()
+        if tok.kind is TokKind.LBRACE:
+            return self.block()
+        if tok.kind is not TokKind.WORD:
+            raise ParseError(f"unexpected {tok.kind.value} at {tok.pos}")
+        keyword = tok.literal()
+        if keyword == "if":
+            return self.if_()
+        if keyword == "for":
+            return self.for_()
+        if keyword == "while":
+            return self.while_()
+        if keyword == "switch":
+            return self.switch()
+        if keyword == "fn":
+            return self.fn()
+        return self.simple()
+
+    def block(self) -> ast.Block:
+        self.expect(TokKind.LBRACE)
+        body = self.seq(until=(TokKind.RBRACE,))
+        self.expect(TokKind.RBRACE)
+        return ast.Block(body)
+
+    def if_(self) -> ast.Command:
+        self.advance()  # 'if'
+        if self._at_keyword("not"):
+            self.advance()
+            return ast.IfNot(self.command())
+        self.expect(TokKind.LPAREN)
+        cond = self.seq(until=(TokKind.RPAREN,))
+        self.expect(TokKind.RPAREN)
+        return ast.If(cond, self.command())
+
+    def for_(self) -> ast.For:
+        self.advance()  # 'for'
+        self.expect(TokKind.LPAREN)
+        var_tok = self.expect(TokKind.WORD)
+        var = var_tok.literal()
+        if not var:
+            raise ParseError(f"bad for variable at {var_tok.pos}")
+        words: list[ast.Word] | None = None
+        if self._at_keyword("in"):
+            self.advance()
+            words = []
+            while self.peek().kind is TokKind.WORD:
+                tok = self.advance()
+                words.append(ast.Word(tok.fragments, tok.pos))
+        self.expect(TokKind.RPAREN)
+        return ast.For(var, words, self.command())
+
+    def while_(self) -> ast.While:
+        self.advance()  # 'while'
+        self.expect(TokKind.LPAREN)
+        cond = self.seq(until=(TokKind.RPAREN,))
+        self.expect(TokKind.RPAREN)
+        return ast.While(cond, self.command())
+
+    def switch(self) -> ast.Switch:
+        self.advance()  # 'switch'
+        self.expect(TokKind.LPAREN)
+        subject_tok = self.expect(TokKind.WORD)
+        self.expect(TokKind.RPAREN)
+        self._skip_separators()
+        self.expect(TokKind.LBRACE)
+        cases: list[ast.Case] = []
+        self._skip_separators()
+        while self.peek().kind is not TokKind.RBRACE:
+            if not self._at_keyword("case"):
+                tok = self.peek()
+                raise ParseError(f"expected 'case' at {tok.pos}")
+            self.advance()
+            patterns: list[ast.Word] = []
+            while self.peek().kind is TokKind.WORD:
+                tok = self.advance()
+                patterns.append(ast.Word(tok.fragments, tok.pos))
+            if not patterns:
+                raise ParseError("case with no patterns")
+            self._skip_separators()
+            body_cmds: list[ast.Command] = []
+            while (self.peek().kind is not TokKind.RBRACE
+                   and not self._at_keyword("case")):
+                body_cmds.append(self.command())
+                self._skip_separators()
+            cases.append(ast.Case(patterns, ast.Seq(body_cmds)))
+        self.expect(TokKind.RBRACE)
+        return ast.Switch(ast.Word(subject_tok.fragments, subject_tok.pos), cases)
+
+    def fn(self) -> ast.FnDef:
+        self.advance()  # 'fn'
+        name_tok = self.expect(TokKind.WORD)
+        name = name_tok.literal()
+        if not name:
+            raise ParseError(f"bad function name at {name_tok.pos}")
+        if self.peek().kind is TokKind.LBRACE:
+            return ast.FnDef(name, self.block())
+        return ast.FnDef(name, None)
+
+    # -- simple commands -----------------------------------------------------------
+
+    def simple(self) -> ast.Simple:
+        cmd = ast.Simple()
+        # leading assignments
+        while self.peek().kind is TokKind.WORD:
+            assign = self._try_assignment()
+            if assign is None:
+                break
+            cmd.assigns.append(assign)
+        while True:
+            tok = self.peek()
+            if tok.kind is TokKind.WORD:
+                word_tok = self.advance()
+                cmd.argv.append(ast.Word(word_tok.fragments, word_tok.pos))
+            elif tok.kind in _REDIRS:
+                cmd.redirs.extend(self._redirs())
+            else:
+                break
+        if not cmd.assigns and not cmd.argv:
+            raise ParseError(f"empty command at {tok.pos}")
+        return cmd
+
+    def _try_assignment(self) -> ast.Assign | None:
+        tok = self.peek()
+        frags = tok.fragments
+        if (len(frags) < 2 or not isinstance(frags[0], Lit)
+                or frags[0].quoted or not isinstance(frags[1], Lit)
+                or frags[1].quoted or frags[1].text != "="):
+            return None
+        name = frags[0].text
+        if not name or not all(c.isalnum() or c in "_*" for c in name):
+            return None
+        self.advance()
+        rest = frags[2:]
+        if rest:
+            return ast.Assign(name, [ast.Word(list(rest), tok.pos)])
+        if self.peek().kind is TokKind.LPAREN:
+            self.advance()
+            values: list[ast.Word] = []
+            while self.peek().kind is TokKind.WORD:
+                value_tok = self.advance()
+                values.append(ast.Word(value_tok.fragments, value_tok.pos))
+            self.expect(TokKind.RPAREN)
+            return ast.Assign(name, values)
+        return ast.Assign(name, [])

@@ -1,0 +1,100 @@
+"""Session drivers for tests and examples: the paper's user, as code.
+
+Everything here goes through real mouse events at screen coordinates —
+no programmatic shortcuts — so the integration tests measure exactly
+what the paper measures: button clicks and (absent) keystrokes.
+"""
+
+from repro import build_system
+from repro.core.events import Button
+from repro.core.window import Subwindow
+
+
+class Session:
+    """Drives a help session the way a hand on a mouse would."""
+
+    def __init__(self, system):
+        self.system = system
+        self.help = system.help
+
+    # -- geometry -----------------------------------------------------------
+
+    def cell_of(self, window, pos, sub=Subwindow.BODY):
+        """Screen cell (x, y) showing text offset *pos* of *window*."""
+        column = self.help.screen.column_of(window)
+        assert column is not None, f"window {window.id} not on screen"
+        rect = column.win_rect(window)
+        if rect is None:
+            self._reveal(window)
+            rect = column.win_rect(window)
+        assert rect is not None
+        if sub is Subwindow.TAG:
+            return (column.body_x0 + pos, rect.y0)
+        frame = column.body_frame(window)
+        point = frame.point_of_char(window.body.string(), window.org, pos)
+        if point is None:
+            # scroll the offset into view, as a user would
+            window.org = frame.origin_for_line(
+                window.body.string(), window.body.line_of(pos))
+            point = frame.point_of_char(window.body.string(), window.org, pos)
+        assert point is not None, f"offset {pos} not displayable"
+        row, col = point
+        return (column.body_x0 + col, rect.y0 + 1 + row)
+
+    def _reveal(self, window):
+        """Click the window's tab square (a real left click)."""
+        column = self.help.screen.column_of(window)
+        order = column.tab_order()
+        tab_y = column.rect.y0 + order.index(window)
+        self.help.left_click(column.rect.x0, tab_y)
+
+    # -- gestures ----------------------------------------------------------------
+
+    def point_at(self, window, needle, offset=0, occurrence=0,
+                 sub=Subwindow.BODY):
+        """Left-click at *needle* (+offset chars) in *window*."""
+        pos = self._find(window, needle, occurrence, sub) + offset
+        self.help.left_click(*self.cell_of(window, pos, sub))
+
+    def execute(self, window, needle, sub=Subwindow.BODY):
+        """Middle-click the word *needle* where it appears in *window*."""
+        pos = self._find(window, needle, 0, sub) + 1
+        self.help.middle_click(*self.cell_of(window, pos, sub))
+
+    def execute_sweep(self, window, phrase, sub=Subwindow.BODY):
+        """Middle-sweep the exact *phrase* in *window*."""
+        start = self._find(window, phrase, 0, sub)
+        end = start + len(phrase)
+        x0, y0 = self.cell_of(window, start, sub)
+        x1, y1 = self.cell_of(window, end, sub)
+        self.help.sweep(x0, y0, x1, y1, Button.MIDDLE)
+
+    def select(self, window, start_pos, end_pos, sub=Subwindow.BODY):
+        """Left-sweep from *start_pos* to *end_pos*."""
+        x0, y0 = self.cell_of(window, start_pos, sub)
+        x1, y1 = self.cell_of(window, end_pos, sub)
+        self.help.sweep(x0, y0, x1, y1)
+
+    def _find(self, window, needle, occurrence, sub):
+        text = window.text(sub).string()
+        pos = -1
+        for _ in range(occurrence + 1):
+            pos = text.index(needle, pos + 1)
+        return pos
+
+    # -- conveniences -------------------------------------------------------------------
+
+    def window(self, name):
+        w = self.help.window_by_name(name)
+        assert w is not None, f"no window named {name}"
+        return w
+
+    def windows(self, name):
+        return [w for w in self.help.windows.values() if w.name() == name]
+
+    @property
+    def errors(self):
+        w = self.help.window_by_name("Errors")
+        return w.body.string() if w is not None else ""
+
+

@@ -1,0 +1,20 @@
+"""Wiring: the /help tool directories, the world builder, and helpers.
+
+- :mod:`repro.tools.corpus` — reconstructs the C sources of ``help``
+  itself with the exact coordinates the figures show (``dat.h:136``,
+  ``exec.c:213``, ``exec.c:252``, ``help.c:35``, ``text.c:32`` ...);
+- :mod:`repro.tools.helpers` — the ``help/parse`` and ``help/buf``
+  utilities the tool scripts call;
+- :mod:`repro.tools.install` — assembles the whole world: VFS, shell,
+  process table, mailbox, tool scripts, and a booted help session.
+"""
+
+__all__ = ["System", "build_system"]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports so the corpus imports without the full wiring."""
+    if name in ("System", "build_system"):
+        from repro.tools import install
+        return getattr(install, name)
+    raise AttributeError(f"module 'repro.tools' has no attribute {name!r}")

@@ -1,0 +1,363 @@
+"""The help sources, reconstructed to the paper's coordinates.
+
+The example session depends on exact file:line landmarks:
+
+=============  =====================================================
+dat.h:136      ``extern uchar *n;`` — "clearly the declaration"
+help.c:35      ``n = (uchar*)"a test string";`` — the initialization
+exec.c:213     ``n = 0;`` in Xdie1 — "the jackpot of this contrived
+               example": the write that cleared it
+exec.c:252     ``errs(n);`` in Xdie2 — the read that crashed
+exec.c:101     the call of Xdie2 from lookup
+exec.c:207     the call of lookup from execute
+text.c:32      ``n = strlen((char*)s);`` in textinsert (a *local* n)
+errs.c:34      the call of textinsert from errs
+ctrl.c:331     the call of execute from control
+=============  =====================================================
+
+``install_help_sources`` writes the tree and returns the landmark
+table; `_landmark` assertions make line drift impossible.
+"""
+
+from __future__ import annotations
+
+from repro.fs.namespace import Namespace
+
+SRC_DIR = "/usr/rob/src/help"
+
+
+def _pad(lines: list[str], upto: int, what: str) -> None:
+    """Fill with plausible comment lines so the next line is *upto*."""
+    assert len(lines) < upto, f"{what}: already past line {upto}"
+    i = 0
+    while len(lines) < upto - 1:
+        lines.append(f"/* {what} {i} */")
+        i += 1
+
+
+def _landmark(lines: list[str], expect: int, what: str) -> None:
+    assert len(lines) == expect, \
+        f"{what} landed on line {len(lines)}, wanted {expect}"
+
+
+def _dat_h() -> str:
+    lines = [
+        "/*",
+        " *\tstring routines",
+        " */",
+        "typedef struct Addr Addr;",
+        "typedef struct Client Client;",
+        "typedef struct Page Page;",
+        "typedef struct Proc Proc;",
+        "typedef struct String String;",
+        "typedef struct Text Text;",
+        "typedef unsigned char uchar;",
+        "",
+        "struct Addr {",
+        "\tint q0;",
+        "\tint q1;",
+        "};",
+        "",
+        "struct Text {",
+        "\tint org;",
+        "\tint nchars;",
+        "\tint q0;",
+        "\tchar *base;",
+        "};",
+        "",
+        "struct Page {",
+        "\tText *text;",
+        "\tPage *next;",
+        "\tchar *name;",
+        "};",
+    ]
+    _pad(lines, 136, "dat.h declarations")
+    lines.append("extern uchar *n;")
+    _landmark(lines, 136, "extern uchar *n;")
+    lines.extend([
+        "extern int nwindows;",
+        "extern char *version;",
+    ])
+    return "\n".join(lines) + "\n"
+
+
+def _fns_h() -> str:
+    lines = [
+        "void\tcontrol(void);",
+        "void\texecute(Text *t, int p0, int p1);",
+        "void\tlookup(char *s);",
+        "void\tXdie1(int argc, char *argv[], Page *page, Text *curt);",
+        "void\tXdie2(int argc, char *argv[], Page *page, Text *curt);",
+        "void\terrs(uchar *s);",
+        "int\ttextinsert(int sel, Text *t, uchar *s, int q0, int full);",
+        "int\tstrinsert(Text *t, uchar *s, int nn, int q0);",
+        "void\tfrinsert(Text *t, uchar **s, int p0);",
+        "void\tnewsel(Text *t);",
+        "int\tstrlen(char *s);",
+        "char*\tstrchr(char *s, int c);",
+        "Page*\tfindopen1(Page *p, char *name);",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def _help_c() -> str:
+    lines = [
+        "#include \"dat.h\"",
+        "#include \"fns.h\"",
+        "",
+        "int mouseslave;",
+        "int kbdslave;",
+        "",
+    ]
+    _pad(lines, 30, "help.c setup")
+    lines.extend([
+        "void",
+        "main(int argc, char *argv[])",
+        "{",
+        "\tint fn;",
+        "",
+    ])
+    lines.append("\tn = (uchar*)\"a test string\";")
+    _landmark(lines, 35, "n = \"a test string\";")
+    lines.extend([
+        "\tfn = 0;",
+        "\tnwindows = fn;",
+        "\tcontrol();",
+        "}",
+    ])
+    return "\n".join(lines) + "\n"
+
+
+def _exec_c() -> str:
+    lines = [
+        "#include \"dat.h\"",
+        "#include \"fns.h\"",
+        "",
+    ]
+    _pad(lines, 95, "exec.c tables")
+    lines.extend([
+        "void",                          # 95
+        "lookup(char *s)",               # 96
+        "{",                             # 97
+        "\tif(s == 0)",                  # 98
+        "\t\treturn;",                   # 99
+        "\tif(strchr(s, 'X'))",          # 100
+    ])
+    lines.append("\t\tXdie2(0, 0, 0, 0);")
+    _landmark(lines, 101, "Xdie2 call")
+    lines.extend([
+        "}",
+        "",
+    ])
+    _pad(lines, 203, "exec.c helpers")
+    lines.extend([
+        "void",                                  # 203
+        "execute(Text *t, int p0, int p1)",      # 204
+        "{",                                     # 205
+        "\tint i;",                              # 206
+    ])
+    lines.append("\tlookup(t->base + p0 + p1 + i);")
+    _landmark(lines, 207, "lookup call")
+    lines.extend([
+        "}",                                     # 208
+        "",                                      # 209
+        "void",                                  # 210
+        "Xdie1(int argc, char *argv[], Page *page, Text *curt)",  # 211
+        "{",                                     # 212
+    ])
+    lines.append("\tn = 0;")
+    _landmark(lines, 213, "n = 0;")
+    lines.extend([
+        "}",
+        "",
+    ])
+    _pad(lines, 249, "exec.c command glue")
+    lines.extend([
+        "void",                                  # 249
+        "Xdie2(int argc, char *argv[], Page *page, Text *curt)",  # 250
+        "{",                                     # 251
+    ])
+    lines.append("\terrs(n);")
+    _landmark(lines, 252, "errs(n);")
+    lines.extend([
+        "}",
+        "",
+        "/*",
+        " * Exact match",
+        " */",
+        "Page*",
+        "findopen1(Page *p, char *name)",
+        "{",
+        "\tchar *s;",
+        "\tint n;",
+        "\tPage *q;",
+        "",
+        "Again:",
+        "\tif(p == 0)",
+        "\t\treturn p;",
+        "\ts = p->name;",
+        "\tn = strlen(s);",
+        "\tq = p->next;",
+        "\tif(n == 0)",
+        "\t\tgoto Again;",
+        "\treturn q;",
+        "}",
+    ])
+    return "\n".join(lines) + "\n"
+
+
+def _errs_c() -> str:
+    lines = [
+        "#include \"dat.h\"",
+        "#include \"fns.h\"",
+        "",
+        "extern Text *errtext;",
+    ]
+    _pad(lines, 28, "errs.c buffers")
+    lines.extend([
+        "void",                          # 28
+        "errs(uchar *s)",                # 29
+        "{",                             # 30
+        "\tint full;",                   # 31
+        "",                              # 32
+        "\tfull = 1;",                   # 33
+    ])
+    lines.append("\ttextinsert(1, errtext, s, 13, full);")
+    _landmark(lines, 34, "textinsert call")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _text_c() -> str:
+    lines = [
+        "#include \"dat.h\"",
+        "#include \"fns.h\"",
+        "",
+        "Text *errtext;",
+        "",
+    ]
+    _pad(lines, 25, "text.c helpers")
+    lines.extend([
+        "int",                                           # 25
+        "textinsert(int sel, Text *t, uchar *s, int q0, int full)",  # 26
+        "{",                                             # 27
+        "\tint nn;",                                     # 28
+        "\tint p0;",                                     # 29
+        "\tif(sel)",                                     # 30
+        "\t\tnewsel(t);",                                # 31
+    ])
+    lines.append("\tnn = strlen((char*)s);")
+    _landmark(lines, 32, "strlen call")
+    lines.extend([
+        "\tstrinsert(t, s, nn, q0);",
+        "\tp0 = q0 - t->org;",
+        "\tif(p0 < 0)",
+        "\t\tt->org += nn;",
+        "\telse if(p0 <= t->nchars)",
+        "\t\tfrinsert(t, &s, p0);",
+        "\tt->q0 = q0;",
+        "\tif(!full)",
+        "\t\treturn 0;",
+        "\treturn nn;",
+        "}",
+    ])
+    return "\n".join(lines) + "\n"
+
+
+def _ctrl_c() -> str:
+    lines = [
+        "#include \"dat.h\"",
+        "#include \"fns.h\"",
+        "",
+    ]
+    _pad(lines, 318, "ctrl.c event loop")
+    lines.extend([
+        "void",              # 318
+        "control(void)",     # 319
+        "{",                 # 320
+        "\tText *t;",        # 321
+        "\tint p0;",         # 322
+        "\tint p1;",         # 323
+        "",                  # 324
+        "\tt = 0;",          # 325
+        "\tp0 = 2;",         # 326
+        "\tp1 = 2;",         # 327
+        "\tfor(;;){",        # 328
+        "\t\tif(t == 0)",    # 329
+        "\t\t\tbreak;",      # 330
+    ])
+    lines.append("\t\texecute(t, p0, p1);")
+    _landmark(lines, 331, "execute call")
+    lines.extend([
+        "\t}",
+        "}",
+    ])
+    return "\n".join(lines) + "\n"
+
+
+def _file_c() -> str:
+    return (
+        "#include \"dat.h\"\n"
+        "#include \"fns.h\"\n"
+        "\n"
+        "/* file ops */\n"
+        "int\n"
+        "fileload(Text *t, char *name)\n"
+        "{\n"
+        "\tif(name == 0)\n"
+        "\t\treturn -1;\n"
+        "\treturn 0;\n"
+        "}\n"
+    )
+
+
+def _mkfile() -> str:
+    # mirrors Figure 12's compile: vc -w exec.c; vl help.v ... (Plan 9
+    # mips toolchain).  Our mk substrate reads this dependency form.
+    return (
+        "OBJS=help.v ctrl.v exec.v errs.v text.v file.v\n"
+        "\n"
+        "help: $OBJS\n"
+        "\tvl -o help $OBJS -lg -lregexp -ldmalloc\n"
+        "\n"
+        "%.v: %.c dat.h fns.h\n"
+        "\tvc -w $stem.c\n"
+    )
+
+
+#: name -> builder
+_FILES = {
+    "dat.h": _dat_h,
+    "fns.h": _fns_h,
+    "help.c": _help_c,
+    "exec.c": _exec_c,
+    "errs.c": _errs_c,
+    "text.c": _text_c,
+    "ctrl.c": _ctrl_c,
+    "file.c": _file_c,
+    "mkfile": _mkfile,
+}
+
+#: the coordinates the figures rely on
+LANDMARKS = {
+    "n-declaration": ("dat.h", 136),
+    "n-initialized": ("help.c", 35),
+    "n-cleared": ("exec.c", 213),
+    "n-read": ("exec.c", 252),
+    "xdie2-call": ("exec.c", 101),
+    "lookup-call": ("exec.c", 207),
+    "strlen-call": ("text.c", 32),
+    "textinsert-call": ("errs.c", 34),
+    "execute-call": ("ctrl.c", 331),
+}
+
+
+def install_help_sources(ns: Namespace, directory: str = SRC_DIR) -> dict[str, tuple[str, int]]:
+    """Write the reconstructed sources under *directory*.
+
+    Returns :data:`LANDMARKS` for callers that assert coordinates.
+    """
+    ns.mkdir(directory, parents=True)
+    for name, builder in _FILES.items():
+        ns.write(f"{directory}/{name}", builder())
+    return dict(LANDMARKS)

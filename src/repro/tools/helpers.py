@@ -1,0 +1,114 @@
+"""help/parse, help/buf, help/goto, help/window: the glue utilities.
+
+``help/parse`` is the first line of every tool script: "examines
+$helpsel and establishes another set of environment variables, file,
+id, and line, describing what the user is pointing at."  Ours emits
+rc assignments on standard output for ``eval`` to absorb::
+
+    word='176153' id='n' first='2' file='/usr/rob/src/help/exec.c'
+    dir='/usr/rob/src/help' line='252' q0='4078' q1='4078' wid='7'
+
+``help/buf`` buffers its input completely before writing it on (so a
+window update arrives atomically), ``help/goto`` closes the loop the
+paper left open ("a future change to help will be to close this loop
+so the Open operation also happens automatically"), and
+``help/window`` maps a window name to its number for scripts that
+update an existing window (the mail tool's ``reread``).
+
+These commands need the live :class:`~repro.core.help.Help` object, so
+they are built by :func:`make_help_commands` as closures over it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.execute import parse_helpsel
+from repro.core.selection import parse_address, resolve_name
+from repro.core.window import Subwindow
+from repro.shell.interp import IO, Interp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.help import Help
+
+
+def _quote(value: str) -> str:
+    """rc single-quoting."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+def make_help_commands(help_app: "Help") -> dict[str, Callable[[Interp, list[str], IO], int]]:
+    """The command table entries that need the application object."""
+
+    def cmd_parse(interp: Interp, args: list[str], io: IO) -> int:
+        """help-parse [-c] — describe the current selection as rc vars."""
+        raw = (interp.get("helpsel") or [""])[0]
+        try:
+            wid, sub_name, q0, q1 = parse_helpsel(raw)
+        except ValueError:
+            io.stderr.append("parse: no usable $helpsel\n")
+            return 1
+        window = help_app.windows.get(wid)
+        if window is None:
+            io.stderr.append(f"parse: window {wid} is gone\n")
+            return 1
+        sub = Subwindow(sub_name)
+        text = window.text(sub)
+        if q0 == q1:
+            w0, w1 = text.word_at(q0)
+            word = text.slice(w0, w1) or text.slice(*text.filename_at(q0))
+        else:
+            word = text.slice(q0, q1)
+        name0, name1 = (q0, q1) if q0 != q1 else text.filename_at(q0)
+        name = text.slice(name0, name1)
+        line = text.line_of(q0)
+        line_start = text.pos_of_line(line)
+        line_end = text.line_span(line)[1]
+        first_words = text.slice(line_start, line_end).split()
+        first = first_words[0] if first_words else ""
+        file_name = window.name().rstrip("/")
+        if "-c" in args and not file_name:
+            io.stderr.append("parse: window has no file\n")
+            return 1
+        pairs = [
+            ("word", word), ("id", word), ("name", name), ("first", first),
+            ("file", file_name), ("dir", window.directory()),
+            ("line", str(line)), ("q0", str(q0)), ("q1", str(q1)),
+            ("wid", str(wid)),
+        ]
+        io.stdout.append(" ".join(f"{key}={_quote(value)}"
+                                  for key, value in pairs) + "\n")
+        return 0
+
+    def cmd_buf(interp: Interp, args: list[str], io: IO) -> int:
+        """help-buf — pass stdin through whole (atomic window updates)."""
+        io.stdout.append(io.stdin)
+        return 0
+
+    def cmd_goto(interp: Interp, args: list[str], io: IO) -> int:
+        """help-goto file[:line] — Open directly (the closed loop)."""
+        if not args:
+            io.stderr.append("usage: goto file:line\n")
+            return 1
+        address = parse_address(args[0])
+        path = resolve_name(address.name, interp.cwd)
+        window = help_app.open_path(path, line=address.line)
+        return 0 if window is not None else 1
+
+    def cmd_window(interp: Interp, args: list[str], io: IO) -> int:
+        """help-window name — print the number of the window named name."""
+        if not args:
+            io.stderr.append("usage: window name\n")
+            return 1
+        window = help_app.window_by_name(args[0])
+        if window is None:
+            return 1
+        io.stdout.append(f"{window.id}\n")
+        return 0
+
+    return {
+        "help-parse": cmd_parse,
+        "help-buf": cmd_buf,
+        "help-goto": cmd_goto,
+        "help-window": cmd_window,
+    }

@@ -1,0 +1,348 @@
+"""Assembling the whole world: one call builds the paper's machine.
+
+:func:`build_system` creates the VFS and namespace, installs the
+reconstructed help sources, the profile, the seven-message mailbox,
+the broken process, the simulated userland, the ``/bin/help``
+utilities, and the four tool directories (edit, cbr, db, mail) with
+their rc scripts — then boots a :class:`~repro.core.help.Help`
+session with ``/mnt/help`` mounted.  Everything the example session
+in the paper does is reachable from the returned :class:`System`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.execute import CommandResult
+from repro.core.help import Help
+from repro.fs import VFS, Namespace
+from repro.helpfs import HelpFS
+from repro.mail import Mailbox, cmd_mbox, sample_mailbox
+from repro.mk import cmd_imk, cmd_mk, cmd_vc, cmd_vl
+from repro.proc import ProcessTable, cmd_adb, cmd_ps, paper_crash
+from repro.shell import Interp
+from repro.shell.commands import DEFAULT_COMMANDS
+from repro.cbrowse.tools import CBROWSE_COMMANDS
+from repro.tools import corpus
+from repro.tools.helpers import make_help_commands
+
+PROFILE = """# /usr/rob/lib/profile — the Figure 2 profile
+bind -c $home/tmp /tmp
+bind -a $home/bin/rc /bin
+fn x { if(! ~ $#* 0) $* }
+switch($service){
+case terminal
+\tprompt=('g* ' '')
+\tsite=plan9
+case cpu
+\tnews
+}
+"""
+
+# -- the tool scripts ----------------------------------------------------------
+
+# The names each stf file advertises; "A help window on such a file
+# behaves much like a menu, but is really just a window on a plain
+# file."
+EDIT_STF = "Open\nPattern \"\nText ' '\nCut Paste Snarf\nWrite New\n"
+CBR_STF = "Open mk src decl uses *.c\n"
+DB_STF = "ps broke pc regs\nstack kstack nextkstack\n"
+MAIL_STF = "headers messages delete reread send\n"
+
+# The decl script, transliterated from the paper (the shape —
+# parse, new window, tag through help/buf, cpp|rcc|sed 1q into
+# bodyapp — is the original's; the ctl grammar is ours).
+CBR_DECL = """eval `{help/parse -c}
+x=`{cat /mnt/help/new/ctl}
+{
+\techo tag $dir/ Close!
+} | help/buf > /mnt/help/$x/ctl
+cpp $cppflags $file |
+help/rcc -w -g -i$id -n$line |
+sed 1q > /mnt/help/$x/bodyapp
+"""
+
+CBR_USES = """eval `{help/parse -c}
+x=`{cat /mnt/help/new/ctl}
+echo tag $dir/ Close! > /mnt/help/$x/ctl
+cd $dir
+help/cuses -i$id -f$file -n$line $dir/*.c > /mnt/help/$x/bodyapp
+"""
+
+# src closes the loop decl leaves open: it jumps straight to the
+# declaration (the paper: "A future change to help will be to close
+# this loop so the Open operation also happens automatically").
+CBR_SRC = """eval `{help/parse -c}
+loc=`{cpp $cppflags $file | help/rcc -w -g -i$id -n$line | sed 1q}
+cd $dir
+help/goto $loc
+"""
+
+CBR_MK = """eval `{help/parse}
+x=`{cat /mnt/help/new/ctl}
+echo tag $dir/mk Close! > /mnt/help/$x/ctl
+cd $dir
+mk > /mnt/help/$x/bodyapp
+"""
+
+CBR_IMK = """eval `{help/parse}
+x=`{cat /mnt/help/new/ctl}
+echo tag $dir/imk Close! > /mnt/help/$x/ctl
+cd $dir
+imk > /mnt/help/$x/bodyapp
+"""
+
+CBR_OPEN = """eval `{help/parse}
+cd $dir
+help/goto $name
+"""
+
+DB_PS = """x=`{cat /mnt/help/new/ctl}
+echo tag ps Close! > /mnt/help/$x/ctl
+ps > /mnt/help/$x/bodyapp
+"""
+
+DB_BROKE = """x=`{cat /mnt/help/new/ctl}
+echo tag broke Close! > /mnt/help/$x/ctl
+ps -b > /mnt/help/$x/bodyapp
+"""
+
+DB_STACK = """eval `{help/parse}
+x=`{cat /mnt/help/new/ctl}
+d=`{echo '$s' | adb $word}
+echo tag $d/ $word stack Close! > /mnt/help/$x/ctl
+echo '$C' | adb $word > /mnt/help/$x/bodyapp
+"""
+
+DB_KSTACK = """eval `{help/parse}
+x=`{cat /mnt/help/new/ctl}
+echo tag $word kstack Close! > /mnt/help/$x/ctl
+echo '$K' | adb $word > /mnt/help/$x/bodyapp
+"""
+
+DB_NEXTKSTACK = """eval `{help/parse}
+next=`{ps -b | grep -v $word | sed 1q}
+if(~ $#next 0) echo no more broken processes
+if not {
+\tx=`{cat /mnt/help/new/ctl}
+\techo tag $next(1) kstack Close! > /mnt/help/$x/ctl
+\techo '$K' | adb $next(1) > /mnt/help/$x/bodyapp
+}
+"""
+
+DB_PC = """eval `{help/parse}
+echo '$p' | adb $word
+"""
+
+DB_REGS = """eval `{help/parse}
+x=`{cat /mnt/help/new/ctl}
+echo tag $word regs Close! > /mnt/help/$x/ctl
+echo '$r' | adb $word > /mnt/help/$x/bodyapp
+"""
+
+MAIL_HEADERS = """x=`{cat /mnt/help/new/ctl}
+box=`{mbox path}
+echo tag $box /bin/help/mail Close! > /mnt/help/$x/ctl
+mbox headers > /mnt/help/$x/bodyapp
+"""
+
+MAIL_MESSAGES = """eval `{help/parse}
+x=`{cat /mnt/help/new/ctl}
+who=`{mbox from $first}
+echo tag From $who Close! > /mnt/help/$x/ctl
+mbox show $first > /mnt/help/$x/bodyapp
+"""
+
+MAIL_DELETE = """eval `{help/parse}
+mbox delete $first
+/help/mail/reread
+"""
+
+MAIL_REREAD = """box=`{mbox path}
+x=`{help/window $box}
+if(~ $#x 0) /help/mail/headers
+if not mbox headers > /mnt/help/$x/body
+"""
+
+MAIL_SEND = """eval `{help/parse}
+cat /mnt/help/$wid/body | mbox sendstdin $word
+"""
+
+# The rc browser: the paper's "given another language, we would need
+# only to modify the compiler" claim, applied to rc itself.
+RCB_STF = "rdecl ruses *.rc\n"
+
+RCB_RDECL = """eval `{help/parse}
+loc=`{help/rdecl -i$word $dir/*}
+cd $dir
+help/goto $loc
+"""
+
+RCB_RUSES = """eval `{help/parse}
+x=`{cat /mnt/help/new/ctl}
+echo tag $dir/ Close! > /mnt/help/$x/ctl
+help/ruses -i$word $dir/* > /mnt/help/$x/bodyapp
+"""
+
+_TOOL_SCRIPTS = {
+    "/help/edit/stf": EDIT_STF,
+    "/help/cbr/stf": CBR_STF,
+    "/help/cbr/decl": CBR_DECL,
+    "/help/cbr/uses": CBR_USES,
+    "/help/cbr/src": CBR_SRC,
+    "/help/cbr/mk": CBR_MK,
+    "/help/cbr/imk": CBR_IMK,
+    "/help/cbr/open": CBR_OPEN,
+    "/help/db/stf": DB_STF,
+    "/help/db/ps": DB_PS,
+    "/help/db/broke": DB_BROKE,
+    "/help/db/stack": DB_STACK,
+    "/help/db/kstack": DB_KSTACK,
+    "/help/db/nextkstack": DB_NEXTKSTACK,
+    "/help/db/pc": DB_PC,
+    "/help/db/regs": DB_REGS,
+    "/help/mail/stf": MAIL_STF,
+    "/help/mail/headers": MAIL_HEADERS,
+    "/help/mail/messages": MAIL_MESSAGES,
+    "/help/mail/delete": MAIL_DELETE,
+    "/help/mail/reread": MAIL_REREAD,
+    "/help/mail/send": MAIL_SEND,
+}
+
+# Installed only with build_system(extra_tools=True): the rc browser
+# is an extension, and loading it at boot would change the Figure 4
+# screen the benches reproduce.
+_EXTRA_TOOL_SCRIPTS = {
+    "/help/rcb/stf": RCB_STF,
+    "/help/rcb/rdecl": RCB_RDECL,
+    "/help/rcb/ruses": RCB_RUSES,
+}
+
+# /bin/help wrappers: the scripts say "help/parse"; rc finds these on
+# $path and they forward to the registered commands.
+_BIN_HELP = {
+    "/bin/help/parse": "help-parse $*\n",
+    "/bin/help/buf": "help-buf\n",
+    "/bin/help/goto": "help-goto $*\n",
+    "/bin/help/window": "help-window $*\n",
+    "/bin/help/rcc": "help-rcc $*\n",
+    "/bin/help/cuses": "help-cuses $*\n",
+    "/bin/help/cdecls": "help-cdecls $*\n",
+    "/bin/help/rdecl": "help-rdecl $*\n",
+    "/bin/help/ruses": "help-ruses $*\n",
+}
+
+
+@dataclass
+class System:
+    """The assembled world."""
+
+    ns: Namespace
+    help: Help
+    helpfs: HelpFS
+    procs: ProcessTable
+    mailbox: Mailbox
+    commands: dict
+    user: str = "rob"
+
+    def shell(self, cwd: str = "/") -> Interp:
+        """A fresh interactive shell on the shared namespace."""
+        interp = Interp(self.ns, cwd=cwd, commands=self.commands)
+        interp.set("user", [self.user])
+        interp.set("home", [f"/usr/{self.user}"])
+        interp.set("service", ["terminal"])
+        interp.set("cputype", ["mips"])
+        return interp
+
+
+def build_system(width: int = 100, height: int = 40,
+                 user: str = "rob", boot: bool = True,
+                 remote: bool = False, extra_tools: bool = False) -> System:
+    """Create the full simulated machine and boot help on it.
+
+    With ``remote=True``, external commands run on a simulated CPU
+    server over an exported namespace instead of on the terminal —
+    the multi-machine arrangement the paper's Discussion sketches.
+    With ``extra_tools=True``, the extension tools (the rc browser in
+    ``/help/rcb``) load at boot alongside the paper's four.
+    """
+    vfs = VFS()
+    ns = Namespace(vfs)
+    for directory in ("/bin/help", "/tmp", "/mnt", "/lib", "/sys/include",
+                      f"/usr/{user}/lib", f"/usr/{user}/tmp",
+                      f"/usr/{user}/bin/rc",
+                      "/help/edit", "/help/cbr", "/help/db", "/help/mail"):
+        ns.mkdir(directory, parents=True)
+
+    corpus.install_help_sources(ns)
+    ns.write(f"/usr/{user}/lib/profile", PROFILE)
+    ns.write("/lib/news", "UNIX in song & verse — send contributions.\n")
+    ns.write("/lib/fortunes",
+             "Minimalism is not a style, it is an attitude.\n"
+             "The best user interface is no user interface at all.\n"
+             "When in doubt, use brute force. - Ken Thompson\n")
+    ns.write("/sys/include/u.h", "typedef unsigned long ulong;\n")
+    ns.write("/sys/include/libc.h",
+             "int strlen(char *s);\nchar *strchr(char *s, int c);\n")
+    for path, text in _TOOL_SCRIPTS.items():
+        ns.write(path, text)
+    if extra_tools:
+        ns.mkdir("/help/rcb", parents=True)
+        for path, text in _EXTRA_TOOL_SCRIPTS.items():
+            ns.write(path, text)
+    for path, text in _BIN_HELP.items():
+        ns.write(path, text)
+
+    procs = ProcessTable()
+    paper_crash(procs)
+    mailbox = sample_mailbox(ns, user)
+
+    commands = dict(DEFAULT_COMMANDS)
+    commands["cpp"] = CBROWSE_COMMANDS["cpp"]
+    commands["help-rcc"] = CBROWSE_COMMANDS["rcc"]
+    commands["help-cuses"] = CBROWSE_COMMANDS["cuses"]
+    commands["help-cdecls"] = CBROWSE_COMMANDS["cdecls"]
+    from repro.cbrowse.rcbrowse import RCBROWSE_COMMANDS
+    commands.update(RCBROWSE_COMMANDS)
+    commands["mk"] = cmd_mk
+    commands["imk"] = cmd_imk
+    commands["vc"] = cmd_vc
+    commands["vl"] = cmd_vl
+    commands["mbox"] = cmd_mbox
+    commands["adb"] = cmd_adb(procs)
+    commands["ps"] = cmd_ps(procs)
+
+    def local_runner(cmdline: str, directory: str,
+                     env: dict[str, str]) -> CommandResult:
+        interp = Interp(ns, cwd=directory, commands=commands)
+        interp.set("user", [user])
+        interp.set("home", [f"/usr/{user}"])
+        interp.set("cppflags", [])
+        for key, value in env.items():
+            interp.set(key, [value])
+        result = interp.run(cmdline)
+        return CommandResult(result.status, result.stdout, result.stderr)
+
+    runner = local_runner
+    if remote:
+        from repro.proc.cpu import CpuServer, RemoteRunner
+        server = CpuServer()
+        # dialing is deferred until help has mounted /mnt/help, so the
+        # exported namespace includes the window file server
+        deferred: dict[str, RemoteRunner] = {}
+
+        def runner(cmdline: str, directory: str,
+                   env: dict[str, str]) -> CommandResult:
+            if "conn" not in deferred:
+                deferred["conn"] = RemoteRunner(
+                    server.dial(ns, commands, user))
+            return deferred["conn"](cmdline, directory, env)
+
+    help_app = Help(ns, width, height, runner=runner)
+    commands.update(make_help_commands(help_app))
+    helpfs = HelpFS(help_app)
+    helpfs.mount(ns)
+    if boot:
+        help_app.boot()
+    return System(ns=ns, help=help_app, helpfs=helpfs, procs=procs,
+                  mailbox=mailbox, commands=commands, user=user)

@@ -1,0 +1,83 @@
+"""Tests for the C tokenizer."""
+
+import pytest
+
+from repro.cbrowse.lexer import CLexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        assert kinds("int n;") == [("keyword", "int"), ("ident", "n"),
+                                   ("punct", ";")]
+
+    def test_numbers(self):
+        assert kinds("0x1f 42 3.14 1e-5")[0] == ("number", "0x1f")
+        assert [k for k, _ in kinds("0x1f 42 3.14 1e-5")] == ["number"] * 4
+
+    def test_strings_and_chars(self):
+        toks = tokenize('"a string" \'c\'')
+        assert toks[0].kind == "string"
+        assert toks[1].kind == "char"
+
+    def test_string_with_escapes(self):
+        toks = tokenize(r'"a \"quoted\" string"')
+        assert len(toks) == 1
+
+    def test_multichar_punct(self):
+        assert [t for _, t in kinds("a->b == c && d++")] == \
+            ["a", "->", "b", "==", "c", "&&", "d", "++"]
+
+    def test_three_char_punct(self):
+        assert ("punct", "<<=") in kinds("x <<= 2;")
+
+
+class TestComments:
+    def test_block_comment_skipped(self):
+        assert kinds("a /* comment */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_line_comment_skipped(self):
+        assert kinds("a // rest\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_multiline_comment_counts_lines(self):
+        toks = tokenize("/* one\ntwo\nthree */ x")
+        assert toks[0].line == 3
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CLexError):
+            tokenize("/* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(CLexError):
+            tokenize('"oops')
+
+
+class TestCoordinates:
+    def test_lines_counted(self):
+        toks = tokenize("int a;\nint b;\n\nint c;\n", file="x.c")
+        lines = {t.text: t.line for t in toks if t.kind == "ident"}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+    def test_file_label(self):
+        assert tokenize("x", file="dat.h")[0].file == "dat.h"
+
+
+class TestPreprocessor:
+    def test_include_is_cpp_token(self):
+        toks = tokenize('#include "dat.h"\nint x;\n')
+        assert toks[0].kind == "cpp"
+        assert toks[0].text == '#include "dat.h"'
+
+    def test_define_with_continuation(self):
+        toks = tokenize("#define BIG \\\n 100\nint x;")
+        assert toks[0].kind == "cpp"
+        assert "100" in toks[0].text
+        assert toks[1].text == "int"
+
+    def test_hash_mid_line_not_cpp(self):
+        # '#' after tokens on a line is stringize, not a directive
+        toks = tokenize("a # b")
+        assert toks[1] == toks[1].__class__("punct", "#", "<stdin>", 1)

@@ -1,0 +1,222 @@
+"""Tests for the scope-tracking C parser."""
+
+import pytest
+
+from repro.cbrowse import parse_program, parse_source
+from repro.fs import VFS, Namespace
+
+
+def decls(program, kind=None):
+    return [(d.name, d.kind, d.line) for d in program.decls
+            if kind is None or d.kind == kind]
+
+
+class TestDeclarations:
+    def test_global_variable(self):
+        p = parse_source("int n = 0;\n", "a.c")
+        assert ("n", "var", 1) in decls(p)
+
+    def test_pointer_and_multiple_declarators(self):
+        p = parse_source("char *s, buf[128], **argv;\n", "a.c")
+        names = [d.name for d in p.decls]
+        assert names == ["s", "buf", "argv"]
+
+    def test_function_definition(self):
+        p = parse_source("void f(int a, char *b) { }\n", "a.c")
+        assert ("f", "func", 1) in decls(p)
+        assert ("a", "param", 1) in decls(p)
+        assert ("b", "param", 1) in decls(p)
+
+    def test_prototype(self):
+        p = parse_source("int strlen(char *s);\n", "a.c")
+        assert ("strlen", "func", 1) in decls(p)
+
+    def test_local_variable(self):
+        p = parse_source("void f(void) { int x; x = 1; }\n", "a.c")
+        assert ("x", "local", 1) in decls(p)
+
+    def test_typedef(self):
+        p = parse_source("typedef struct Text Text;\nText *t;\n", "dat.h")
+        assert ("Text", "typedef", 1) in decls(p)
+        assert ("t", "var", 2) in decls(p)
+
+    def test_typedef_used_as_type_is_use(self):
+        p = parse_source("typedef int Num;\nNum x;\n", "a.c")
+        uses = [(u.name, u.line) for u in p.uses]
+        assert ("Num", 2) in uses
+
+    def test_struct_with_members(self):
+        p = parse_source("struct Page {\n\tint n;\n\tchar *text;\n};\n", "dat.h")
+        assert ("Page", "tag", 1) in decls(p)
+        assert ("n", "member", 2) in decls(p)
+        assert ("text", "member", 3) in decls(p)
+
+    def test_enum_constants(self):
+        p = parse_source("enum { Alpha, Beta = 2, Gamma };\n", "a.c")
+        names = [d.name for d in p.decls if d.kind == "enum"]
+        assert names == ["Alpha", "Beta", "Gamma"]
+
+    def test_extern_declaration(self):
+        p = parse_source("extern int n;\n", "dat.h")
+        assert ("n", "var", 1) in decls(p)
+
+    def test_macro_define(self):
+        p = parse_source("#define NBUF 128\nint x;\n", "a.c")
+        assert ("NBUF", "macro", 1) in decls(p)
+
+    def test_function_like_macro(self):
+        p = parse_source("#define MAX(a,b) ((a)>(b)?(a):(b))\n", "a.c")
+        assert ("MAX", "macro", 1) in decls(p)
+
+    def test_kr_function(self):
+        src = "main(argc, argv)\nint argc;\nchar *argv[];\n{\n\targc = 0;\n}\n"
+        p = parse_source(src, "a.c")
+        assert ("main", "func", 1) in decls(p)
+        assert ("argc", "param", 1) in decls(p)
+        # the body use of argc binds to the parameter
+        use = next(u for u in p.uses if u.name == "argc" and u.line == 5)
+        assert use.decl.kind == "param"
+
+
+class TestBinding:
+    def test_use_binds_to_global(self):
+        p = parse_source("int n;\nvoid f(void) { n = 1; }\n", "a.c")
+        use = next(u for u in p.uses if u.name == "n")
+        assert use.decl.kind == "var"
+        assert use.decl.line == 1
+
+    def test_local_shadows_global(self):
+        """The precision claim: the local n is a different n."""
+        src = ("int n;\n"
+               "void f(void) { int n; n = 1; }\n"
+               "void g(void) { n = 2; }\n")
+        p = parse_source(src, "a.c")
+        f_use = next(u for u in p.uses if u.name == "n" and u.line == 2)
+        g_use = next(u for u in p.uses if u.name == "n" and u.line == 3)
+        assert f_use.decl.kind == "local"
+        assert g_use.decl.kind == "var"
+
+    def test_param_shadows_global(self):
+        src = "int s;\nvoid f(int s) { s = 1; }\n"
+        p = parse_source(src, "a.c")
+        use = next(u for u in p.uses if u.name == "s" and u.line == 2)
+        assert use.decl.kind == "param"
+
+    def test_member_access_not_a_use(self):
+        src = "struct P { int n; };\nint n;\nvoid f(struct P *p) { p->n = n; }\n"
+        p = parse_source(src, "a.c")
+        uses_of_n = [u for u in p.uses if u.name == "n" and u.line == 3]
+        # only the rhs n counts; p->n is a member access
+        assert len(uses_of_n) == 1
+        assert uses_of_n[0].decl.kind == "var"
+
+    def test_call_is_a_use(self):
+        src = "int strlen(char *s);\nvoid f(char *x) { strlen(x); }\n"
+        p = parse_source(src, "a.c")
+        use = next(u for u in p.uses if u.name == "strlen" and u.line == 2)
+        assert use.decl.kind == "func"
+
+    def test_undeclared_is_unresolved(self):
+        p = parse_source("void f(void) { mystery(); }\n", "a.c")
+        assert [u.name for u in p.unresolved()] == ["mystery"]
+
+    def test_goto_label_not_a_use(self):
+        src = "void f(void) { goto Again; Again: return; }\n"
+        p = parse_source(src, "a.c")
+        assert not [u for u in p.uses if u.name == "Again"]
+
+    def test_scope_closes_at_brace(self):
+        src = ("void f(void) { int x; }\n"
+               "void g(void) { x = 1; }\n")
+        p = parse_source(src, "a.c")
+        use = next(u for u in p.uses if u.name == "x" and u.line == 2)
+        assert use.decl is None  # the local x is out of scope
+
+
+class TestQueries:
+    def test_declaration_of_at_use_site(self):
+        src = ("int n;\n"
+               "void f(void) { int n; n = 1; }\n")
+        p = parse_source(src, "a.c")
+        local = p.declaration_of("n", "a.c", 2)
+        assert local.kind == "local"
+
+    def test_declaration_of_pointing_at_decl(self):
+        p = parse_source("int n;\n", "a.c")
+        assert p.declaration_of("n", "a.c", 1).kind == "var"
+
+    def test_declaration_of_fallback_prefers_global(self):
+        src = "void f(void) { int n; }\nint n;\n"
+        p = parse_source(src, "a.c")
+        assert p.declaration_of("n").kind == "var"
+
+    def test_declaration_of_unknown(self):
+        assert parse_source("int x;", "a.c").declaration_of("zz") is None
+
+    def test_uses_of_includes_decl_site(self):
+        src = "int n;\nvoid f(void) { n = 1; n = 2; }\n"
+        p = parse_source(src, "a.c")
+        locations = [u.location for u in p.uses_of("n", "a.c", 2)]
+        assert locations == ["a.c:1", "a.c:2"]  # decl + (deduped) uses
+
+    def test_uses_of_excludes_shadowed(self):
+        src = ("int n;\n"
+               "void f(void) { int n; n = 1; }\n"
+               "void g(void) { n = 2; }\n")
+        p = parse_source(src, "a.c")
+        locations = [u.location for u in p.uses_of("n", "a.c", 3)]
+        assert "a.c:2" not in locations
+        assert "a.c:3" in locations
+
+    def test_declarations_in_file(self):
+        p = parse_source("int a;\nint b;\n", "x.c")
+        assert [d.name for d in p.declarations_in("x.c")] == ["a", "b"]
+
+
+class TestIncludes:
+    @pytest.fixture
+    def world(self):
+        fs = VFS()
+        fs.mkdir("/src", parents=True)
+        fs.mkdir("/sys/include", parents=True)
+        fs.create("/sys/include/libc.h", "int strlen(char *s);\n")
+        fs.create("/src/dat.h", "extern int n;\ntypedef struct T T;\n")
+        fs.create("/src/a.c",
+                  '#include <libc.h>\n#include "dat.h"\n'
+                  "void f(void) { n = strlen(\"x\"); }\n")
+        fs.create("/src/b.c", '#include "dat.h"\nvoid g(void) { n = 2; }\n')
+        return Namespace(fs)
+
+    def test_quoted_include_resolved_with_dot_label(self, world):
+        p = parse_program(world, ["/src/a.c"])
+        decl = p.declaration_of("n")
+        assert decl.file == "./dat.h"
+        assert decl.line == 1
+
+    def test_angle_include_resolved(self, world):
+        p = parse_program(world, ["/src/a.c"])
+        assert p.declaration_of("strlen") is not None
+
+    def test_missing_angle_include_recorded(self, world):
+        world.write("/src/c.c", "#include <u.h>\nint x;\n")
+        p = parse_program(world, ["/src/c.c"])
+        assert "<u.h>" in p.missing_includes
+        assert p.declaration_of("x") is not None
+
+    def test_header_parsed_once_across_units(self, world):
+        p = parse_program(world, ["/src/a.c", "/src/b.c"])
+        n_decls = [d for d in p.decls if d.name == "n"]
+        assert len(n_decls) == 1
+
+    def test_uses_merge_across_units(self, world):
+        p = parse_program(world, ["/src/a.c", "/src/b.c"])
+        locations = [u.location for u in p.uses_of("n")]
+        assert locations == ["./dat.h:1", "a.c:3", "b.c:2"]
+
+    def test_missing_quoted_include_recorded(self, world):
+        world.write("/src/d.c", '#include "gone.h"\nint y;\n')
+        p = parse_program(world, ["/src/d.c"])
+        assert "/src/gone.h" in p.missing_includes
+
+    def test_empty_program(self, world):
+        assert parse_program(world, []).decls == []

@@ -1,0 +1,132 @@
+"""Tests for the rc-script browser (the second-language claim)."""
+
+import pytest
+
+from repro import build_system
+from repro.cbrowse.rcbrowse import parse_rc_program
+from repro.fs import VFS, Namespace
+
+LIB_RC = """fn fail { echo $* ; exit 1 }
+fn banner { echo ==== $1 ==== }
+logfile=/tmp/log
+"""
+
+DEPLOY_RC = """target=production
+banner starting
+if(~ $target production) {
+\techo deploying to $target >> $logfile
+}
+if not fail unknown target $target
+banner done
+"""
+
+
+@pytest.fixture
+def ns():
+    fs = VFS()
+    fs.mkdir("/scripts", parents=True)
+    fs.create("/scripts/lib.rc", LIB_RC)
+    fs.create("/scripts/deploy.rc", DEPLOY_RC)
+    return Namespace(fs)
+
+
+class TestRcParse:
+    def test_fn_declared(self, ns):
+        program = parse_rc_program(ns, ["/scripts/lib.rc"])
+        decl = program.declaration_of("fail")
+        assert decl.kind == "func"
+        assert decl.location == "lib.rc:1"
+
+    def test_var_declared(self, ns):
+        program = parse_rc_program(ns, ["/scripts/lib.rc"])
+        assert program.declaration_of("logfile").location == "lib.rc:3"
+
+    def test_uses_across_files(self, ns):
+        program = parse_rc_program(
+            ns, ["/scripts/lib.rc", "/scripts/deploy.rc"],
+            base_dir="/scripts")
+        locations = [u.location for u in program.uses_of("banner")]
+        assert "lib.rc:2" in locations       # the definition
+        assert "deploy.rc:2" in locations    # first call
+        assert "deploy.rc:7" in locations    # second call
+
+    def test_var_uses(self, ns):
+        program = parse_rc_program(
+            ns, ["/scripts/lib.rc", "/scripts/deploy.rc"],
+            base_dir="/scripts")
+        locations = {u.location for u in program.uses_of("logfile")}
+        assert "lib.rc:3" in locations
+        assert "deploy.rc:4" in locations
+
+    def test_for_variable_declared(self, ns):
+        ns.write("/scripts/loop.rc", "for(host in a b c) echo $host\n")
+        program = parse_rc_program(ns, ["/scripts/loop.rc"])
+        assert program.declaration_of("host") is not None
+
+    def test_unparsable_script_recorded(self, ns):
+        ns.write("/scripts/broken.rc", "if( oops\n")
+        program = parse_rc_program(ns, ["/scripts/broken.rc"])
+        assert "/scripts/broken.rc" in program.missing_includes
+
+    def test_empty_program(self, ns):
+        assert parse_rc_program(ns, []).decls == []
+
+
+class TestRcBrowserCommands:
+    @pytest.fixture
+    def system(self, ns):
+        system = build_system(extra_tools=True)
+        system.ns.mkdir("/scripts", parents=True)
+        system.ns.write("/scripts/lib.rc", LIB_RC)
+        system.ns.write("/scripts/deploy.rc", DEPLOY_RC)
+        return system
+
+    def test_rdecl_command(self, system):
+        shell = system.shell("/scripts")
+        result = shell.run("help-rdecl -ifail lib.rc deploy.rc")
+        assert result.stdout == "lib.rc:1\n"
+
+    def test_ruses_command(self, system):
+        shell = system.shell("/scripts")
+        result = shell.run("help-ruses -ibanner lib.rc deploy.rc")
+        assert "deploy.rc:2" in result.stdout
+
+    def test_rdecl_unknown(self, system):
+        shell = system.shell("/scripts")
+        assert shell.run("help-rdecl -ighost lib.rc").status == 1
+
+    def test_usage_errors(self, system):
+        shell = system.shell("/scripts")
+        assert shell.run("help-rdecl lib.rc").status == 1
+        assert shell.run("help-ruses -ix").status == 1
+
+    def test_rcb_tool_loads_at_boot(self, system):
+        assert system.help.window_by_name("/help/rcb/stf") is not None
+
+    def test_rcb_tool_end_to_end(self, system):
+        """Point at a function name in a script window, click rdecl:
+        the definition opens — zero new UI code for a new language."""
+        h = system.help
+        deploy_w = h.open_path("/scripts/deploy.rc")
+        pos = deploy_w.body.string().index("banner") + 2
+        h.point_at(deploy_w, pos)
+        h.execute_text(h.window_by_name("/help/rcb/stf"), "rdecl")
+        lib_w = h.window_by_name("/scripts/lib.rc")
+        assert lib_w is not None
+        assert lib_w.body.line_of(lib_w.org) == 2  # fn banner's line
+
+    def test_rcb_ruses_window(self, system):
+        h = system.help
+        deploy_w = h.open_path("/scripts/deploy.rc")
+        pos = deploy_w.body.string().index("$logfile") + 3
+        h.point_at(deploy_w, pos)
+        h.execute_text(h.window_by_name("/help/rcb/stf"), "ruses")
+        uses_w = next(w for w in h.windows.values()
+                      if w.name() == "/scripts/"
+                      and "logfile" not in w.name()
+                      and "lib.rc:3" in w.body.string())
+        assert "deploy.rc:4" in uses_w.body.string()
+
+    def test_default_boot_excludes_rcb(self):
+        system = build_system()
+        assert system.help.window_by_name("/help/rcb/stf") is None

@@ -1,0 +1,58 @@
+"""Shared fixtures: a small Plan 9-ish world and a help session on it."""
+
+import pytest
+
+from repro.core.help import Help
+from repro.fs import VFS, Namespace
+
+HELP_C = """#include <u.h>
+#include <libc.h>
+#include "dat.h"
+#include "fns.h"
+
+int n = 0;
+
+void
+main(int argc, char *argv[])
+{
+\tn = 1;
+}
+"""
+
+DAT_H = """typedef struct Text Text;
+typedef struct Page Page;
+
+extern int n;
+"""
+
+PROFILE = """bind -c $home/tmp /tmp
+bind -a $home/bin/rc /bin
+"""
+
+
+@pytest.fixture
+def world():
+    """A VFS populated like the paper's examples."""
+    fs = VFS()
+    for d in ("/bin", "/tmp", "/mnt",
+              "/usr/rob/lib", "/usr/rob/src/help",
+              "/help/edit", "/help/cbr", "/help/db", "/help/mail"):
+        fs.mkdir(d, parents=True)
+    fs.create("/usr/rob/src/help/help.c", HELP_C)
+    fs.create("/usr/rob/src/help/dat.h", DAT_H)
+    fs.create("/usr/rob/src/help/errs.c", "void errs(char *s) {}\n")
+    fs.create("/usr/rob/src/help/file.c", "/* file ops */\n")
+    fs.create("/usr/rob/lib/profile", PROFILE)
+    fs.create("/help/edit/stf",
+              "Open\nPattern \"\nText ' '\nCut Paste Snarf\nWrite New\n")
+    fs.create("/help/cbr/stf", "Open mk src decl uses *.c\n")
+    fs.create("/help/db/stf",
+              "ps broke pc regs\nstack kstack nextkstack\n")
+    fs.create("/help/mail/stf", "headers messages delete reread send\n")
+    return Namespace(fs)
+
+
+@pytest.fixture
+def app(world):
+    """A help session (no external runner) on the world."""
+    return Help(world, width=100, height=40)

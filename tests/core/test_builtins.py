@@ -1,0 +1,268 @@
+"""Unit tests for the built-in commands, driven programmatically."""
+
+import pytest
+
+from repro.core.window import Subwindow
+
+
+def open_file(app, path):
+    return app.open_path(path)
+
+
+class TestCutPasteSnarf:
+    def test_cut_removes_and_remembers(self, app):
+        w = app.new_window("/tmp/f", "hello world")
+        app.select(w, 0, 5)
+        app.execute_text(w, "Cut")
+        assert w.body.string() == " world"
+        assert app.snarf == "hello"
+
+    def test_cut_empty_selection_keeps_buffer(self, app):
+        w = app.new_window("/tmp/f", "abc")
+        app.snarf = "kept"
+        app.point_at(w, 1)
+        app.execute_text(w, "Cut")
+        assert app.snarf == "kept"
+        assert w.body.string() == "abc"
+
+    def test_snarf_copies_without_deleting(self, app):
+        w = app.new_window("/tmp/f", "hello")
+        app.select(w, 0, 5)
+        app.execute_text(w, "Snarf")
+        assert w.body.string() == "hello"
+        assert app.snarf == "hello"
+
+    def test_paste_replaces_selection(self, app):
+        w = app.new_window("/tmp/f", "hello world")
+        app.snarf = "XY"
+        app.select(w, 0, 5)
+        app.execute_text(w, "Paste")
+        assert w.body.string() == "XY world"
+
+    def test_paste_at_point(self, app):
+        w = app.new_window("/tmp/f", "ab")
+        app.snarf = "-"
+        app.point_at(w, 1)
+        app.execute_text(w, "Paste")
+        assert w.body.string() == "a-b"
+
+    def test_cut_then_paste_roundtrip(self, app):
+        w = app.new_window("/tmp/f", "one two three")
+        app.select(w, 4, 8)
+        app.execute_text(w, "Cut")
+        app.point_at(w, 0)
+        app.execute_text(w, "Paste")
+        assert w.body.string() == "two one three"
+
+    def test_command_word_location_is_irrelevant(self, app):
+        """Cut may be executed from any window (e.g. the edit tool)."""
+        target = app.new_window("/tmp/f", "delenda")
+        tool = app.new_window("/help/edit/stf", "Cut Paste Snarf\n")
+        app.select(target, 0, 7)
+        app.execute_text(tool, "Cut")
+        assert target.body.string() == ""
+        assert app.snarf == "delenda"
+
+
+class TestOpen:
+    def test_open_with_argument(self, app):
+        app.execute_text(app.new_window(""), "Open /usr/rob/lib/profile")
+        w = app.window_by_name("/usr/rob/lib/profile")
+        assert w is not None
+        assert "bind -c" in w.body.string()
+
+    def test_open_null_selection_in_filename(self, app):
+        src = open_file(app, "/usr/rob/src/help/help.c")
+        pos = src.body.string().index("dat.h") + 2
+        app.point_at(src, pos)
+        app.execute_text(src, "Open")
+        assert app.window_by_name("/usr/rob/src/help/dat.h") is not None
+
+    def test_open_relative_uses_tag_directory(self, app):
+        src = open_file(app, "/usr/rob/src/help/help.c")
+        app.select(src, *src.body.find("errs.c")) if src.body.find("errs.c") \
+            else app.select(src, 0, 0)
+        # select the literal name "file.c" typed into the body
+        src.body.insert(0, "file.c ")
+        app.select(src, 0, 6)
+        app.execute_text(src, "Open")
+        assert app.window_by_name("/usr/rob/src/help/file.c") is not None
+
+    def test_open_directory_lists_with_slash(self, app):
+        w = app.new_window("")
+        app.execute_text(w, "Open /usr/rob/src/help")
+        dir_w = app.window_by_name("/usr/rob/src/help/")
+        assert dir_w is not None
+        body = dir_w.body.string()
+        assert "help.c\n" in body
+        assert "dat.h\n" in body
+
+    def test_open_line_number(self, app):
+        w = app.new_window("")
+        app.execute_text(w, "Open /usr/rob/src/help/help.c:6")
+        src = app.window_by_name("/usr/rob/src/help/help.c")
+        sel = src.body.slice(src.body_sel.q0, src.body_sel.q1)
+        assert sel == "int n = 0;"
+        assert src.body.line_of(src.org) == 6
+
+    def test_open_existing_reuses_window(self, app):
+        w1 = open_file(app, "/usr/rob/src/help/help.c")
+        app.execute_text(app.new_window(""), "Open /usr/rob/src/help/help.c")
+        windows = [w for w in app.windows.values()
+                   if w.name() == "/usr/rob/src/help/help.c"]
+        assert windows == [w1]
+
+    def test_open_missing_reports_error(self, app):
+        app.execute_text(app.new_window(""), "Open /no/such/file")
+        errors = app.window_by_name("Errors")
+        assert errors is not None
+        assert "does not exist" in errors.body.string()
+
+    def test_open_nothing_reports_error(self, app):
+        w = app.new_window("", "   ")
+        app.point_at(w, 1)
+        app.execute_text(w, "Open")
+        errors = app.window_by_name("Errors")
+        assert "no file name" in errors.body.string()
+
+    def test_open_dir_window_relative(self, app):
+        """Pointing at an entry in a directory window opens it there."""
+        w = app.new_window("")
+        app.execute_text(w, "Open /usr/rob/src/help")
+        dir_w = app.window_by_name("/usr/rob/src/help/")
+        pos = dir_w.body.string().index("errs.c") + 1
+        app.point_at(dir_w, pos)
+        app.execute_text(dir_w, "Open")
+        assert app.window_by_name("/usr/rob/src/help/errs.c") is not None
+
+
+class TestWindowOps:
+    def test_new_creates_empty_window(self, app):
+        w = app.new_window("/tmp/f")
+        before = len(app.windows)
+        app.execute_text(w, "New")
+        assert len(app.windows) == before + 1
+
+    def test_close_removes_window(self, app):
+        w = app.new_window("/tmp/f", "x")
+        app.execute_text(w, "Close!")
+        assert w.id not in app.windows
+        assert app.screen.column_of(w) is None
+
+    def test_close_applies_to_executing_window(self, app):
+        """Close! in window A's tag never touches window B."""
+        a = app.new_window("/tmp/a")
+        b = app.new_window("/tmp/b")
+        app.select(b, 0, 0)  # current selection in b
+        app.execute_text(a, "Close!", Subwindow.TAG)
+        assert a.id not in app.windows
+        assert b.id in app.windows
+
+    def test_put_writes_file(self, app):
+        w = open_file(app, "/usr/rob/src/help/errs.c")
+        w.replace_body("fixed\n", dirty=True)
+        app.execute_text(w, "Put!")
+        assert app.ns.read("/usr/rob/src/help/errs.c") == "fixed\n"
+        assert not w.dirty
+        assert "Put!" not in w.tag.string()
+
+    def test_put_on_unnamed_window_errors(self, app):
+        w = app.new_window("", "text")
+        app.execute_text(w, "Put!")
+        assert "no plain file name" in app.window_by_name("Errors").body.string()
+
+    def test_get_reloads_file(self, app):
+        w = open_file(app, "/usr/rob/src/help/errs.c")
+        w.replace_body("scratch", dirty=True)
+        app.execute_text(w, "Get!")
+        assert "void errs" in w.body.string()
+        assert not w.dirty
+
+    def test_get_relists_directory(self, app):
+        w = app.new_window("")
+        app.execute_text(w, "Open /usr/rob/src/help")
+        dir_w = app.window_by_name("/usr/rob/src/help/")
+        app.ns.write("/usr/rob/src/help/new.c", "")
+        app.execute_text(dir_w, "Get!")
+        assert "new.c\n" in dir_w.body.string()
+
+    def test_write_targets_current_selection(self, app):
+        w = open_file(app, "/usr/rob/src/help/errs.c")
+        w.replace_body("written\n", dirty=True)
+        app.point_at(w, 0)
+        tool = app.new_window("/help/edit/stf", "Write\n")
+        app.execute_text(tool, "Write")
+        assert app.ns.read("/usr/rob/src/help/errs.c") == "written\n"
+
+    def test_exit_stops_session(self, app):
+        w = app.new_window("help/Boot", tag_suffix="Exit")
+        app.execute_text(w, "Exit", Subwindow.TAG)
+        assert not app.running
+
+
+class TestSearch:
+    def test_text_finds_literal(self, app):
+        w = app.new_window("/tmp/f", "alpha beta gamma beta")
+        app.point_at(w, 0)
+        app.execute_text(w, "Text beta")
+        sel = w.body.slice(w.body_sel.q0, w.body_sel.q1)
+        assert sel == "beta"
+        assert w.body_sel.q0 == 6
+
+    def test_text_advances_and_wraps(self, app):
+        w = app.new_window("/tmp/f", "x ab x ab")
+        app.point_at(w, 0)
+        app.execute_text(w, "Text ab")
+        first = w.body_sel.q0
+        app.execute_text(w, "Text ab")
+        second = w.body_sel.q0
+        app.execute_text(w, "Text ab")
+        assert first == 2 and second == 7
+        assert w.body_sel.q0 == first  # wrapped around
+
+    def test_pattern_regexp(self, app):
+        w = app.new_window("/tmp/f", "int n42 = 0;")
+        app.point_at(w, 0)
+        app.execute_text(w, "Pattern n[0-9]+")
+        assert w.body.slice(w.body_sel.q0, w.body_sel.q1) == "n42"
+
+    def test_search_uses_selection_when_no_arg(self, app):
+        w = app.new_window("/tmp/f", "word more word")
+        app.select(w, 0, 4)  # selects the first "word"
+        app.execute_text(w, "Text")
+        assert w.body_sel.q0 == 10
+
+    def test_search_not_found(self, app):
+        w = app.new_window("/tmp/f", "abc")
+        app.point_at(w, 0)
+        app.execute_text(w, "Text zebra")
+        assert "not found" in app.window_by_name("Errors").body.string()
+
+    def test_search_nothing_to_search(self, app):
+        w = app.new_window("/tmp/f", "abc")
+        app.point_at(w, 0)
+        app.execute_text(w, "Text")
+        assert "nothing to search" in app.window_by_name("Errors").body.string()
+
+
+class TestUndoRedo:
+    def test_undo_builtin(self, app):
+        w = app.new_window("/tmp/f", "keep")
+        app.select(w, 0, 4)
+        app.execute_text(w, "Cut")
+        app.execute_text(w, "Undo")
+        assert w.body.string() == "keep"
+
+    def test_redo_builtin(self, app):
+        w = app.new_window("/tmp/f", "keep")
+        app.select(w, 0, 4)
+        app.execute_text(w, "Cut")
+        app.execute_text(w, "Undo")
+        app.execute_text(w, "Redo")
+        assert w.body.string() == ""
+
+    def test_undo_nothing(self, app):
+        w = app.new_window("/tmp/f", "")
+        app.point_at(w, 0)
+        app.execute_text(w, "Undo")
+        assert "nothing to undo" in app.window_by_name("Errors").body.string()

@@ -1,0 +1,246 @@
+"""Unit and property tests for columns and the placement heuristic."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.column import MIN_NEW_ROWS, Column
+from repro.core.frame import Rect
+from repro.core.window import Window
+
+
+def make_column(height=30, width=40):
+    return Column(Rect(0, 1, width, 1 + height))
+
+
+def lines(n):
+    return "".join(f"line {i}\n" for i in range(n))
+
+
+class TestGeometry:
+    def test_tab_strip_reserved(self):
+        col = make_column()
+        assert col.body_x0 == 1
+        assert col.text_width == 39
+
+    def test_empty_column(self):
+        col = make_column()
+        assert col.visible() == []
+        assert col.window_at(5) is None
+
+
+class TestPlacementRule1:
+    def test_first_window_at_top(self):
+        col = make_column()
+        w = Window(1, "/a", lines(3))
+        col.place(w)
+        assert w.y == col.rect.y0
+        assert not w.hidden
+
+    def test_second_below_lowest_text(self):
+        col = make_column(height=30)
+        w1 = Window(1, "/a", lines(4))  # tag + 4 body rows -> next at y0+5
+        col.place(w1)
+        w2 = Window(2, "/b", lines(2))
+        col.place(w2)
+        assert w2.y == col.rect.y0 + 5
+
+    def test_short_text_leaves_room(self):
+        col = make_column(height=30)
+        col.place(Window(1, "/a", ""))  # empty body still uses one row
+        w2 = Window(2, "/b", "")
+        col.place(w2)
+        assert w2.y == col.rect.y0 + 2
+
+    def test_window_extends_to_next_window(self):
+        col = make_column(height=30)
+        w1 = Window(1, "/a", lines(4))
+        w2 = Window(2, "/b", lines(2))
+        col.place(w1)
+        col.place(w2)
+        r1 = col.win_rect(w1)
+        assert r1.y1 == w2.y
+        r2 = col.win_rect(w2)
+        assert r2.y1 == col.rect.y1
+
+
+class TestPlacementRule2:
+    def test_covers_half_the_lowest_window(self):
+        col = make_column(height=20)
+        w1 = Window(1, "/a", lines(30))  # fills the column
+        col.place(w1)
+        w2 = Window(2, "/b", lines(2))
+        col.place(w2)
+        # rule 1 target would be the column bottom; rule 2 halves w1
+        assert w2.y == w1.y + 10
+        assert col.win_rect(w1).height == 10
+
+
+class TestPlacementRule3:
+    def test_bottom_quarter_hides_windows(self):
+        col = make_column(height=20)
+        w1 = Window(1, "/a", lines(30))
+        col.place(w1)
+        w2 = Window(2, "/b", lines(30))
+        col.place(w2)  # rule 2: halves w1 -> w2 at y0+10, full below
+        w3 = Window(3, "/c", lines(30))
+        col.place(w3)  # w2's half would be y0+15, leaving 5 rows >= MIN; ok
+        w4 = Window(4, "/d", lines(30))
+        col.place(w4)
+        # every placement keeps at least the tag row for visible windows
+        for w in col.visible():
+            assert col.win_rect(w).height >= 1
+        assert not w4.hidden
+
+    def test_rule3_hides_lowest(self):
+        col = make_column(height=8)  # tiny column forces rule 3 fast
+        wins = [Window(i, f"/w{i}", lines(20)) for i in range(4)]
+        for w in wins:
+            col.place(w)
+        assert any(w.hidden for w in wins[:-1])
+        assert not wins[-1].hidden
+        assert col.win_rect(wins[-1]).height >= MIN_NEW_ROWS
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=12),
+           st.integers(6, 40))
+    def test_visible_tags_always_on_screen(self, body_sizes, height):
+        """After any sequence of placements, every visible window shows
+        at least its tag, extents tile without overlap, and the last
+        placed window is visible (the paper's guarantees)."""
+        col = make_column(height=height)
+        for i, n in enumerate(body_sizes):
+            col.place(Window(i, f"/w{i}", lines(n)))
+        vis = col.visible()
+        assert vis, "column may not end up empty"
+        prev_bottom = None
+        for w in vis:
+            rect = col.win_rect(w)
+            assert rect.height >= 1
+            assert col.rect.y0 <= rect.y0 < col.rect.y1
+            assert rect.y1 <= col.rect.y1
+            if prev_bottom is not None:
+                assert rect.y0 == prev_bottom
+            prev_bottom = rect.y1
+        assert prev_bottom == col.rect.y1
+
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=12))
+    def test_newly_placed_window_never_hidden(self, body_sizes):
+        col = make_column(height=12)
+        last = None
+        for i, n in enumerate(body_sizes):
+            last = Window(i, f"/w{i}", lines(n))
+            col.place(last)
+            assert not last.hidden
+
+
+class TestMakeVisible:
+    def test_tab_click_reveals_hidden(self):
+        col = make_column(height=8)
+        wins = [Window(i, f"/w{i}", lines(20)) for i in range(4)]
+        for w in wins:
+            col.place(w)
+        hidden = next(w for w in wins if w.hidden)
+        col.make_visible(hidden)
+        assert not hidden.hidden
+        rect = col.win_rect(hidden)
+        assert rect.y1 == col.rect.y1  # extends to the bottom
+
+    def test_covers_windows_below(self):
+        col = make_column(height=20)
+        w1 = Window(1, "/a", lines(3))
+        w2 = Window(2, "/b", lines(3))
+        col.place(w1)
+        col.place(w2)
+        col.make_visible(w1)
+        assert w2.hidden
+        assert col.win_rect(w1).y1 == col.rect.y1
+
+    def test_unknown_window_rejected(self):
+        col = make_column()
+        try:
+            col.make_visible(Window(9, "/x"))
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+
+class TestMoveAndRemove:
+    def test_move_within_column(self):
+        col = make_column(height=20)
+        w1 = Window(1, "/a", lines(3))
+        w2 = Window(2, "/b", lines(3))
+        col.place(w1)
+        col.place(w2)
+        col.move_to(w2, col.rect.y0)  # drag w2 to the top
+        assert w2.y == col.rect.y0
+        assert w1.y > w2.y  # w1 pushed down to keep its tag visible
+
+    def test_move_clamps_to_column(self):
+        col = make_column(height=20)
+        w = Window(1, "/a")
+        col.place(w)
+        col.move_to(w, 999)
+        assert w.y == col.rect.y1 - 1
+
+    def test_move_joining_window(self):
+        col = make_column()
+        w = Window(1, "/a")
+        col.move_to(w, 5)
+        assert w in col.windows
+
+    def test_remove(self):
+        col = make_column()
+        w = Window(1, "/a")
+        col.place(w)
+        col.remove(w)
+        assert col.windows == []
+
+    def test_resize_refits(self):
+        col = make_column(height=30)
+        wins = [Window(i, f"/w{i}", lines(5)) for i in range(3)]
+        for w in wins:
+            col.place(w)
+        col.resize(Rect(0, 1, 40, 7))
+        for w in col.visible():
+            rect = col.win_rect(w)
+            assert rect.height >= 1
+            assert rect.y1 <= 7
+
+
+class TestHitTesting:
+    def test_tab_order_includes_hidden(self):
+        col = make_column(height=8)
+        wins = [Window(i, f"/w{i}", lines(20)) for i in range(4)]
+        for w in wins:
+            col.place(w)
+        assert set(col.tab_order()) == set(wins)
+
+    def test_tab_at(self):
+        col = make_column(height=20)
+        w1 = Window(1, "/a", lines(2))
+        w2 = Window(2, "/b", lines(2))
+        col.place(w1)
+        col.place(w2)
+        order = col.tab_order()
+        assert col.tab_at(col.rect.y0) is order[0]
+        assert col.tab_at(col.rect.y0 + 1) is order[1]
+        assert col.tab_at(col.rect.y0 + 2) is None
+
+    def test_window_at_rows(self):
+        col = make_column(height=20)
+        w1 = Window(1, "/a", lines(3))
+        w2 = Window(2, "/b", lines(2))
+        col.place(w1)
+        col.place(w2)
+        assert col.window_at(w1.y) is w1
+        assert col.window_at(w2.y) is w2
+        assert col.window_at(w2.y - 1) is w1
+
+    def test_body_frame_none_for_hidden(self):
+        col = make_column(height=8)
+        wins = [Window(i, f"/w{i}", lines(20)) for i in range(4)]
+        for w in wins:
+            col.place(w)
+        hidden = next(w for w in wins if w.hidden)
+        assert col.body_frame(hidden) is None
+        assert col.win_rect(hidden) is None

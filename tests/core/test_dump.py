@@ -1,0 +1,148 @@
+"""Tests for session dump/restore."""
+
+import pytest
+
+from repro import build_system
+from repro.core.dump import DumpError, dump, load, restore, save
+from repro.core.window import Subwindow
+
+
+@pytest.fixture
+def system():
+    return build_system(width=140, height=50)
+
+
+class TestDumpFormat:
+    def test_header(self, system):
+        text = dump(system.help)
+        assert text.startswith("help-dump 1\nscreen 140 50 2\n")
+
+    def test_every_window_listed(self, system):
+        text = dump(system.help)
+        for w in system.help.windows.values():
+            if w.name():
+                assert w.name() in text
+
+    def test_clean_windows_have_no_inline_body(self, system):
+        h = system.help
+        h.open_path("/usr/rob/lib/profile")
+        text = dump(h)
+        window_block = text[text.index("/usr/rob/lib/profile"):]
+        assert window_block.splitlines()[2] == "body -"
+
+    def test_dirty_windows_carry_body(self, system):
+        h = system.help
+        w = h.open_path("/usr/rob/lib/profile")
+        w.replace_body("unsaved edit\n", dirty=True)
+        text = dump(h)
+        assert "unsaved edit" in text
+
+    def test_dump_is_openable_text(self, system):
+        """The dump is just a file: help can open its own dump."""
+        h = system.help
+        save(h, "/tmp/session.dump")
+        w = h.open_path("/tmp/session.dump")
+        assert w.body.string().startswith("help-dump 1")
+
+
+class TestRoundTrip:
+    def test_layout_survives(self, system):
+        h = system.help
+        profile = h.open_path("/usr/rob/lib/profile")
+        exec_w = h.open_path("/usr/rob/src/help/exec.c", line=213)
+        before = {w.name(): (w.y, w.hidden, w.org)
+                  for w in h.windows.values()}
+        text = dump(h)
+        load(h, text)
+        after = {w.name(): (w.y, w.hidden, w.org)
+                 for w in h.windows.values()}
+        assert after == before
+
+    def test_unsaved_edits_survive(self, system):
+        h = system.help
+        w = h.open_path("/usr/rob/lib/profile")
+        w.replace_body("precious unsaved\nwork\n", dirty=True)
+        load(h, dump(h))
+        restored = h.window_by_name("/usr/rob/lib/profile")
+        assert restored.body.string() == "precious unsaved\nwork\n"
+        assert restored.dirty
+        assert "Put!" in restored.tag.string()
+
+    def test_clean_windows_reload_from_files(self, system):
+        h = system.help
+        h.open_path("/usr/rob/lib/profile")
+        text = dump(h)
+        system.ns.write("/usr/rob/lib/profile", "changed on disk\n")
+        load(h, text)
+        restored = h.window_by_name("/usr/rob/lib/profile")
+        assert restored.body.string() == "changed on disk\n"
+
+    def test_dirty_body_with_trailing_newlines(self, system):
+        h = system.help
+        w = h.new_window("/tmp/x", "a\n\n\nb\n\n", )
+        w.mark_dirty()
+        load(h, dump(h))
+        assert h.window_by_name("/tmp/x").body.string() == "a\n\n\nb\n\n"
+
+    def test_unnamed_window_round_trips(self, system):
+        h = system.help
+        w = h.new_window("", "scratch contents")
+        load(h, dump(h))
+        scratch = [x for x in h.windows.values()
+                   if x.body.string() == "scratch contents"]
+        assert len(scratch) == 1
+
+    def test_layout_invariants_after_load(self, system):
+        h = system.help
+        for i in range(6):
+            h.new_window(f"/tmp/w{i}", f"body {i}\n" * (i + 1))
+        load(h, dump(h))
+        for column in h.screen.columns:
+            bottom = None
+            for w in column.visible():
+                rect = column.win_rect(w)
+                assert rect is not None and rect.height >= 1
+                if bottom is not None:
+                    assert rect.y0 == bottom
+                bottom = rect.y1
+
+
+class TestBuiltins:
+    def test_dump_and_load_builtins(self, system):
+        h = system.help
+        w = h.open_path("/usr/rob/lib/profile")
+        w.replace_body("builtin dumped\n", dirty=True)
+        h.execute_text(w, "Dump /tmp/d", Subwindow.TAG)
+        assert system.ns.exists("/tmp/d")
+        w.replace_body("clobbered")
+        h.execute_text(w, "Load /tmp/d", Subwindow.TAG)
+        restored = h.window_by_name("/usr/rob/lib/profile")
+        assert restored.body.string() == "builtin dumped\n"
+
+    def test_default_path(self, system):
+        h = system.help
+        h.execute_text(h.window_by_name("help/Boot"), "Dump", Subwindow.TAG)
+        assert system.ns.exists("/usr/rob/help.dump")
+
+    def test_load_missing_reports(self, system):
+        h = system.help
+        h.execute_text(h.window_by_name("help/Boot"), "Load /nope",
+                       Subwindow.TAG)
+        assert "Load" in h.window_by_name("Errors").body.string()
+
+
+class TestErrors:
+    def test_not_a_dump(self, system):
+        with pytest.raises(DumpError, match="not a help dump"):
+            load(system.help, "just some text\n")
+
+    def test_truncated_dump(self, system):
+        with pytest.raises(DumpError):
+            load(system.help, "help-dump 1\nscreen 100 40 2\n"
+                              "window 0 1 0 0 0 /tmp/x\n")
+
+    def test_restore_function(self, system):
+        h = system.help
+        save(h, "/tmp/s")
+        restore(h, "/tmp/s")
+        assert h.window_by_name("help/Boot") is not None

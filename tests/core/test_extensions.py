@@ -1,0 +1,135 @@
+"""Tests for the extension builtins: Clone! and Shell windows."""
+
+import pytest
+
+from repro import build_system
+from repro.core.window import Subwindow
+
+
+@pytest.fixture
+def system():
+    return build_system()
+
+
+class TestClone:
+    def test_clone_copies_body(self, system):
+        h = system.help
+        w = h.open_path("/usr/rob/lib/profile")
+        h.execute_text(w, "Clone!", Subwindow.TAG)
+        clones = [x for x in h.windows.values() if x.name() == w.name()]
+        assert len(clones) == 2
+        a, b = clones
+        assert a.body.string() == b.body.string()
+
+    def test_clone_is_independent(self, system):
+        h = system.help
+        w = h.open_path("/usr/rob/lib/profile")
+        h.execute_text(w, "Clone!", Subwindow.TAG)
+        clone = next(x for x in h.windows.values()
+                     if x.name() == w.name() and x is not w)
+        clone.body.insert(0, "edited ")
+        assert not w.body.string().startswith("edited")
+        clone.body_sel.set(0, 3)
+        assert (w.body_sel.q0, w.body_sel.q1) == (0, 0)
+
+    def test_clone_preserves_dirty(self, system):
+        h = system.help
+        w = h.open_path("/usr/rob/lib/profile")
+        w.mark_dirty()
+        h.execute_text(w, "Clone!", Subwindow.TAG)
+        clone = next(x for x in h.windows.values()
+                     if x.name() == w.name() and x is not w)
+        assert clone.dirty
+
+    def test_either_clone_can_put(self, system):
+        h = system.help
+        w = h.open_path("/usr/rob/lib/profile")
+        h.execute_text(w, "Clone!", Subwindow.TAG)
+        clone = next(x for x in h.windows.values()
+                     if x.name() == w.name() and x is not w)
+        clone.replace_body("from the clone\n", dirty=True)
+        h.execute_text(clone, "Put!", Subwindow.TAG)
+        assert system.ns.read("/usr/rob/lib/profile") == "from the clone\n"
+
+
+class TestShellWindow:
+    def make_shell(self, system, directory="/usr/rob"):
+        h = system.help
+        anchor = h.new_window(f"{directory}/anchor")
+        h.point_at(anchor, 0)
+        h.execute_text(anchor, "Shell")
+        return h.window_by_name(f"{directory}/-rc")
+
+    def type_into(self, system, window, text):
+        h = system.help
+        column = h.screen.column_of(window)
+        rect = column.win_rect(window)
+        h.mouse_move(column.body_x0, rect.y0 + 1)
+        h.current = (window, Subwindow.BODY)
+        h.mouse_move(-1, -1)  # typing falls back to the current selection
+        h.type_text(text)
+
+    def test_shell_window_created_with_prompt(self, system):
+        shell_w = self.make_shell(system)
+        assert shell_w is not None
+        assert shell_w.is_shell
+        assert shell_w.body.string() == "% "
+
+    def test_shell_runs_line_on_newline(self, system):
+        shell_w = self.make_shell(system)
+        self.type_into(system, shell_w, "echo hello\n")
+        body = shell_w.body.string()
+        assert "hello\n" in body
+        assert body.endswith("% ")
+
+    def test_shell_runs_in_window_directory(self, system):
+        shell_w = self.make_shell(system, "/usr/rob/src/help")
+        self.type_into(system, shell_w, "pwd\n")
+        assert "/usr/rob/src/help\n" in shell_w.body.string()
+
+    def test_partial_line_waits(self, system):
+        shell_w = self.make_shell(system)
+        self.type_into(system, shell_w, "echo par")
+        assert shell_w.body.string() == "% echo par"
+        self.type_into(system, shell_w, "tial\n")
+        assert "partial\n" in shell_w.body.string()
+
+    def test_empty_line_just_reprompts(self, system):
+        shell_w = self.make_shell(system)
+        self.type_into(system, shell_w, "\n")
+        assert shell_w.body.string() == "% \n% "
+
+    def test_stderr_shown(self, system):
+        shell_w = self.make_shell(system)
+        self.type_into(system, shell_w, "no-such-command\n")
+        assert "not found" in shell_w.body.string()
+
+    def test_multiple_commands(self, system):
+        shell_w = self.make_shell(system)
+        self.type_into(system, shell_w, "echo one\n")
+        self.type_into(system, shell_w, "echo two\n")
+        body = shell_w.body.string()
+        assert "one\n" in body and "two\n" in body
+        assert body.count("% ") == 3
+
+    def test_two_lines_in_one_burst(self, system):
+        shell_w = self.make_shell(system)
+        self.type_into(system, shell_w, "echo a\necho b\n")
+        body = shell_w.body.string()
+        assert "a\n" in body and "b\n" in body
+
+    def test_shell_can_reach_mnt_help(self, system):
+        """A shell window scripting help itself — full circle."""
+        shell_w = self.make_shell(system)
+        self.type_into(system, shell_w, "cat /mnt/help/index\n")
+        assert "/help/edit/stf" in shell_w.body.string()
+
+    def test_normal_window_newline_does_not_execute(self, system):
+        """The rule stands everywhere else: newline is just a character."""
+        h = system.help
+        w = h.new_window("/tmp/plain", "")
+        h.point_at(w, 0)
+        h.mouse_move(-1, -1)
+        h.type_text("echo nope\n")
+        assert w.body.string() == "echo nope\n"
+        assert h.window_by_name("Errors") is None

@@ -1,0 +1,243 @@
+"""Unit and property tests for character-cell frames."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.frame import DisplayLine, Frame, Rect
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(2, 3, 10, 8)
+        assert r.width == 8
+        assert r.height == 5
+        assert not r.empty
+
+    def test_empty(self):
+        assert Rect(5, 5, 5, 9).empty
+        assert Rect(0, 0, 3, 0).empty
+
+    def test_negative_extent_clamps(self):
+        r = Rect(5, 5, 2, 2)
+        assert r.width == 0 and r.height == 0
+
+    def test_contains(self):
+        r = Rect(0, 0, 4, 4)
+        assert r.contains(0, 0)
+        assert r.contains(3, 3)
+        assert not r.contains(4, 0)
+        assert not r.contains(0, -1)
+
+    def test_intersects(self):
+        a = Rect(0, 0, 4, 4)
+        assert a.intersects(Rect(3, 3, 6, 6))
+        assert not a.intersects(Rect(4, 0, 6, 4))  # shares only an edge
+
+    def test_inset_rows(self):
+        r = Rect(0, 2, 5, 10).inset_rows(top=1, bottom=2)
+        assert (r.y0, r.y1) == (3, 8)
+
+
+class TestLayout:
+    def test_simple_lines(self):
+        f = Frame(10, 5)
+        lines = f.layout("ab\ncd\n")
+        assert [(l.start, l.end, l.hard) for l in lines] == [
+            (0, 2, True), (3, 5, True), (6, 6, True)]
+
+    def test_no_trailing_newline(self):
+        f = Frame(10, 5)
+        lines = f.layout("ab\ncd")
+        assert [(l.start, l.end) for l in lines] == [(0, 2), (3, 5)]
+
+    def test_wrapping(self):
+        f = Frame(3, 5)
+        lines = f.layout("abcdefg")
+        assert [(l.start, l.end, l.hard) for l in lines] == [
+            (0, 3, False), (3, 6, False), (6, 7, True)]
+
+    def test_height_caps_layout(self):
+        f = Frame(10, 2)
+        lines = f.layout("a\nb\nc\nd\n")
+        assert len(lines) == 2
+
+    def test_empty_text_has_one_row(self):
+        f = Frame(10, 3)
+        lines = f.layout("")
+        assert len(lines) == 1
+        assert (lines[0].start, lines[0].end) == (0, 0)
+
+    def test_origin_offsets(self):
+        f = Frame(10, 5)
+        lines = f.layout("aa\nbb\ncc", org=3)
+        assert [(l.start, l.end) for l in lines] == [(3, 5), (6, 8)]
+
+    def test_zero_height(self):
+        f = Frame(10, 0)
+        assert f.layout("abc") == []
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(0, 5)
+        with pytest.raises(ValueError):
+            Frame(5, -1)
+
+    def test_exact_width_line_no_spurious_wrap(self):
+        f = Frame(3, 5)
+        lines = f.layout("abc")
+        assert [(l.start, l.end, l.hard) for l in lines] == [(0, 3, True)]
+
+    def test_exact_width_then_newline(self):
+        f = Frame(3, 5)
+        lines = f.layout("abc\nd")
+        assert (lines[0].start, lines[0].end, lines[0].hard) == (0, 3, True)
+        assert (lines[1].start, lines[1].end) == (4, 5)
+
+
+class TestVisibleSpan:
+    def test_span_all_visible(self):
+        f = Frame(10, 5)
+        assert f.visible_span("ab\ncd") == (0, 5)
+
+    def test_span_clipped_by_height(self):
+        f = Frame(10, 1)
+        org, end = f.visible_span("ab\ncd")
+        assert (org, end) == (0, 3)  # first line plus its newline
+
+    def test_rows_used(self):
+        f = Frame(3, 10)
+        assert f.rows_used("abcdefg") == 3
+        assert f.rows_used("") == 1
+
+
+class TestPointMaps:
+    def test_char_of_point_basic(self):
+        f = Frame(10, 5)
+        text = "hello\nworld"
+        assert f.char_of_point(text, 0, 0, 0) == 0
+        assert f.char_of_point(text, 0, 0, 3) == 3
+        assert f.char_of_point(text, 0, 1, 2) == 8
+
+    def test_char_of_point_past_line_end_clamps(self):
+        f = Frame(10, 5)
+        assert f.char_of_point("hi\nyo", 0, 0, 9) == 2
+
+    def test_char_of_point_below_text_clamps(self):
+        f = Frame(10, 5)
+        assert f.char_of_point("hi", 0, 4, 0) == 2
+
+    def test_point_of_char_roundtrip(self):
+        f = Frame(10, 5)
+        text = "hello\nworld"
+        for pos in range(len(text) + 1):
+            pt = f.point_of_char(text, 0, pos)
+            if pt is None:
+                continue
+            row, col = pt
+            assert f.char_of_point(text, 0, row, col) == pos
+
+    def test_point_of_char_not_visible(self):
+        f = Frame(10, 1)
+        assert f.point_of_char("aa\nbb", 0, 4) is None
+
+    def test_point_of_char_with_origin(self):
+        f = Frame(10, 5)
+        assert f.point_of_char("aa\nbb", 3, 4) == (0, 1)
+
+    @given(st.text(alphabet="ab \n", max_size=60), st.integers(1, 8),
+           st.integers(0, 10), st.integers(0, 10))
+    def test_char_of_point_always_in_bounds(self, text, width, row, col):
+        f = Frame(width, 6)
+        pos = f.char_of_point(text, 0, row, col)
+        assert 0 <= pos <= len(text)
+
+
+class TestScrolling:
+    def test_origin_for_line(self):
+        f = Frame(10, 5)
+        text = "one\ntwo\nthree\n"
+        assert f.origin_for_line(text, 1) == 0
+        assert f.origin_for_line(text, 2) == 4
+        assert f.origin_for_line(text, 3) == 8
+
+    def test_origin_for_line_past_end(self):
+        f = Frame(10, 5)
+        assert f.origin_for_line("a\nb", 99) == 2
+
+    def test_scroll_origins(self):
+        f = Frame(10, 5)
+        assert f.scroll_origins("a\nbb\nc") == [0, 2, 5]
+
+    def test_scroll_down(self):
+        f = Frame(10, 2)
+        text = "a\nb\nc\nd"
+        org = f.scroll(text, 0, 1)
+        assert org == 2
+        org = f.scroll(text, org, 2)
+        assert org == 6
+
+    def test_scroll_down_clamps_at_end(self):
+        f = Frame(10, 2)
+        assert f.scroll("ab", 0, 5) <= 2
+
+    def test_scroll_up(self):
+        f = Frame(10, 2)
+        text = "a\nb\nc\nd"
+        assert f.scroll(text, 6, -1) == 4
+        assert f.scroll(text, 6, -3) == 0
+
+    def test_scroll_up_at_top(self):
+        f = Frame(10, 2)
+        assert f.scroll("a\nb", 0, -1) == 0
+
+    def test_scroll_zero(self):
+        f = Frame(10, 2)
+        assert f.scroll("a\nb", 2, 0) == 2
+
+    def test_scroll_up_through_wrapped_line(self):
+        f = Frame(3, 4)
+        text = "abcdefgh\nz"  # wraps into rows at 0, 3, 6
+        assert f.scroll(text, 9, -1) == 6
+        assert f.scroll(text, 9, -2) == 3
+        assert f.scroll(text, 9, -3) == 0
+
+    @given(st.text(alphabet="ab\n", max_size=50), st.integers(1, 6))
+    def test_scroll_down_then_up_returns_home(self, text, width):
+        f = Frame(width, 3)
+        down = f.scroll(text, 0, 2)
+        up = f.scroll(text, down, -2)
+        again = f.scroll(text, up, 2)
+        assert down == again
+
+
+class TestLayoutProperties:
+    @given(st.text(alphabet="abc \n", max_size=120), st.integers(1, 9),
+           st.integers(1, 8))
+    def test_layout_partitions_text(self, text, width, height):
+        """Display lines tile the text from the origin: each row starts
+        where the previous ended (skipping its newline), nothing is
+        skipped, and nothing shown twice."""
+        f = Frame(width, height)
+        lines = f.layout(text, 0)
+        assert lines[0].start == 0
+        for prev, cur in zip(lines, lines[1:]):
+            expected = prev.end + (1 if prev.hard else 0)
+            assert cur.start == expected
+        for line in lines:
+            assert 0 <= line.start <= line.end <= len(text)
+            assert line.end - line.start <= width
+            shown = text[line.start:line.end]
+            assert "\n" not in shown
+
+    @given(st.text(alphabet="ab\n", max_size=80), st.integers(1, 6))
+    def test_rows_never_exceed_height(self, text, width):
+        f = Frame(width, 4)
+        assert len(f.layout(text, 0)) <= 4
+
+    @given(st.text(alphabet="ab\n", max_size=80), st.integers(1, 6),
+           st.integers(0, 80))
+    def test_visible_span_consistent(self, text, width, org):
+        org = min(org, len(text))
+        f = Frame(width, 5)
+        start, end = f.visible_span(text, org)
+        assert start == org <= end <= len(text)

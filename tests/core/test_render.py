@@ -1,0 +1,86 @@
+"""Tests for the ASCII screenshot renderer."""
+
+from repro.core.render import render_screen, render_window
+
+
+class TestRenderScreen:
+    def test_empty_screen_has_header_and_strips(self, app):
+        shot = render_screen(app, footer=False)
+        lines = shot.split("\n")
+        assert lines[0].count("#") == 2  # one expand square per column
+        assert all(line.startswith(("|", "#")) for line in lines[1:] if line)
+
+    def test_window_tag_and_body_rendered(self, app):
+        app.new_window("/tmp/f", "hello body\n")
+        shot = render_screen(app, footer=False)
+        assert "[/tmp/f Close! Get!" in shot
+        assert "hello body" in shot
+
+    def test_tab_per_window(self, app):
+        col = app.screen.columns[0]
+        for i in range(3):
+            app.new_window(f"/tmp/w{i}", "x\n", column=col)
+        shot = render_screen(app, footer=False)
+        lines = shot.split("\n")
+        tower = [lines[col.rect.y0 + i][col.rect.x0] for i in range(4)]
+        assert tower == ["#", "#", "#", "|"]
+
+    def test_footer_reports_selection(self, app):
+        w = app.new_window("/tmp/f", "choose me")
+        app.select(w, 0, 6)
+        shot = render_screen(app)
+        assert "'choose'" in shot
+        assert f"window {w.id}" in shot
+
+    def test_footer_no_selection(self, app):
+        assert "no selection" in render_screen(app)
+
+    def test_long_selection_truncated_in_footer(self, app):
+        w = app.new_window("/tmp/f", "x" * 100)
+        app.select(w, 0, 100)
+        assert "..." in render_screen(app)
+
+    def test_hidden_window_not_rendered(self, app):
+        col = app.screen.columns[0]
+        body = "".join(f"l{i}\n" for i in range(60))
+        wins = [app.new_window(f"/tmp/w{i}", body, column=col)
+                for i in range(6)]
+        hidden = [w for w in wins if w.hidden]
+        assert hidden
+        shot = render_screen(app, footer=False)
+        for w in hidden:
+            assert f"[{w.name()} " not in shot
+
+    def test_grid_width_respected(self, app):
+        app.new_window("/tmp/longname-" + "x" * 200, "y" * 200)
+        shot = render_screen(app, footer=False)
+        assert all(len(line) <= app.screen.rect.width
+                   for line in shot.split("\n"))
+
+    def test_scrolled_window_shows_from_origin(self, app):
+        w = app.new_window("/tmp/f", "first\nsecond\nthird\n")
+        w.org = 6  # start of "second"
+        shot = render_screen(app, footer=False)
+        assert "second" in shot
+        assert "first" not in shot
+
+
+class TestRenderWindow:
+    def test_single_window(self, app):
+        w = app.new_window("/tmp/f", "alpha\nbeta\n")
+        out = render_window(app, w)
+        lines = out.split("\n")
+        assert lines[0].startswith("/tmp/f")
+        assert "alpha" in out and "beta" in out
+
+    def test_hidden_window(self, app):
+        col = app.screen.columns[0]
+        body = "".join(f"l{i}\n" for i in range(60))
+        wins = [app.new_window(f"/tmp/w{i}", body, column=col)
+                for i in range(6)]
+        hidden = next(w for w in wins if w.hidden)
+        assert "(hidden)" in render_window(app, hidden)
+
+    def test_unplaced_window(self, app):
+        from repro.core.window import Window
+        assert render_window(app, Window(99, "/x")) == ""

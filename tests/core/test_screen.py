@@ -1,0 +1,203 @@
+"""Unit tests for the screen: columns, hit testing, window movement."""
+
+import pytest
+
+from repro.core.frame import Rect
+from repro.core.screen import Region, Screen
+from repro.core.window import Window
+
+
+def lines(n):
+    return "".join(f"line {i}\n" for i in range(n))
+
+
+@pytest.fixture
+def screen():
+    return Screen(width=80, height=24, ncolumns=2)
+
+
+class TestLayout:
+    def test_two_columns_split_width(self, screen):
+        left, right = screen.columns
+        assert left.rect == Rect(0, 1, 40, 24)
+        assert right.rect == Rect(40, 1, 80, 24)
+
+    def test_header_row_reserved(self, screen):
+        assert all(col.rect.y0 == 1 for col in screen.columns)
+
+    def test_single_column(self):
+        s = Screen(width=40, height=10, ncolumns=1)
+        assert s.columns[0].rect == Rect(0, 1, 40, 10)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Screen(width=3, height=24, ncolumns=2)
+        with pytest.raises(ValueError):
+            Screen(width=80, height=2)
+
+
+class TestExpand:
+    def test_expand_grows_column(self, screen):
+        screen.expand_column(0)
+        assert screen.columns[0].rect.width == 60
+        assert screen.columns[1].rect.width == 20
+
+    def test_expand_again_restores(self, screen):
+        screen.expand_column(0)
+        screen.expand_column(0)
+        assert screen.columns[0].rect.width == 40
+
+    def test_expand_other_switches(self, screen):
+        screen.expand_column(0)
+        screen.expand_column(1)
+        assert screen.columns[1].rect.width == 60
+
+    def test_expand_bad_index(self, screen):
+        with pytest.raises(IndexError):
+            screen.expand_column(5)
+
+    def test_windows_survive_expansion(self, screen):
+        w = Window(1, "/a", lines(5))
+        screen.columns[1].place(w)
+        screen.expand_column(0)
+        rect = screen.columns[1].win_rect(w)
+        assert rect is not None
+        assert rect.x0 >= screen.columns[1].rect.x0
+
+
+class TestHitTesting:
+    def test_header_hit(self, screen):
+        hit = screen.hit(10, 0)
+        assert hit.region is Region.HEADER
+        assert hit.column is screen.columns[0]
+
+    def test_out_of_bounds(self, screen):
+        assert screen.hit(-1, 5).region is Region.BACKGROUND
+        assert screen.hit(200, 5).region is Region.BACKGROUND
+
+    def test_tab_strip_hit(self, screen):
+        w = Window(1, "/a", lines(2))
+        screen.columns[0].place(w)
+        hit = screen.hit(0, 1)
+        assert hit.region is Region.TAB
+        assert hit.window is w
+
+    def test_tab_strip_empty_square(self, screen):
+        hit = screen.hit(0, 5)
+        assert hit.region is Region.TAB
+        assert hit.window is None
+
+    def test_tag_hit_with_offset(self, screen):
+        w = Window(1, "/abc", lines(2))
+        screen.columns[0].place(w)
+        hit = screen.hit(3, w.y)  # cell 3 -> text col 2 -> 'b' of "/abc"
+        assert hit.region is Region.TAG
+        assert hit.window is w
+        assert hit.pos == 2
+
+    def test_body_hit_with_offset(self, screen):
+        w = Window(1, "/a", "hello\nworld\n")
+        screen.columns[0].place(w)
+        hit = screen.hit(2, w.y + 2)  # second body row, text col 1
+        assert hit.region is Region.BODY
+        assert hit.pos == 7  # 'o' of world
+
+    def test_body_hit_respects_origin(self, screen):
+        w = Window(1, "/a", "aa\nbb\ncc\n")
+        screen.columns[0].place(w)
+        w.org = 3  # scrolled one line
+        hit = screen.hit(1, w.y + 1)
+        assert hit.pos == 3
+
+    def test_background_in_empty_column(self, screen):
+        hit = screen.hit(50, 10)
+        assert hit.region is Region.BACKGROUND
+        assert hit.column is screen.columns[1]
+
+    def test_subwindow_property(self, screen):
+        from repro.core.window import Subwindow
+        w = Window(1, "/a", "x")
+        screen.columns[0].place(w)
+        assert screen.hit(2, w.y).subwindow is Subwindow.TAG
+        assert screen.hit(2, w.y + 1).subwindow is Subwindow.BODY
+        assert screen.hit(10, 0).subwindow is None
+
+
+class TestWindowMovement:
+    def test_move_within_column(self, screen):
+        w1 = Window(1, "/a", lines(3))
+        w2 = Window(2, "/b", lines(3))
+        screen.columns[0].place(w1)
+        screen.columns[0].place(w2)
+        screen.move_window(w2, 5, 1)
+        assert w2.y == 1
+
+    def test_move_across_columns(self, screen):
+        w = Window(1, "/a", lines(3))
+        screen.columns[0].place(w)
+        screen.move_window(w, 50, 5)
+        assert screen.column_of(w) is screen.columns[1]
+        assert w not in screen.columns[0].windows
+
+    def test_move_to_nowhere_keeps_column(self, screen):
+        w = Window(1, "/a")
+        screen.columns[0].place(w)
+        screen.move_window(w, 200, 5)  # off screen: stays put
+        assert screen.column_of(w) is screen.columns[0]
+
+    def test_remove_window(self, screen):
+        w = Window(1, "/a")
+        screen.columns[1].place(w)
+        screen.remove_window(w)
+        assert screen.column_of(w) is None
+
+    def test_all_windows(self, screen):
+        w1 = Window(1, "/a")
+        w2 = Window(2, "/b")
+        screen.columns[0].place(w1)
+        screen.columns[1].place(w2)
+        assert set(screen.all_windows()) == {w1, w2}
+
+    def test_column_of_unknown(self, screen):
+        assert screen.column_of(Window(9, "/zz")) is None
+
+
+class TestResize:
+    def test_resize_preserves_proportions(self, screen):
+        screen.resize(160, 48)
+        assert screen.rect == Rect(0, 0, 160, 48)
+        left, right = screen.columns
+        assert left.rect.width == 80
+        assert right.rect.width == 80
+        assert left.rect.y1 == 48
+
+    def test_resize_after_expand_keeps_ratio(self, screen):
+        screen.expand_column(0)  # 60/20 of 80
+        screen.resize(160, 48)
+        assert screen.columns[0].rect.width == 120
+
+    def test_windows_survive_resize(self, screen):
+        w = Window(1, "/a", lines(10))
+        screen.columns[0].place(w)
+        screen.resize(60, 12)
+        rect = screen.columns[0].win_rect(w)
+        assert rect is not None
+        assert rect.y1 <= 12
+
+    def test_shrink_may_hide_but_never_corrupts(self, screen):
+        wins = [Window(i, f"/w{i}", lines(6)) for i in range(8)]
+        for w in wins:
+            screen.columns[0].place(w)
+        screen.resize(40, 8)
+        col = screen.columns[0]
+        bottom = None
+        for w in col.visible():
+            rect = col.win_rect(w)
+            assert rect.height >= 1
+            if bottom is not None:
+                assert rect.y0 == bottom
+            bottom = rect.y1
+
+    def test_too_small_rejected(self, screen):
+        with pytest.raises(ValueError):
+            screen.resize(2, 40)

@@ -1,0 +1,96 @@
+"""Unit tests for the expansion rules."""
+
+from repro.core.selection import (
+    FileAddress,
+    expand_execution,
+    expand_operand,
+    parse_address,
+    resolve_name,
+)
+from repro.core.text import Text
+
+
+class TestExpandExecution:
+    def test_click_expands_to_word(self):
+        t = Text("select Cut here")
+        q0, q1, s = expand_execution(t, 8, 8)
+        assert s == "Cut"
+        assert (q0, q1) == (7, 10)
+
+    def test_sweep_is_literal(self):
+        t = Text("grep -n main")
+        q0, q1, s = expand_execution(t, 0, 12)
+        assert s == "grep -n main"
+
+    def test_nonnull_disables_expansion(self):
+        # "Making any non-null selection disables all such automatic actions"
+        t = Text("Cut")
+        _, _, s = expand_execution(t, 0, 2)
+        assert s == "Cu"
+
+    def test_click_in_whitespace(self):
+        t = Text("a  b")
+        _, _, s = expand_execution(t, 2, 2)
+        assert s in ("", "a")
+
+
+class TestExpandOperand:
+    def test_null_selection_grabs_filename(self):
+        t = Text("see dat.h there")
+        _, _, s = expand_operand(t, 6, 6)
+        assert s == "dat.h"
+
+    def test_null_after_name_still_grabs(self):
+        t = Text("/usr/rob/src/help/help.c")
+        _, _, s = expand_operand(t, 24, 24)
+        assert s == "/usr/rob/src/help/help.c"
+
+    def test_grabs_line_suffix(self):
+        t = Text("at text.c:32 crash")
+        _, _, s = expand_operand(t, 5, 5)
+        assert s == "text.c:32"
+
+    def test_literal_selection(self):
+        t = Text("abcdef")
+        _, _, s = expand_operand(t, 1, 4)
+        assert s == "bcd"
+
+
+class TestParseAddress:
+    def test_plain_name(self):
+        assert parse_address("help.c") == FileAddress("help.c", None)
+
+    def test_name_with_line(self):
+        assert parse_address("help.c:27") == FileAddress("help.c", 27)
+
+    def test_path_with_line(self):
+        addr = parse_address("/sys/src/libc/mips/strchr.s:34")
+        assert addr.name == "/sys/src/libc/mips/strchr.s"
+        assert addr.line == 34
+
+    def test_dotted_version_not_a_line(self):
+        # only a colon introduces a line number
+        assert parse_address("9.0") == FileAddress("9.0", None)
+
+    def test_whitespace_stripped(self):
+        assert parse_address("  f.c:3 ") == FileAddress("f.c", 3)
+
+    def test_str_roundtrip(self):
+        assert str(parse_address("a.c:7")) == "a.c:7"
+        assert str(parse_address("a.c")) == "a.c"
+
+
+class TestResolveName:
+    def test_absolute_stands_alone(self):
+        assert resolve_name("/bin/rc", "/usr/rob") == "/bin/rc"
+
+    def test_relative_gets_context(self):
+        assert resolve_name("dat.h", "/usr/rob/src/help") == \
+            "/usr/rob/src/help/dat.h"
+
+    def test_relative_with_subdir(self):
+        assert resolve_name("mips/strchr.s", "/sys/src") == \
+            "/sys/src/mips/strchr.s"
+
+    def test_normalizes(self):
+        assert resolve_name("../dat.h", "/usr/rob/src") == "/usr/rob/dat.h"

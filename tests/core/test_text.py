@@ -1,0 +1,403 @@
+"""Unit and property tests for the text engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.text import GapBuffer, Mark, Text
+
+
+class TestGapBuffer:
+    def test_empty(self):
+        buf = GapBuffer()
+        assert len(buf) == 0
+        assert buf.text() == ""
+
+    def test_initial_text(self):
+        buf = GapBuffer("hello")
+        assert buf.text() == "hello"
+        assert len(buf) == 5
+
+    def test_insert_at_start_middle_end(self):
+        buf = GapBuffer("bd")
+        buf.insert(0, "a")
+        buf.insert(2, "c")
+        buf.insert(4, "e")
+        assert buf.text() == "abcde"
+
+    def test_insert_empty_is_noop(self):
+        buf = GapBuffer("x")
+        buf.insert(0, "")
+        assert buf.text() == "x"
+
+    def test_insert_out_of_range(self):
+        buf = GapBuffer("x")
+        with pytest.raises(IndexError):
+            buf.insert(5, "y")
+        with pytest.raises(IndexError):
+            buf.insert(-1, "y")
+
+    def test_delete_returns_removed(self):
+        buf = GapBuffer("abcdef")
+        assert buf.delete(1, 4) == "bcd"
+        assert buf.text() == "aef"
+
+    def test_delete_out_of_range(self):
+        buf = GapBuffer("abc")
+        with pytest.raises(IndexError):
+            buf.delete(1, 9)
+
+    def test_slice_spanning_gap(self):
+        buf = GapBuffer("abcdef")
+        buf.insert(3, "XYZ")  # gap now sits at 6
+        assert buf.slice(1, 8) == "bcXYZde"
+
+    def test_slice_clamps(self):
+        buf = GapBuffer("abc")
+        assert buf.slice(-5, 99) == "abc"
+        assert buf.slice(2, 1) == ""
+
+    def test_char_at(self):
+        buf = GapBuffer("ab")
+        assert buf.char_at(0) == "a"
+        assert buf.char_at(1) == "b"
+        assert buf.char_at(2) == ""
+
+    def test_grow_past_initial_gap(self):
+        buf = GapBuffer("", gap=2)
+        buf.insert(0, "x" * 100)
+        assert buf.text() == "x" * 100
+
+    def test_many_alternating_edits(self):
+        buf = GapBuffer("0123456789")
+        buf.delete(0, 1)
+        buf.insert(9, "!")
+        buf.delete(4, 6)
+        assert buf.text() == "1234789!"
+
+
+@st.composite
+def edit_scripts(draw):
+    """A random sequence of insert/delete operations."""
+    ops = []
+    length = draw(st.integers(0, 30))
+    for _ in range(draw(st.integers(0, 12))):
+        kind = draw(st.sampled_from(["ins", "del"]))
+        if kind == "ins":
+            pos = draw(st.integers(0, length))
+            s = draw(st.text(alphabet="abc\n", min_size=1, max_size=8))
+            ops.append(("ins", pos, s))
+            length += len(s)
+        elif length > 0:
+            a = draw(st.integers(0, length - 1))
+            b = draw(st.integers(a + 1, length))
+            ops.append(("del", a, b))
+            length -= b - a
+    init = draw(st.text(alphabet="xyz\n", max_size=30).map(lambda s: s[:30]))
+    return init, ops
+
+
+class TestGapBufferProperties:
+    @given(edit_scripts())
+    def test_matches_reference_string(self, script):
+        """The gap buffer agrees with a plain-string reference model."""
+        init, ops = script
+        buf = GapBuffer(init)
+        ref = init
+        for op in ops:
+            if op[0] == "ins":
+                _, pos, s = op
+                if pos <= len(ref):
+                    buf.insert(pos, s)
+                    ref = ref[:pos] + s + ref[pos:]
+            else:
+                _, a, b = op
+                if b <= len(ref):
+                    got = buf.delete(a, b)
+                    assert got == ref[a:b]
+                    ref = ref[:a] + ref[b:]
+            assert buf.text() == ref
+            assert len(buf) == len(ref)
+
+    @given(st.text(alphabet="ab\n", max_size=40), st.integers(0, 45), st.integers(0, 45))
+    def test_slice_matches_python_slice(self, s, a, b):
+        buf = GapBuffer(s)
+        lo, hi = max(0, min(a, len(s))), max(0, min(b, len(s)))
+        assert buf.slice(a, b) == s[lo:hi] if lo < hi else buf.slice(a, b) == ""
+
+
+class TestTextEditing:
+    def test_insert_delete_roundtrip(self):
+        t = Text("hello world")
+        t.delete(5, 11)
+        t.insert(5, ", there")
+        assert t.string() == "hello, there"
+
+    def test_replace(self):
+        t = Text("abc")
+        t.replace(1, 2, "XY")
+        assert t.string() == "aXYc"
+
+    def test_set_string(self):
+        t = Text("old")
+        t.set_string("new contents")
+        assert t.string() == "new contents"
+
+    def test_delete_empty_range_noop(self):
+        t = Text("abc")
+        assert t.delete(2, 2) == ""
+        assert t.string() == "abc"
+
+
+class TestUndo:
+    def test_undo_insert(self):
+        t = Text("ab")
+        t.insert(1, "X")
+        assert t.undo()
+        assert t.string() == "ab"
+
+    def test_undo_delete(self):
+        t = Text("abc")
+        t.delete(0, 2)
+        assert t.undo()
+        assert t.string() == "abc"
+
+    def test_redo(self):
+        t = Text("abc")
+        t.delete(0, 1)
+        t.undo()
+        assert t.redo()
+        assert t.string() == "bc"
+
+    def test_undo_empty_returns_false(self):
+        t = Text("x")
+        assert not t.undo()
+        assert not t.redo()
+
+    def test_new_edit_clears_redo(self):
+        t = Text("abc")
+        t.delete(0, 1)
+        t.undo()
+        t.insert(0, "Z")
+        assert not t.can_redo
+
+    def test_group_is_single_step(self):
+        t = Text("hello")
+        with t.group():
+            t.delete(0, 5)
+            t.insert(0, "goodbye")
+        assert t.string() == "goodbye"
+        t.undo()
+        assert t.string() == "hello"
+
+    def test_nested_groups_flatten(self):
+        t = Text("x")
+        with t.group():
+            t.insert(1, "a")
+            with t.group():
+                t.insert(2, "b")
+        t.undo()
+        assert t.string() == "x"
+
+    def test_replace_is_one_undo(self):
+        t = Text("aaa")
+        t.replace(1, 2, "B")
+        t.undo()
+        assert t.string() == "aaa"
+
+    @given(edit_scripts())
+    def test_undo_all_restores_initial(self, script):
+        """Undoing every group always recovers the initial text."""
+        init, ops = script
+        t = Text(init)
+        for op in ops:
+            if op[0] == "ins" and op[1] <= len(t):
+                t.insert(op[1], op[2])
+            elif op[0] == "del" and op[2] <= len(t):
+                t.delete(op[1], op[2])
+        while t.undo():
+            pass
+        assert t.string() == init
+
+    @given(edit_scripts())
+    def test_undo_redo_is_identity(self, script):
+        init, ops = script
+        t = Text(init)
+        for op in ops:
+            if op[0] == "ins" and op[1] <= len(t):
+                t.insert(op[1], op[2])
+            elif op[0] == "del" and op[2] <= len(t):
+                t.delete(op[1], op[2])
+        final = t.string()
+        undone = 0
+        while t.undo():
+            undone += 1
+        for _ in range(undone):
+            assert t.redo()
+        assert t.string() == final
+
+
+class TestMarks:
+    def test_insert_before_shifts(self):
+        t = Text("abcdef")
+        m = t.add_mark(Mark(3, 5))
+        t.insert(0, "XX")
+        assert (m.q0, m.q1) == (5, 7)
+
+    def test_insert_after_leaves(self):
+        t = Text("abcdef")
+        m = t.add_mark(Mark(1, 2))
+        t.insert(4, "XX")
+        assert (m.q0, m.q1) == (1, 2)
+
+    def test_insert_inside_grows(self):
+        t = Text("abcdef")
+        m = t.add_mark(Mark(1, 5))
+        t.insert(3, "XY")
+        assert (m.q0, m.q1) == (1, 7)
+
+    def test_delete_before_shifts(self):
+        t = Text("abcdef")
+        m = t.add_mark(Mark(4, 6))
+        t.delete(0, 2)
+        assert (m.q0, m.q1) == (2, 4)
+
+    def test_delete_spanning_collapses(self):
+        t = Text("abcdef")
+        m = t.add_mark(Mark(2, 4))
+        t.delete(1, 5)
+        assert (m.q0, m.q1) == (1, 1)
+
+    def test_delete_overlapping_start(self):
+        t = Text("abcdef")
+        m = t.add_mark(Mark(2, 5))
+        t.delete(1, 3)
+        assert (m.q0, m.q1) == (1, 3)
+
+    def test_trailing_mark_rides_typing(self):
+        t = Text("ab")
+        caret = t.add_mark(Mark(1, 1, trailing=True))
+        t.insert(1, "X")
+        assert (caret.q0, caret.q1) == (2, 2)
+
+    def test_non_trailing_mark_stays_before_insert(self):
+        t = Text("ab")
+        m = t.add_mark(Mark(1, 1))
+        t.insert(1, "X")
+        assert (m.q0, m.q1) == (1, 1)
+
+    def test_drop_mark(self):
+        t = Text("ab")
+        m = t.add_mark(Mark(0, 1))
+        t.drop_mark(m)
+        t.insert(0, "XXX")
+        assert (m.q0, m.q1) == (0, 1)  # no longer tracked
+
+    def test_undo_adjusts_marks(self):
+        t = Text("abcdef")
+        m = t.add_mark(Mark(4, 6))
+        t.delete(0, 2)
+        assert (m.q0, m.q1) == (2, 4)
+        t.undo()
+        assert (m.q0, m.q1) == (4, 6)
+
+    @given(edit_scripts(), st.integers(0, 30), st.integers(0, 30))
+    def test_mark_always_within_bounds(self, script, a, b):
+        init, ops = script
+        t = Text(init)
+        q0, q1 = sorted((min(a, len(t)), min(b, len(t))))
+        m = t.add_mark(Mark(q0, q1))
+        for op in ops:
+            if op[0] == "ins" and op[1] <= len(t):
+                t.insert(op[1], op[2])
+            elif op[0] == "del" and op[2] <= len(t):
+                t.delete(op[1], op[2])
+            assert 0 <= m.q0 <= m.q1 <= len(t)
+
+
+class TestLineArithmetic:
+    def test_nlines(self):
+        assert Text("").nlines() == 0
+        assert Text("a").nlines() == 1
+        assert Text("a\n").nlines() == 1
+        assert Text("a\nb").nlines() == 2
+        assert Text("a\nb\n").nlines() == 2
+
+    def test_line_of(self):
+        t = Text("aa\nbb\ncc")
+        assert t.line_of(0) == 1
+        assert t.line_of(2) == 1
+        assert t.line_of(3) == 2
+        assert t.line_of(7) == 3
+
+    def test_pos_of_line(self):
+        t = Text("aa\nbb\ncc")
+        assert t.pos_of_line(1) == 0
+        assert t.pos_of_line(2) == 3
+        assert t.pos_of_line(3) == 6
+        assert t.pos_of_line(99) == 8  # clamped to end
+
+    def test_line_span(self):
+        t = Text("aa\nbbbb\n")
+        assert t.line_span(2) == (3, 7)
+
+    def test_line_roundtrip(self):
+        t = Text("one\ntwo\nthree\n")
+        for line in (1, 2, 3):
+            assert t.line_of(t.pos_of_line(line)) == line
+
+
+class TestExpansion:
+    def test_word_at_middle(self):
+        t = Text("execute Cut now")
+        q0, q1 = t.word_at(9)
+        assert t.slice(q0, q1) == "Cut"
+
+    def test_word_at_boundary(self):
+        t = Text("ab cd")
+        assert t.slice(*t.word_at(0)) == "ab"
+        assert t.slice(*t.word_at(2)) == "ab"  # just after 'ab'
+
+    def test_word_at_nonword(self):
+        t = Text("a  b")
+        q0, q1 = t.word_at(2)  # middle of the spaces: scan left finds nothing
+        assert (q0, q1) == (2, 2) or t.slice(q0, q1) in ("a", "b")
+
+    def test_filename_with_line_number(self):
+        t = Text("see text.c:32 there")
+        q0, q1 = t.filename_at(8)
+        assert t.slice(q0, q1) == "text.c:32"
+
+    def test_filename_with_path(self):
+        t = Text("open /usr/rob/lib/profile now")
+        q0, q1 = t.filename_at(10)
+        assert t.slice(q0, q1) == "/usr/rob/lib/profile"
+
+    def test_filename_at_end_of_name(self):
+        # Figure 3: null selection sits right after the typed name.
+        t = Text("/usr/rob/src/help/help.c")
+        q0, q1 = t.filename_at(len(t))
+        assert t.slice(q0, q1) == "/usr/rob/src/help/help.c"
+
+    def test_filename_at_gets_dash(self):
+        t = Text("dat-2.h ok")
+        assert t.slice(*t.filename_at(3)) == "dat-2.h"
+
+
+class TestSearch:
+    def test_find_literal(self):
+        t = Text("abc abc")
+        assert t.find("abc") == (0, 3)
+        assert t.find("abc", 1) == (4, 7)
+        assert t.find("zzz") is None
+        assert t.find("") is None
+
+    def test_find_pattern(self):
+        t = Text("foo bar42 baz")
+        assert t.find_pattern(r"bar\d+") == (4, 9)
+        assert t.find_pattern(r"qux") is None
+
+    def test_find_pattern_bad_regex(self):
+        assert Text("x").find_pattern("[") is None
+
+    def test_lines(self):
+        assert list(Text("a\nb").lines()) == ["a", "b"]

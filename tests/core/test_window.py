@@ -1,0 +1,152 @@
+"""Unit tests for windows (tag + body)."""
+
+from repro.core.window import PUT_WORD, Subwindow, Window
+
+
+def make(name="/usr/rob/src/help/help.c", body="int n;\nint m;\n"):
+    return Window(1, name, body)
+
+
+class TestNaming:
+    def test_tag_has_conventional_words(self):
+        w = make()
+        assert w.tag.string() == "/usr/rob/src/help/help.c Close! Get!"
+
+    def test_name_is_first_tag_word(self):
+        assert make().name() == "/usr/rob/src/help/help.c"
+
+    def test_empty_tag(self):
+        w = Window(2, "", tag_suffix="")
+        assert w.name() == ""
+
+    def test_directory_window(self):
+        w = make(name="/usr/rob/src/help/")
+        assert w.is_directory()
+        assert w.directory() == "/usr/rob/src/help"
+
+    def test_file_window_context_is_parent(self):
+        assert make().directory() == "/usr/rob/src/help"
+
+    def test_non_path_name_context_is_root(self):
+        w = Window(3, "help/Boot", tag_suffix="Exit")
+        assert w.directory() == "/"
+
+    def test_set_name_rewrites_tag(self):
+        w = make()
+        w.set_name("/tmp/other.c")
+        assert w.tag.string() == "/tmp/other.c Close! Get!"
+
+    def test_set_name_with_extra_words(self):
+        w = make()
+        w.set_name("/mail/box/rob/mbox", extra="/bin/help/mail")
+        assert w.tag.string() == "/mail/box/rob/mbox /bin/help/mail Close! Get!"
+
+
+class TestDirty:
+    def test_typing_marks_dirty_and_adds_put(self):
+        w = make()
+        w.type_text(Subwindow.BODY, "x")
+        assert w.dirty
+        assert PUT_WORD in w.tag.string().split()
+
+    def test_put_word_goes_after_name(self):
+        w = make()
+        w.mark_dirty()
+        assert w.tag.string() == "/usr/rob/src/help/help.c Put! Close! Get!"
+
+    def test_mark_clean_removes_put(self):
+        w = make()
+        w.mark_dirty()
+        w.mark_clean()
+        assert w.tag.string() == "/usr/rob/src/help/help.c Close! Get!"
+        assert not w.dirty
+
+    def test_double_dirty_one_put(self):
+        w = make()
+        w.mark_dirty()
+        w.mark_dirty()
+        assert w.tag.string().split().count(PUT_WORD) == 1
+
+    def test_clean_when_clean_is_noop(self):
+        w = make()
+        w.mark_clean()
+        assert w.tag.string() == "/usr/rob/src/help/help.c Close! Get!"
+
+    def test_typing_in_tag_does_not_dirty(self):
+        w = make()
+        w.type_text(Subwindow.TAG, "x")
+        assert not w.dirty
+
+    def test_set_name_on_dirty_window_keeps_put(self):
+        w = make()
+        w.mark_dirty()
+        w.set_name("/tmp/f.c")
+        assert PUT_WORD in w.tag.string().split()
+
+
+class TestEditing:
+    def test_type_replaces_selection(self):
+        w = make(body="hello world")
+        w.body_sel.set(0, 5)
+        w.type_text(Subwindow.BODY, "goodbye")
+        assert w.body.string() == "goodbye world"
+        assert (w.body_sel.q0, w.body_sel.q1) == (7, 7)  # caret after
+
+    def test_newline_is_just_a_character(self):
+        w = make(body="")
+        w.type_text(Subwindow.BODY, "line\n")
+        assert w.body.string() == "line\n"
+
+    def test_delete_selection_returns_text(self):
+        w = make(body="abcdef")
+        w.body_sel.set(1, 4)
+        assert w.delete_selection(Subwindow.BODY) == "bcd"
+        assert w.body.string() == "aef"
+        assert w.dirty
+
+    def test_delete_empty_selection_not_dirty(self):
+        w = make(body="abc")
+        w.body_sel.set(1, 1)
+        assert w.delete_selection(Subwindow.BODY) == ""
+        assert not w.dirty
+
+    def test_insert_at_selection_selects_pasted(self):
+        w = make(body="ab")
+        w.body_sel.set(1, 2)
+        w.insert_at_selection(Subwindow.BODY, "XYZ")
+        assert w.body.string() == "aXYZ"
+        assert (w.body_sel.q0, w.body_sel.q1) == (1, 4)
+
+    def test_append(self):
+        w = make(body="start\n")
+        w.append("more\n")
+        assert w.body.string() == "start\nmore\n"
+
+    def test_replace_body_resets_state(self):
+        w = make(body="old")
+        w.body_sel.set(1, 2)
+        w.org = 2
+        w.replace_body("brand new")
+        assert w.body.string() == "brand new"
+        assert w.org == 0
+        assert (w.body_sel.q0, w.body_sel.q1) == (0, 0)
+        assert not w.dirty
+
+
+class TestShowLine:
+    def test_show_line_scrolls_and_selects(self):
+        w = make(body="one\ntwo\nthree\nfour\n")
+        w.show_line(3)
+        assert w.org == 8
+        assert w.body.slice(w.body_sel.q0, w.body_sel.q1) == "three"
+
+    def test_show_line_one(self):
+        w = make(body="a\nb\n")
+        w.show_line(1)
+        assert w.org == 0
+        assert w.body.slice(w.body_sel.q0, w.body_sel.q1) == "a"
+
+    def test_show_line_past_end_clamps(self):
+        w = make(body="a\nb")
+        w.show_line(99)
+        assert w.org == len(w.body)

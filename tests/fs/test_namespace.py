@@ -1,0 +1,164 @@
+"""Unit tests for bind/mount namespaces."""
+
+import pytest
+
+from repro.fs import VFS, BindFlag, FsError, Namespace, SynthDir, SynthFile
+from repro.fs.vfs import File
+
+
+@pytest.fixture
+def ns():
+    fs = VFS()
+    fs.mkdir("/bin")
+    fs.create("/bin/grep", "#builtin grep")
+    fs.mkdir("/usr/rob/bin/rc", parents=True)
+    fs.create("/usr/rob/bin/rc/news", "#script news")
+    fs.mkdir("/usr/rob/tmp", parents=True)
+    fs.mkdir("/tmp")
+    fs.mkdir("/mnt")
+    return Namespace(fs)
+
+
+class TestResolution:
+    def test_plain_paths_pass_through(self, ns):
+        assert ns.read("/bin/grep") == "#builtin grep"
+
+    def test_missing_path(self, ns):
+        assert ns.resolve("/no/where") is None
+        with pytest.raises(FsError):
+            ns.walk("/no/where")
+
+    def test_exists_isdir(self, ns):
+        assert ns.exists("/bin")
+        assert ns.isdir("/bin")
+        assert not ns.isdir("/bin/grep")
+
+
+class TestBind:
+    def test_replace_bind(self, ns):
+        ns.bind("/usr/rob/tmp", "/tmp")
+        ns.write("/tmp/scratch", "x")
+        assert ns.read("/usr/rob/tmp/scratch") == "x"
+
+    def test_bind_after_union(self, ns):
+        # profile line: bind -a $home/bin/rc /bin
+        ns.bind("/usr/rob/bin/rc", "/bin", BindFlag.AFTER)
+        assert ns.read("/bin/grep") == "#builtin grep"
+        assert ns.read("/bin/news") == "#script news"
+        assert ns.listdir("/bin") == ["grep", "news"]
+
+    def test_bind_before_shadows(self, ns):
+        ns.vfs.create("/usr/rob/bin/rc/grep", "#my grep")
+        ns.bind("/usr/rob/bin/rc", "/bin", BindFlag.BEFORE)
+        assert ns.read("/bin/grep") == "#my grep"
+
+    def test_bind_after_does_not_shadow(self, ns):
+        ns.vfs.create("/usr/rob/bin/rc/grep", "#my grep")
+        ns.bind("/usr/rob/bin/rc", "/bin", BindFlag.AFTER)
+        assert ns.read("/bin/grep") == "#builtin grep"
+
+    def test_union_create_goes_to_first_member(self, ns):
+        ns.bind("/usr/rob/bin/rc", "/bin", BindFlag.BEFORE)
+        ns.write("/bin/newtool", "t")
+        assert ns.vfs.read("/usr/rob/bin/rc/newtool") == "t"
+        assert not ns.vfs.exists("/bin/newtool")
+
+    def test_bind_missing_src_fails(self, ns):
+        with pytest.raises(FsError):
+            ns.bind("/nope", "/tmp")
+
+    def test_bind_missing_dst_fails(self, ns):
+        with pytest.raises(FsError):
+            ns.bind("/tmp", "/nope")
+
+    def test_bind_file_over_dir_fails(self, ns):
+        with pytest.raises(FsError, match="differ in kind"):
+            ns.bind("/bin/grep", "/tmp")
+
+    def test_bind_file_over_file(self, ns):
+        ns.vfs.create("/usr/rob/mygrep", "#mine")
+        ns.bind("/usr/rob/mygrep", "/bin/grep")
+        assert ns.read("/bin/grep") == "#mine"
+
+    def test_unmount_restores(self, ns):
+        ns.bind("/usr/rob/bin/rc", "/bin")
+        assert not ns.exists("/bin/grep")
+        ns.unmount("/bin")
+        assert ns.exists("/bin/grep")
+
+    def test_unmount_unmounted_fails(self, ns):
+        with pytest.raises(FsError, match="not mounted"):
+            ns.unmount("/bin")
+
+    def test_remove_mount_point_fails(self, ns):
+        ns.bind("/usr/rob/tmp", "/tmp")
+        with pytest.raises(FsError, match="mount point"):
+            ns.remove("/tmp")
+
+    def test_nested_mounts(self, ns):
+        ns.bind("/usr/rob/bin/rc", "/bin", BindFlag.AFTER)
+        ns.vfs.mkdir("/usr/rob/bin/rc/sub")
+        ns.vfs.create("/usr/rob/bin/rc/sub/inner", "deep")
+        assert ns.read("/bin/sub/inner") == "deep"
+
+    def test_mount_table_inspection(self, ns):
+        ns.bind("/usr/rob/tmp", "/tmp")
+        table = ns.mount_table()
+        assert "/tmp" in table
+
+
+class TestFork:
+    def test_fork_copies_mounts(self, ns):
+        ns.bind("/usr/rob/tmp", "/tmp")
+        child = ns.fork()
+        assert child.exists("/tmp")
+        child.write("/tmp/x", "1")
+        assert ns.read("/tmp/x") == "1"  # shared VFS
+
+    def test_fork_mounts_are_independent(self, ns):
+        child = ns.fork()
+        child.bind("/usr/rob/bin/rc", "/bin")
+        assert not child.exists("/bin/grep")
+        assert ns.exists("/bin/grep")  # parent untouched
+
+
+class TestSyntheticMounts:
+    def test_mount_synth_dir(self, ns):
+        body = SynthFile("body", read_fn=lambda: "window text\n")
+        root = SynthDir("help", list_fn=lambda: [body])
+        ns.mount(root, "/mnt")
+        assert ns.read("/mnt/body") == "window text\n"
+
+    def test_synth_write_path(self, ns):
+        got = []
+        ctl = SynthFile("ctl", write_fn=got.append)
+        root = SynthDir("help", list_fn=lambda: [ctl])
+        ns.mount(root, "/mnt")
+        with ns.open("/mnt/ctl", "w") as f:
+            f.write("delete 0 5\n")
+        assert got == ["delete 0 5\n"]
+
+    def test_glob_through_mount(self, ns):
+        files = [File("1"), File("2"), File("index")]
+        root = SynthDir("help", list_fn=lambda: files)
+        ns.mount(root, "/mnt")
+        assert ns.glob("/mnt/[0-9]") == ["/mnt/1", "/mnt/2"]
+
+
+class TestNamespaceIO:
+    def test_mkdir_parents(self, ns):
+        ns.mkdir("/a/b/c", parents=True)
+        assert ns.isdir("/a/b/c")
+
+    def test_mkdir_existing_fails(self, ns):
+        with pytest.raises(FsError):
+            ns.mkdir("/bin")
+
+    def test_remove_from_union_first_member(self, ns):
+        ns.bind("/usr/rob/bin/rc", "/bin", BindFlag.AFTER)
+        ns.remove("/bin/news")
+        assert not ns.vfs.exists("/usr/rob/bin/rc/news")
+
+    def test_glob_sees_union(self, ns):
+        ns.bind("/usr/rob/bin/rc", "/bin", BindFlag.AFTER)
+        assert ns.glob("/bin/*") == ["/bin/grep", "/bin/news"]

@@ -1,0 +1,84 @@
+"""Property tests for namespace invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fs import VFS, BindFlag, Namespace
+
+names = st.sampled_from(["a", "b", "c", "d"])
+paths = st.lists(names, min_size=1, max_size=3).map(lambda p: "/" + "/".join(p))
+
+
+def fresh_ns():
+    fs = VFS()
+    for a in "abcd":
+        for b in "abcd":
+            fs.mkdir(f"/{a}/{b}", parents=True)
+            fs.create(f"/{a}/{b}/file_{a}{b}", f"{a}{b}\n")
+    return Namespace(fs)
+
+
+class TestBindProperties:
+    @given(st.lists(st.tuples(names, names,
+                              st.sampled_from(list(BindFlag))),
+                    max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_resolution_is_total(self, binds):
+        """After any bind sequence, every path either resolves or not —
+        no exceptions, and listing visible dirs always works."""
+        ns = fresh_ns()
+        for src, dst, flag in binds:
+            ns.bind(f"/{src}", f"/{dst}", flag)
+        for a in "abcd":
+            if ns.isdir(f"/{a}"):
+                for entry in ns.listdir(f"/{a}"):
+                    assert ns.exists(f"/{a}/{entry}")
+
+    @given(names, names, st.sampled_from(list(BindFlag)))
+    @settings(max_examples=30, deadline=None)
+    def test_unmount_restores(self, src, dst, flag):
+        ns = fresh_ns()
+        before = {p: ns.exists(p)
+                  for a in "abcd" for b in "abcd"
+                  for p in (f"/{a}/{b}/file_{a}{b}",)}
+        ns.bind(f"/{src}", f"/{dst}", flag)
+        ns.unmount(f"/{dst}")
+        after = {p: ns.exists(p) for p in before}
+        assert before == after
+
+    @given(names, names)
+    @settings(max_examples=30, deadline=None)
+    def test_after_bind_never_shadows(self, src, dst):
+        """bind -a adds names but never changes what existing names mean."""
+        ns = fresh_ns()
+        dst_entries = {name: ns.read(f"/{dst}/{name}")
+                       for name in ns.listdir(f"/{dst}")
+                       if not ns.isdir(f"/{dst}/{name}")}
+        ns.bind(f"/{src}", f"/{dst}", BindFlag.AFTER)
+        for name, content in dst_entries.items():
+            assert ns.read(f"/{dst}/{name}") == content
+
+    @given(names, names)
+    @settings(max_examples=30, deadline=None)
+    def test_before_bind_prefers_new(self, src, dst):
+        ns = fresh_ns()
+        ns.bind(f"/{src}", f"/{dst}", BindFlag.BEFORE)
+        for name in ns.listdir(f"/{src}"):
+            if not ns.isdir(f"/{src}/{name}"):
+                assert ns.read(f"/{dst}/{name}") == ns.read(f"/{src}/{name}")
+
+    @given(st.lists(st.tuples(names, names), max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_fork_isolation(self, binds):
+        """A child's binds never leak into the parent."""
+        ns = fresh_ns()
+        snapshot = ns.mount_table()
+        child = ns.fork()
+        for src, dst in binds:
+            child.bind(f"/{src}", f"/{dst}", BindFlag.BEFORE)
+        assert ns.mount_table().keys() == snapshot.keys()
+
+    @given(st.text(alphabet="abcd/.", max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_resolve_never_raises(self, path):
+        ns = fresh_ns()
+        ns.resolve(path)  # any string is a legal question

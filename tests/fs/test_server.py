@@ -1,0 +1,130 @@
+"""Unit tests for synthetic files and directories."""
+
+import pytest
+
+from repro.fs import FsError, SynthDir, SynthFile, SynthSession
+from repro.fs.vfs import File
+
+
+class TestSynthFile:
+    def test_read_snapshot_is_stable(self):
+        state = {"text": "first"}
+        f = SynthFile("body", read_fn=lambda: state["text"])
+        session = f.open("r")
+        assert session.read(2) == "fi"
+        state["text"] = "second"
+        assert session.read() == "rst"  # snapshot taken at first read
+
+    def test_new_open_sees_new_state(self):
+        state = {"text": "first"}
+        f = SynthFile("body", read_fn=lambda: state["text"])
+        assert f.open("r").read() == "first"
+        state["text"] = "second"
+        assert f.open("r").read() == "second"
+
+    def test_data_property_serves_live(self):
+        state = {"text": "x"}
+        f = SynthFile("body", read_fn=lambda: state["text"])
+        assert f.data == "x"
+        state["text"] = "y"
+        assert f.data == "y"
+
+    def test_data_not_assignable(self):
+        f = SynthFile("body", read_fn=lambda: "")
+        with pytest.raises(FsError):
+            f.data = "nope"
+
+    def test_write_line_buffered(self):
+        lines = []
+        f = SynthFile("ctl", write_fn=lines.append)
+        session = f.open("w")
+        session.write("insert 3")
+        assert lines == []  # incomplete line buffered
+        session.write(" x\nsel")
+        assert lines == ["insert 3 x\n"]
+        session.close()
+        assert lines == ["insert 3 x\n", "sel"]  # flushed on close
+
+    def test_write_many_lines_at_once(self):
+        lines = []
+        f = SynthFile("ctl", write_fn=lines.append)
+        with f.open("w") as session:
+            session.write("a\nb\nc\n")
+        assert lines == ["a\n", "b\n", "c\n"]
+
+    def test_read_only_file_rejects_write(self):
+        f = SynthFile("body", read_fn=lambda: "t")
+        with pytest.raises(FsError, match="not writable"):
+            f.open("w")
+
+    def test_write_only_file_rejects_read(self):
+        f = SynthFile("ctl", write_fn=lambda s: None)
+        with pytest.raises(FsError, match="not readable"):
+            f.open("r")
+
+    def test_bad_mode(self):
+        f = SynthFile("body", read_fn=lambda: "")
+        with pytest.raises(FsError, match="bad open mode"):
+            f.open("q")
+
+    def test_open_fn_per_open_state(self):
+        counter = {"n": 0}
+
+        def open_fn(mode):
+            counter["n"] += 1
+            return SynthSession(mode, read_fn=lambda: str(counter["n"]))
+
+        f = SynthFile("new", open_fn=open_fn)
+        assert f.open("r").read() == "1"
+        assert f.open("r").read() == "2"
+
+    def test_session_seek(self):
+        f = SynthFile("body", read_fn=lambda: "abcdef")
+        s = f.open("r")
+        s.seek(3)
+        assert s.read() == "def"
+
+    def test_closed_session_fails(self):
+        f = SynthFile("body", read_fn=lambda: "x")
+        s = f.open("r")
+        s.close()
+        with pytest.raises(FsError):
+            s.read()
+
+    def test_readlines(self):
+        f = SynthFile("body", read_fn=lambda: "a\nb\n")
+        assert f.open("r").readlines() == ["a\n", "b\n"]
+
+
+class TestSynthDir:
+    def test_dynamic_listing(self):
+        nodes = [File("1"), File("2")]
+        d = SynthDir("help", list_fn=lambda: list(nodes))
+        assert [e.name for e in d.entries()] == ["1", "2"]
+        nodes.append(File("3"))
+        assert [e.name for e in d.entries()] == ["1", "2", "3"]
+
+    def test_lookup_via_list(self):
+        nodes = [File("index")]
+        d = SynthDir("help", list_fn=lambda: nodes)
+        assert d.lookup("index") is nodes[0]
+        assert d.lookup("absent") is None
+
+    def test_lookup_fn_override(self):
+        made = File("7")
+        d = SynthDir("help", lookup_fn=lambda name: made if name == "7" else None)
+        assert d.lookup("7") is made
+        assert d.lookup("8") is None
+
+    def test_static_children_served_after_dynamic(self):
+        d = SynthDir("help", list_fn=lambda: [File("a")])
+        d.attach(File("z"))
+        assert [e.name for e in d.entries()] == ["a", "z"]
+        assert d.lookup("z").name == "z"
+
+    def test_dynamic_shadows_static(self):
+        dyn = File("index")
+        d = SynthDir("help", list_fn=lambda: [dyn])
+        d.attach(File("index"))
+        assert d.lookup("index") is dyn
+        assert len(d.entries()) == 1

@@ -1,0 +1,239 @@
+"""Unit tests for the in-memory VFS."""
+
+import pytest
+
+from repro.fs import VFS, FsError
+from repro.fs.vfs import basename, dirname, join, normalize, split_path
+
+
+@pytest.fixture
+def vfs():
+    fs = VFS()
+    fs.mkdir("/usr/rob/src/help", parents=True)
+    fs.create("/usr/rob/src/help/help.c", "int main;\n")
+    fs.create("/usr/rob/src/help/dat.h", "typedef struct Text Text;\n")
+    return fs
+
+
+class TestPaths:
+    def test_normalize_collapses_slashes(self):
+        assert normalize("//usr///rob/") == "/usr/rob"
+
+    def test_normalize_root(self):
+        assert normalize("/") == "/"
+        assert normalize("") == "/"
+
+    def test_normalize_dot(self):
+        assert normalize("/usr/./rob") == "/usr/rob"
+
+    def test_normalize_dotdot(self):
+        assert normalize("/usr/rob/../ken") == "/usr/ken"
+
+    def test_normalize_dotdot_at_root(self):
+        assert normalize("/../..") == "/"
+
+    def test_split_path(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("/") == []
+
+    def test_join_relative(self):
+        assert join("/usr/rob", "src") == "/usr/rob/src"
+
+    def test_join_absolute_wins(self):
+        assert join("/usr/rob", "/bin/rc") == "/bin/rc"
+
+    def test_basename_dirname(self):
+        assert basename("/usr/rob/profile") == "profile"
+        assert dirname("/usr/rob/profile") == "/usr/rob"
+        assert dirname("/profile") == "/"
+        assert basename("/") == ""
+
+
+class TestCreation:
+    def test_mkdir_and_exists(self, vfs):
+        assert vfs.isdir("/usr/rob/src/help")
+        assert not vfs.isdir("/usr/rob/src/help/help.c")
+
+    def test_mkdir_without_parents_fails(self, vfs):
+        with pytest.raises(FsError):
+            vfs.mkdir("/no/such/dir")
+
+    def test_mkdir_existing_fails(self, vfs):
+        with pytest.raises(FsError, match="already exists"):
+            vfs.mkdir("/usr/rob")
+
+    def test_mkdir_existing_with_parents_ok(self, vfs):
+        vfs.mkdir("/usr/rob", parents=True)  # no error
+
+    def test_create_in_missing_dir_fails(self, vfs):
+        with pytest.raises(FsError, match="does not exist"):
+            vfs.create("/nowhere/f", "x")
+
+    def test_create_over_dir_fails(self, vfs):
+        with pytest.raises(FsError, match="is a directory"):
+            vfs.create("/usr/rob", "x")
+
+    def test_create_truncates_existing(self, vfs):
+        vfs.create("/usr/rob/src/help/help.c", "new\n")
+        assert vfs.read("/usr/rob/src/help/help.c") == "new\n"
+
+
+class TestIO:
+    def test_read_write_roundtrip(self, vfs):
+        vfs.write("/usr/rob/f", "hello\n")
+        assert vfs.read("/usr/rob/f") == "hello\n"
+
+    def test_append(self, vfs):
+        vfs.write("/f", "a")
+        vfs.append("/f", "b")
+        assert vfs.read("/f") == "ab"
+
+    def test_append_creates(self, vfs):
+        vfs.append("/g", "x")
+        assert vfs.read("/g") == "x"
+
+    def test_read_missing_fails(self, vfs):
+        with pytest.raises(FsError, match="does not exist"):
+            vfs.read("/missing")
+
+    def test_open_dir_fails(self, vfs):
+        with pytest.raises(FsError, match="is a directory"):
+            vfs.open("/usr/rob")
+
+    def test_partial_reads(self, vfs):
+        vfs.write("/f", "abcdef")
+        with vfs.open("/f") as f:
+            assert f.read(2) == "ab"
+            assert f.read(2) == "cd"
+            assert f.read() == "ef"
+            assert f.read() == ""
+
+    def test_seek(self, vfs):
+        vfs.write("/f", "abcdef")
+        with vfs.open("/f") as f:
+            f.seek(4)
+            assert f.read() == "ef"
+
+    def test_seek_clamped(self, vfs):
+        vfs.write("/f", "ab")
+        with vfs.open("/f") as f:
+            f.seek(99)
+            assert f.read() == ""
+            f.seek(-5)
+            assert f.read() == "ab"
+
+    def test_readlines(self, vfs):
+        vfs.write("/f", "a\nb\nc")
+        with vfs.open("/f") as f:
+            assert f.readlines() == ["a\n", "b\n", "c"]
+
+    def test_write_mode_truncates(self, vfs):
+        vfs.write("/f", "long contents")
+        with vfs.open("/f", "w") as f:
+            f.write("x")
+        assert vfs.read("/f") == "x"
+
+    def test_rw_mode_overwrites_in_place(self, vfs):
+        vfs.write("/f", "abcdef")
+        with vfs.open("/f", "rw") as f:
+            f.write("XY")
+        assert vfs.read("/f") == "XYcdef"
+
+    def test_read_on_write_handle_fails(self, vfs):
+        with vfs.open("/f", "w") as f:
+            with pytest.raises(FsError):
+                f.read()
+
+    def test_write_on_read_handle_fails(self, vfs):
+        vfs.write("/f", "x")
+        with vfs.open("/f") as f:
+            with pytest.raises(FsError):
+                f.write("y")
+
+    def test_closed_handle_fails(self, vfs):
+        vfs.write("/f", "x")
+        f = vfs.open("/f")
+        f.close()
+        with pytest.raises(FsError):
+            f.read()
+
+    def test_bad_mode(self, vfs):
+        with pytest.raises(FsError, match="bad open mode"):
+            vfs.open("/usr/rob/src/help/help.c", "x")
+
+
+class TestListingRemoval:
+    def test_listdir_sorted(self, vfs):
+        assert vfs.listdir("/usr/rob/src/help") == ["dat.h", "help.c"]
+
+    def test_listdir_file_fails(self, vfs):
+        with pytest.raises(FsError, match="is not a directory"):
+            vfs.listdir("/usr/rob/src/help/help.c")
+
+    def test_remove_file(self, vfs):
+        vfs.remove("/usr/rob/src/help/dat.h")
+        assert not vfs.exists("/usr/rob/src/help/dat.h")
+
+    def test_remove_nonempty_dir_fails(self, vfs):
+        with pytest.raises(FsError, match="not empty"):
+            vfs.remove("/usr/rob/src")
+
+    def test_remove_empty_dir(self, vfs):
+        vfs.mkdir("/tmp")
+        vfs.remove("/tmp")
+        assert not vfs.exists("/tmp")
+
+    def test_remove_missing_fails(self, vfs):
+        with pytest.raises(FsError):
+            vfs.remove("/missing")
+
+
+class TestClock:
+    def test_mtime_advances_on_write(self, vfs):
+        vfs.write("/a", "1")
+        t1 = vfs.mtime("/a")
+        vfs.write("/b", "2")
+        assert vfs.mtime("/b") > t1
+
+    def test_touch_bumps(self, vfs):
+        vfs.write("/a", "1")
+        t1 = vfs.mtime("/a")
+        vfs.touch("/a")
+        assert vfs.mtime("/a") > t1
+        assert vfs.read("/a") == "1"
+
+    def test_touch_creates(self, vfs):
+        vfs.touch("/new")
+        assert vfs.read("/new") == ""
+
+    def test_append_updates_mtime(self, vfs):
+        vfs.write("/a", "1")
+        t1 = vfs.mtime("/a")
+        vfs.append("/a", "2")
+        assert vfs.mtime("/a") > t1
+
+
+class TestGlob:
+    def test_star_suffix(self, vfs):
+        assert vfs.glob("/usr/rob/src/help/*.c") == ["/usr/rob/src/help/help.c"]
+
+    def test_star_all(self, vfs):
+        got = vfs.glob("/usr/rob/src/help/*")
+        assert got == ["/usr/rob/src/help/dat.h", "/usr/rob/src/help/help.c"]
+
+    def test_question_mark(self, vfs):
+        vfs.create("/usr/rob/src/help/a.c", "")
+        vfs.create("/usr/rob/src/help/b.c", "")
+        assert vfs.glob("/usr/rob/src/help/?.c") == [
+            "/usr/rob/src/help/a.c",
+            "/usr/rob/src/help/b.c",
+        ]
+
+    def test_star_in_middle_component(self, vfs):
+        assert vfs.glob("/usr/*/src/help/help.c") == ["/usr/rob/src/help/help.c"]
+
+    def test_no_match_is_empty(self, vfs):
+        assert vfs.glob("/usr/rob/*.zig") == []
+
+    def test_literal_path(self, vfs):
+        assert vfs.glob("/usr/rob/src") == ["/usr/rob/src"]

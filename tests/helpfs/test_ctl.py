@@ -1,0 +1,73 @@
+"""Unit tests for the ctl message grammar helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.help import Help
+from repro.fs import VFS, Namespace
+from repro.helpfs.ctl import CtlError, apply_ctl, ctl_status, escape, unescape
+
+
+@pytest.fixture
+def app():
+    fs = VFS()
+    fs.mkdir("/mnt", parents=True)
+    return Help(Namespace(fs))
+
+
+class TestEscaping:
+    def test_unescape_newline_tab_backslash(self):
+        assert unescape(r"a\nb\tc\\d") == "a\nb\tc\\d"
+
+    def test_unescape_unknown_escape_passes_char(self):
+        assert unescape(r"\q") == "q"
+
+    def test_unescape_trailing_backslash(self):
+        assert unescape("a\\") == "a\\"
+
+    def test_escape(self):
+        assert escape("a\nb\tc\\d") == r"a\nb\tc\\d"
+
+    @given(st.text(alphabet="ab\n\t\\ ", max_size=30))
+    def test_roundtrip(self, s):
+        assert unescape(escape(s)) == s
+
+
+class TestApplyCtl:
+    def test_empty_line_ignored(self, app):
+        w = app.new_window("/t", "x")
+        apply_ctl(app, w, "\n")
+        apply_ctl(app, w, "   ")
+        assert w.body.string() == "x"
+
+    def test_unknown_verb_raises(self, app):
+        w = app.new_window("/t")
+        with pytest.raises(CtlError, match="unknown message"):
+            apply_ctl(app, w, "zap 1 2")
+
+    def test_missing_args_raises(self, app):
+        w = app.new_window("/t")
+        with pytest.raises(CtlError, match="missing arguments"):
+            apply_ctl(app, w, "delete 1")
+
+    def test_replace_without_text_deletes(self, app):
+        w = app.new_window("/t", "abcd")
+        apply_ctl(app, w, "replace 1 3")
+        assert w.body.string() == "ad"
+
+    def test_select_clamped(self, app):
+        w = app.new_window("/t", "ab")
+        apply_ctl(app, w, "select 0 999")
+        assert (w.body_sel.q0, w.body_sel.q1) == (0, 2)
+
+    def test_show_clamps_to_line_one(self, app):
+        w = app.new_window("/t", "a\nb\n")
+        apply_ctl(app, w, "show 0")
+        assert w.org == 0
+
+    def test_status_format(self, app):
+        w = app.new_window("/t", "hello")
+        w.mark_dirty()
+        fields = ctl_status(w).split()
+        assert len(fields) == 6
+        assert fields[3] == "1"

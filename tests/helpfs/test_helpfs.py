@@ -1,0 +1,241 @@
+"""Tests for the /mnt/help file server, driven through a namespace."""
+
+import pytest
+
+from repro.core.help import Help
+from repro.fs import VFS, Namespace
+from repro.helpfs import HelpFS
+
+
+@pytest.fixture
+def world():
+    fs = VFS()
+    fs.mkdir("/mnt", parents=True)
+    fs.mkdir("/tmp")
+    fs.create("/tmp/readme", "data\n")
+    return Namespace(fs)
+
+
+@pytest.fixture
+def app(world):
+    app = Help(world, width=100, height=40)
+    HelpFS(app).mount(world)
+    return app
+
+
+class TestReading:
+    def test_body_read(self, app, world):
+        w = app.new_window("/tmp/readme", "window contents\n")
+        assert world.read(f"/mnt/help/{w.id}/body") == "window contents\n"
+
+    def test_tag_read(self, app, world):
+        w = app.new_window("/tmp/readme")
+        assert world.read(f"/mnt/help/{w.id}/tag") == \
+            "/tmp/readme Close! Get!\n"
+
+    def test_cp_body_to_file(self, app, world):
+        """The paper's `cp /mnt/help/7/body file` scripting example."""
+        w = app.new_window("/tmp/readme", "precious text\n")
+        world.write("/tmp/copy", world.read(f"/mnt/help/{w.id}/body"))
+        assert world.read("/tmp/copy") == "precious text\n"
+
+    def test_index_lists_windows(self, app, world):
+        w1 = app.new_window("/tmp/a", "")
+        w2 = app.new_window("/tmp/b", "")
+        index = world.read("/mnt/help/index")
+        lines = index.splitlines()
+        assert f"{w1.id}\t/tmp/a Close! Get!" in lines
+        assert f"{w2.id}\t/tmp/b Close! Get!" in lines
+
+    def test_listing_root(self, app, world):
+        w = app.new_window("/tmp/a")
+        names = world.listdir("/mnt/help")
+        assert "index" in names
+        assert "new" in names
+        assert str(w.id) in names
+
+    def test_window_dir_contents(self, app, world):
+        w = app.new_window("/tmp/a")
+        assert world.listdir(f"/mnt/help/{w.id}") == \
+            ["body", "bodyapp", "ctl", "tag"]
+
+    def test_missing_window_number(self, app, world):
+        assert not world.exists("/mnt/help/999/body")
+
+    def test_closed_window_disappears(self, app, world):
+        w = app.new_window("/tmp/a")
+        path = f"/mnt/help/{w.id}"
+        assert world.exists(path)
+        app.close_window(w)
+        assert not world.exists(path)
+
+    def test_ctl_status(self, app, world):
+        w = app.new_window("/tmp/a", "12345")
+        app.select(w, 1, 3)
+        status = world.read(f"/mnt/help/{w.id}/ctl")
+        wid, taglen, bodylen, dirty, q0, q1 = status.split()
+        assert int(wid) == w.id
+        assert int(bodylen) == 5
+        assert (int(q0), int(q1)) == (1, 3)
+        assert int(dirty) == 0
+
+
+class TestWriting:
+    def test_body_write_replaces(self, app, world):
+        w = app.new_window("/tmp/a", "old")
+        world.write(f"/mnt/help/{w.id}/body", "new contents")
+        assert w.body.string() == "new contents"
+
+    def test_bodyapp_appends(self, app, world):
+        w = app.new_window("/tmp/a", "start\n")
+        world.append(f"/mnt/help/{w.id}/bodyapp", "appended\n")
+        assert w.body.string() == "start\nappended\n"
+
+    def test_bodyapp_multiple_writes(self, app, world):
+        w = app.new_window("/tmp/a", "")
+        with world.open(f"/mnt/help/{w.id}/bodyapp", "w") as f:
+            f.write("one\n")
+            f.write("two\n")
+        assert w.body.string() == "one\ntwo\n"
+
+    def test_ctl_insert(self, app, world):
+        w = app.new_window("/tmp/a", "ac")
+        world.append(f"/mnt/help/{w.id}/ctl", "insert 1 b\n")
+        assert w.body.string() == "abc"
+
+    def test_ctl_insert_with_escapes(self, app, world):
+        w = app.new_window("/tmp/a", "")
+        world.append(f"/mnt/help/{w.id}/ctl", "insert 0 two\\nlines\\n\n")
+        assert w.body.string() == "two\nlines\n"
+
+    def test_ctl_delete(self, app, world):
+        w = app.new_window("/tmp/a", "abcdef")
+        world.append(f"/mnt/help/{w.id}/ctl", "delete 1 4\n")
+        assert w.body.string() == "aef"
+
+    def test_ctl_replace(self, app, world):
+        w = app.new_window("/tmp/a", "hello world")
+        world.append(f"/mnt/help/{w.id}/ctl", "replace 0 5 goodbye\n")
+        assert w.body.string() == "goodbye world"
+
+    def test_ctl_select(self, app, world):
+        w = app.new_window("/tmp/a", "abcdef")
+        world.append(f"/mnt/help/{w.id}/ctl", "select 2 4\n")
+        assert (w.body_sel.q0, w.body_sel.q1) == (2, 4)
+        assert app.current == (w, __import__("repro.core.window",
+                                             fromlist=["Subwindow"]).Subwindow.BODY)
+
+    def test_ctl_show_line(self, app, world):
+        w = app.new_window("/tmp/a", "one\ntwo\nthree\n")
+        world.append(f"/mnt/help/{w.id}/ctl", "show 3\n")
+        assert w.body.line_of(w.org) == 3
+
+    def test_ctl_name(self, app, world):
+        w = app.new_window("/tmp/a")
+        world.append(f"/mnt/help/{w.id}/ctl", "name /tmp/renamed\n")
+        assert w.name() == "/tmp/renamed"
+
+    def test_ctl_tag(self, app, world):
+        w = app.new_window("/tmp/a")
+        world.append(f"/mnt/help/{w.id}/ctl", "tag /custom Close!\n")
+        assert w.tag.string() == "/custom Close!"
+
+    def test_ctl_clean_dirty(self, app, world):
+        w = app.new_window("/tmp/a", "x")
+        world.append(f"/mnt/help/{w.id}/ctl", "dirty\n")
+        assert w.dirty
+        world.append(f"/mnt/help/{w.id}/ctl", "clean\n")
+        assert not w.dirty
+
+    def test_ctl_close(self, app, world):
+        w = app.new_window("/tmp/a")
+        world.append(f"/mnt/help/{w.id}/ctl", "close\n")
+        assert w.id not in app.windows
+
+    def test_ctl_scroll(self, app, world):
+        body = "".join(f"l{i}\n" for i in range(50))
+        w = app.new_window("/tmp/a", body)
+        world.append(f"/mnt/help/{w.id}/ctl", "scroll 3\n")
+        assert w.org == body.index("l3\n")
+
+    def test_ctl_several_messages_one_write(self, app, world):
+        w = app.new_window("/tmp/a", "")
+        world.append(f"/mnt/help/{w.id}/ctl",
+                     "insert 0 hello\ndirty\nselect 0 5\n")
+        assert w.body.string() == "hello"
+        assert w.dirty
+        assert (w.body_sel.q0, w.body_sel.q1) == (0, 5)
+
+    def test_bad_ctl_reported_to_errors(self, app, world):
+        w = app.new_window("/tmp/a")
+        world.append(f"/mnt/help/{w.id}/ctl", "frobnicate 1 2\n")
+        errors = app.window_by_name("Errors")
+        assert errors is not None
+        assert "unknown message" in errors.body.string()
+
+    def test_ctl_bad_numbers_reported(self, app, world):
+        w = app.new_window("/tmp/a", "xyz")
+        world.append(f"/mnt/help/{w.id}/ctl", "delete one two\n")
+        assert "bad number" in app.window_by_name("Errors").body.string()
+        assert w.body.string() == "xyz"
+
+    def test_ctl_clamps_out_of_range(self, app, world):
+        w = app.new_window("/tmp/a", "abc")
+        world.append(f"/mnt/help/{w.id}/ctl", "insert 999 Z\n")
+        assert w.body.string() == "abcZ"
+        world.append(f"/mnt/help/{w.id}/ctl", "delete 1 999\n")
+        assert w.body.string() == "a"
+
+
+class TestNewWindow:
+    def test_open_new_ctl_creates_window(self, app, world):
+        before = set(app.windows)
+        with world.open("/mnt/help/new/ctl") as f:
+            wid = int(f.read().strip())
+        assert wid in app.windows
+        assert set(app.windows) - before == {wid}
+
+    def test_new_window_near_selection(self, app, world):
+        anchor = app.new_window("/tmp/a", "text",
+                                column=app.screen.columns[1])
+        app.select(anchor, 0, 2)
+        with world.open("/mnt/help/new/ctl") as f:
+            wid = int(f.read().strip())
+        assert app.screen.column_of(app.windows[wid]) is app.screen.columns[1]
+
+    def test_new_ctl_accepts_messages(self, app, world):
+        with world.open("/mnt/help/new/ctl", "rw") as f:
+            wid = int(f.read().strip())
+            f.write("name /tmp/made\n")
+            f.write("insert 0 contents\n")
+        window = app.windows[wid]
+        assert window.name() == "/tmp/made"
+        assert window.body.string() == "contents"
+
+    def test_paper_workflow(self, app, world):
+        """The decl script's skeleton: make a window, fill it."""
+        with world.open("/mnt/help/new/ctl") as f:
+            x = f.read().strip()
+        world.append(f"/mnt/help/{x}/ctl", "name /usr/rob/src/help/ Close!\n".replace("name ", "tag "))
+        world.append(f"/mnt/help/{x}/bodyapp", "dat.h:136 n declared here\n")
+        window = app.windows[int(x)]
+        assert "dat.h:136" in window.body.string()
+
+
+class TestTagWrite:
+    def test_write_tag_replaces(self, app, world):
+        w = app.new_window("/tmp/a")
+        world.write(f"/mnt/help/{w.id}/tag", "/renamed Close!\n")
+        assert w.tag.string() == "/renamed Close!"
+        assert w.name() == "/renamed"
+
+    def test_tag_write_without_newline(self, app, world):
+        w = app.new_window("/tmp/a")
+        with world.open(f"/mnt/help/{w.id}/tag", "w") as f:
+            f.write("/other Close!")
+        assert w.name() == "/other"
+
+    def test_tag_read_after_write(self, app, world):
+        w = app.new_window("/tmp/a")
+        world.write(f"/mnt/help/{w.id}/tag", "/new-name Close! Get!\n")
+        assert world.read(f"/mnt/help/{w.id}/tag") == "/new-name Close! Get!\n"

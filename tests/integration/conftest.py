@@ -1,0 +1,11 @@
+"""Fixtures for the integration suite."""
+
+import pytest
+
+from repro import build_system
+from repro.testing import Session
+
+
+@pytest.fixture
+def session():
+    return Session(build_system(width=160, height=60))

@@ -1,0 +1,145 @@
+"""Fuzzing the system: random input must never corrupt invariants.
+
+A user interface "should be dynamic and responsive, efficient and
+invisible" — and it must also survive a cat on the mouse.  These
+property tests drive random event streams, ctl messages, and shell
+words through the full stack and assert the structural invariants
+afterwards.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import build_system
+from repro.core.events import Button
+from repro.helpfs.ctl import CtlError, apply_ctl, escape
+
+
+def check_invariants(h):
+    """The structural invariants every operation must preserve."""
+    for column in h.screen.columns:
+        previous_bottom = None
+        for window in column.visible():
+            rect = column.win_rect(window)
+            assert rect is not None and rect.height >= 1
+            if previous_bottom is not None:
+                assert rect.y0 == previous_bottom
+            previous_bottom = rect.y1
+        if column.visible():
+            assert previous_bottom == column.rect.y1
+    for window in h.windows.values():
+        for sel in (window.body_sel, window.tag_sel):
+            pass
+        assert 0 <= window.body_sel.q0 <= window.body_sel.q1 <= len(window.body)
+        assert 0 <= window.tag_sel.q0 <= window.tag_sel.q1 <= len(window.tag)
+        assert 0 <= window.org <= len(window.body) + 1
+
+
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["press", "drag", "release", "type", "move"]),
+        st.integers(-5, 165),
+        st.integers(-5, 65),
+        st.sampled_from([Button.LEFT, Button.MIDDLE, Button.RIGHT]),
+        st.text(alphabet="abc /\n", max_size=4),
+    ),
+    max_size=60,
+)
+
+
+class TestEventFuzz:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(events)
+    def test_random_events_never_corrupt(self, stream):
+        system = build_system(width=160, height=60)
+        h = system.help
+        h.open_path("/usr/rob/lib/profile")
+        for kind, x, y, button, text in stream:
+            if kind == "press":
+                h.mouse_press(x, y, button)
+            elif kind == "drag":
+                h.mouse_drag(x, y)
+            elif kind == "release":
+                h.mouse_release(x, y, button)
+            elif kind == "move":
+                h.mouse_move(x, y)
+            else:
+                h.type_text(text)
+        check_invariants(h)
+        # the file server stays coherent too
+        index = system.ns.read("/mnt/help/index")
+        for line in index.splitlines():
+            number = int(line.split("\t", 1)[0])
+            assert number in h.windows
+
+
+ctl_lines = st.lists(
+    st.one_of(
+        st.builds(lambda p, t: f"insert {p} {escape(t)}",
+                  st.integers(-5, 200), st.text(alphabet="ab\n\t", max_size=6)),
+        st.builds(lambda a, b: f"delete {a} {b}",
+                  st.integers(-5, 200), st.integers(-5, 200)),
+        st.builds(lambda a, b, t: f"replace {a} {b} {escape(t)}",
+                  st.integers(0, 200), st.integers(0, 200),
+                  st.text(alphabet="xy", max_size=4)),
+        st.builds(lambda a, b: f"select {a} {b}",
+                  st.integers(-9, 300), st.integers(-9, 300)),
+        st.builds(lambda n: f"show {n}", st.integers(-3, 50)),
+        st.builds(lambda n: f"scroll {n}", st.integers(-30, 30)),
+        st.just("clean"),
+        st.just("dirty"),
+        st.just("name /tmp/renamed"),
+        st.text(alphabet="abcdef 123", max_size=12),  # garbage
+    ),
+    max_size=25,
+)
+
+
+class TestCtlFuzz:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ctl_lines)
+    def test_ctl_messages_never_corrupt(self, lines):
+        system = build_system()
+        h = system.help
+        window = h.new_window("/tmp/fuzzed", "seed text\nwith lines\n")
+        for line in lines:
+            try:
+                apply_ctl(h, window, line)
+            except CtlError:
+                pass  # rejected cleanly is fine; corruption is not
+            if window.id not in h.windows:
+                return  # a 'close' line ended the window's life
+            assert 0 <= window.body_sel.q0 <= window.body_sel.q1 \
+                <= len(window.body)
+            assert 0 <= window.org <= len(window.body) + 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100), st.text(alphabet="ab\n\\'\t", max_size=12))
+    def test_ctl_insert_escaping_roundtrip(self, pos, text):
+        system = build_system()
+        h = system.help
+        window = h.new_window("/tmp/w", "")
+        apply_ctl(h, window, f"insert {pos} {escape(text)}")
+        assert window.body.string() == text
+
+
+class TestShellFuzz:
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet="abc d$|;'{}`\n*", max_size=20))
+    def test_shell_never_crashes(self, source):
+        """Any input is either executed or rejected with a message."""
+        system = build_system()
+        shell = system.shell()
+        result = shell.run(source)
+        assert isinstance(result.status, int)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet="abc def!#${}|&", min_size=1, max_size=15))
+    def test_quoting_protects_anything(self, text):
+        system = build_system()
+        shell = system.shell()
+        quoted = "'" + text.replace("'", "''") + "'"
+        result = shell.run(f"echo {quoted}")
+        assert result.status == 0
+        assert result.stdout == text + "\n"

@@ -1,0 +1,50 @@
+"""Golden-screen regression tests.
+
+The renderer's output is deterministic, so whole screens are pinned
+byte for byte.  If a layout or rendering change is intentional,
+regenerate with::
+
+    python -c "from repro import build_system, render_screen; \\
+        s = build_system(width=160, height=60); \\
+        open('tests/golden/boot_160x60.txt','w').write(\\
+            render_screen(s.help, footer=False))"
+
+(and similarly for the headers screen — see the fixtures below).
+"""
+
+import pathlib
+
+import pytest
+
+from repro import build_system, render_screen
+
+GOLDEN = pathlib.Path(__file__).resolve().parent.parent / "golden"
+
+
+def golden(name: str) -> str:
+    return (GOLDEN / name).read_text()
+
+
+class TestGoldenScreens:
+    def test_boot_screen(self):
+        system = build_system(width=160, height=60)
+        assert render_screen(system.help, footer=False) == \
+            golden("boot_160x60.txt")
+
+    def test_headers_screen(self):
+        system = build_system(width=160, height=60)
+        h = system.help
+        h.execute_text(h.window_by_name("/help/mail/stf"), "headers")
+        assert render_screen(h, footer=False) == \
+            golden("headers_160x60.txt")
+
+    def test_boot_is_deterministic(self):
+        shots = set()
+        for _ in range(3):
+            system = build_system(width=160, height=60)
+            shots.add(render_screen(system.help))
+        assert len(shots) == 1
+
+    def test_golden_files_exist(self):
+        assert (GOLDEN / "boot_160x60.txt").exists()
+        assert (GOLDEN / "headers_160x60.txt").exists()

@@ -1,0 +1,260 @@
+"""The paper's example session, end to end, by mouse alone.
+
+"In this example I will go through the process of fixing a bug
+reported to me in a mail message sent by a user. ... Through this
+entire demo I haven't yet touched the keyboard."
+
+Every step below is the figure-by-figure transcript of the paper's
+pages 286-291, driven by button events at screen coordinates.  The
+final assertions are the paper's claims: the bug is found and fixed,
+the program rebuilt, and the keystroke count is zero.
+"""
+
+import pytest
+
+from repro.core.window import Subwindow
+from repro.tools.corpus import SRC_DIR
+
+
+class TestFullSession:
+    def test_the_whole_demo(self, session):
+        h = session.help
+        h.stats.reset()
+
+        # -- Figure 4: the boot screen ---------------------------------
+        mail_stf = session.window("/help/mail/stf")
+        db_stf = session.window("/help/db/stf")
+        cbr_stf = session.window("/help/cbr/stf")
+        edit_stf = session.window("/help/edit/stf")
+
+        # -- Figure 5: read the headers ---------------------------------
+        session.execute(mail_stf, "headers")
+        mbox_w = session.window("/mail/box/rob/mbox")
+        assert "2 sean" in mbox_w.body.string()
+
+        # -- Figure 6: Sean's message ------------------------------------
+        session.point_at(mbox_w, "sean")   # anywhere in the header line
+        session.execute(mail_stf, "messages")
+        msg_w = session.window("From")
+        assert msg_w.tag.string().startswith("From sean")
+        assert "TLB miss" in msg_w.body.string()
+
+        # -- Figure 7: stack trace of the broken process ------------------
+        session.point_at(msg_w, "176153")  # "I certainly shouldn't have to type it"
+        session.execute(db_stf, "stack")
+        stack_w = session.window(f"{SRC_DIR}/")
+        trace = stack_w.body.string()
+        assert "strlen(s=0x0) called from textinsert+0x30 text.c:32" in trace
+        assert "176153 stack" in stack_w.tag.string()
+
+        # -- Figure 8: Open text.c:32 --------------------------------------
+        session.point_at(stack_w, "text.c:32", offset=2)
+        session.execute(edit_stf, "Open")
+        text_w = session.window(f"{SRC_DIR}/text.c")
+        assert text_w.body.slice(text_w.body_sel.q0, text_w.body_sel.q1) \
+            == "\tnn = strlen((char*)s);"
+
+        # close it again with Close! in its own tag
+        session.execute(text_w, "Close!", sub=Subwindow.TAG)
+        assert h.window_by_name(f"{SRC_DIR}/text.c") is None
+
+        # -- Figure 9: Open exec.c:252 ---------------------------------------
+        session.point_at(stack_w, "exec.c:252", offset=2)
+        session.execute(edit_stf, "Open")
+        exec_w = session.window(f"{SRC_DIR}/exec.c")
+        assert exec_w.body.slice(exec_w.body_sel.q0, exec_w.body_sel.q1) \
+            == "\terrs(n);"
+
+        # -- Figure 10: all uses of n ------------------------------------------
+        line_start = exec_w.body.pos_of_line(252)
+        n_off = exec_w.body.string().index("errs(n)", line_start) + 5
+        h.left_click(*session.cell_of(exec_w, n_off))
+        session.execute_sweep(cbr_stf, "uses *.c")
+        uses_w = next(w for w in session.windows(f"{SRC_DIR}/")
+                      if "dat.h:136" in w.body.string())
+        assert uses_w.body.string() == \
+            "./dat.h:136\nexec.c:213\nexec.c:252\nhelp.c:35\n"
+
+        # -- Figure 11: the initialization, then the culprit --------------------
+        session.point_at(uses_w, "help.c:35", offset=2)
+        session.execute(edit_stf, "Open")
+        help_w = session.window(f"{SRC_DIR}/help.c")
+        assert 'n = (uchar*)"a test string";' in help_w.body.slice(
+            help_w.body_sel.q0, help_w.body_sel.q1)
+
+        session.point_at(uses_w, "exec.c:213", offset=2)
+        session.execute(edit_stf, "Open")
+        # exec.c window is reused and repositioned
+        assert exec_w.body.slice(exec_w.body_sel.q0, exec_w.body_sel.q1) \
+            == "\tn = 0;"
+
+        # -- Figure 12: Cut the offending line, Put!, mk -------------------------
+        start, end = exec_w.body.line_span(213)
+        session.select(exec_w, start, end + 1)
+        session.execute(edit_stf, "Cut")
+        assert "Put!" in exec_w.tag.string()
+        session.execute(exec_w, "Put!", sub=Subwindow.TAG)
+        session.execute(cbr_stf, "mk")
+        mk_w = session.window(f"{SRC_DIR}/mk")
+        log = mk_w.body.string()
+        assert "vc -w exec.c" in log
+        assert "vl -o help" in log
+
+        # -- the claims ------------------------------------------------------------
+        assert "n = 0;" not in session.system.ns.read(f"{SRC_DIR}/exec.c")
+        assert session.system.ns.exists(f"{SRC_DIR}/help")
+        assert h.stats.keystrokes == 0, "the demo never touches the keyboard"
+        assert not h.stats.touched_keyboard
+        assert session.errors == ""
+
+
+class TestFigureScenarios:
+    """Each figure in isolation, with its interaction-cost claims."""
+
+    def test_fig3_two_clicks_to_open(self, session):
+        """'by pointing at dat.h ... and executing Open, a new window is
+        created containing /usr/rob/src/help/dat.h: two button clicks.'"""
+        h = session.help
+        src_w = h.open_path(f"{SRC_DIR}/help.c")
+        edit_stf = session.window("/help/edit/stf")
+        h.stats.reset()
+        session.point_at(src_w, "dat.h", offset=2)   # click 1
+        session.execute(edit_stf, "Open")            # click 2
+        assert h.window_by_name(f"{SRC_DIR}/dat.h") is not None
+        assert h.stats.button_presses == 2
+        assert h.stats.keystrokes == 0
+
+    def test_fig3_typed_name_then_open(self, session):
+        """Typing a full path leaves the null selection at its end;
+        one click on Open grabs the whole name."""
+        h = session.help
+        scratch = h.new_window("/tmp/scratch", "")
+        edit_stf = session.window("/help/edit/stf")
+        x, y = session.cell_of(scratch, 0)
+        h.mouse_move(x, y)
+        h.type_text(f"{SRC_DIR}/help.c")
+        session.execute(edit_stf, "Open")
+        assert h.window_by_name(f"{SRC_DIR}/help.c") is not None
+
+    def test_fig1_directory_window(self, session):
+        """Opened directories show a trailing slash and list contents."""
+        h = session.help
+        w = h.new_window("/tmp/t", SRC_DIR)
+        h.select(w, 0, len(SRC_DIR))
+        session.execute(session.window("/help/edit/stf"), "Open")
+        dir_w = session.window(f"{SRC_DIR}/")
+        body = dir_w.body.string()
+        assert "errs.c\n" in body and "file.c\n" in body
+
+    def test_fig2_cut_by_sweeping(self, session):
+        """Executing Cut by sweeping the word with the middle button."""
+        h = session.help
+        w = h.new_window("/tmp/f", "discard this Cut keeps that")
+        session.select(w, 0, 8)
+        session.execute_sweep(w, "Cut")
+        assert w.body.string() == "this Cut keeps that"
+        assert h.snarf == "discard "
+
+    def test_fig5_headers_window_name(self, session):
+        session.execute(session.window("/help/mail/stf"), "headers")
+        w = session.window("/mail/box/rob/mbox")
+        assert "/bin/help/mail" in w.tag.string()
+        assert len(w.body.string().splitlines()) == 7
+
+    def test_fig7_stack_window_context(self, session):
+        """The stack window's tag names the source directory, giving
+        Open of relative names like text.c:32 their context."""
+        session.execute(session.window("/help/mail/stf"), "headers")
+        mbox_w = session.window("/mail/box/rob/mbox")
+        session.point_at(mbox_w, "sean")
+        session.execute(session.window("/help/mail/stf"), "messages")
+        msg_w = session.window("From")
+        session.point_at(msg_w, "176153")
+        session.execute(session.window("/help/db/stf"), "stack")
+        stack_w = session.window(f"{SRC_DIR}/")
+        assert stack_w.directory() == SRC_DIR
+
+    def test_fig10_uses_beats_grep(self, session):
+        """uses lists 4 references; grep n *.c floods with every letter n."""
+        h = session.help
+        exec_w = h.open_path(f"{SRC_DIR}/exec.c", line=252)
+        start = exec_w.body.pos_of_line(252)
+        n_off = exec_w.body.string().index("errs(n)", start) + 5
+        h.left_click(*session.cell_of(exec_w, n_off))
+        session.execute_sweep(session.window("/help/cbr/stf"), "uses *.c")
+        uses_w = next(w for w in session.windows(f"{SRC_DIR}/")
+                      if "dat.h:136" in w.body.string())
+        uses_lines = len(uses_w.body.string().splitlines())
+
+        shell = session.system.shell(SRC_DIR)
+        grep = shell.run(f"grep -c n {SRC_DIR}/*.c")
+        grep_hits = sum(int(line.split(":")[-1])
+                        for line in grep.stdout.splitlines())
+        assert uses_lines == 4
+        assert grep_hits > 10 * uses_lines
+
+    def test_claim_three_clicks_to_declaration(self, session):
+        """'with only three button clicks one may fetch to the screen the
+        declaration' — point, decl, point at output (src closes the loop
+        so the third click Opens it)."""
+        h = session.help
+        exec_w = h.open_path(f"{SRC_DIR}/exec.c", line=252)
+        cbr_stf = session.window("/help/cbr/stf")
+        start = exec_w.body.pos_of_line(252)
+        n_off = exec_w.body.string().index("errs(n)", start) + 5
+        h.stats.reset()
+        h.left_click(*session.cell_of(exec_w, n_off))    # click 1
+        session.execute(cbr_stf, "decl")                 # click 2
+        decl_w = next(w for w in session.windows(f"{SRC_DIR}/")
+                      if "dat.h:136" in w.body.string())
+        session.point_at(decl_w, "dat.h:136", offset=1)  # click 3
+        assert h.stats.button_presses == 3
+        session.execute(session.window("/help/edit/stf"), "Open")
+        dat_w = session.window(f"{SRC_DIR}/dat.h")
+        assert dat_w.body.line_of(dat_w.org) == 136
+
+
+class TestFileServerScripting:
+    """'The interface seen by programs' — driven from a plain shell."""
+
+    def test_cp_window_body(self, session):
+        h = session.help
+        w = h.new_window("/tmp/doc", "precious words\n")
+        shell = session.system.shell()
+        result = shell.run(f"cp /mnt/help/{w.id}/body /tmp/saved")
+        assert result.status == 0
+        assert session.system.ns.read("/tmp/saved") == "precious words\n"
+
+    def test_grep_window_body(self, session):
+        h = session.help
+        w = h.new_window("/tmp/doc", "alpha\nbeta\n")
+        shell = session.system.shell()
+        result = shell.run(f"grep beta /mnt/help/{w.id}/body")
+        assert result.stdout == "beta\n"
+
+    def test_index_connects_names_to_numbers(self, session):
+        h = session.help
+        w = h.new_window("/tmp/indexed", "x")
+        shell = session.system.shell()
+        result = shell.run("grep indexed /mnt/help/index")
+        assert result.stdout.startswith(f"{w.id}\t")
+
+    def test_new_window_from_script(self, session):
+        shell = session.system.shell()
+        script = """x=`{cat /mnt/help/new/ctl}
+echo tag /tmp/made Close! > /mnt/help/$x/ctl
+echo hello > /mnt/help/$x/body
+echo $x
+"""
+        result = shell.run(script)
+        wid = int(result.stdout.strip())
+        window = session.help.windows[wid]
+        assert window.name() == "/tmp/made"
+        assert window.body.string() == "hello\n"
+
+    def test_zero_keystrokes_includes_scripting(self, session):
+        """Scripted window work never counts as user keystrokes."""
+        session.help.stats.reset()
+        shell = session.system.shell()
+        shell.run("x=`{cat /mnt/help/new/ctl}; echo hi > /mnt/help/$x/body")
+        assert session.help.stats.keystrokes == 0

@@ -1,0 +1,127 @@
+"""Uniformity tests: everything is text, everything is a file.
+
+"the few common rules about text and file names allow a variety of
+applications to interact through a single user interface" — these
+tests push the uniformity to its corners: windows on windows, renames
+through the tag, help editing itself.
+"""
+
+import pytest
+
+from repro import build_system
+from repro.core.window import Subwindow
+
+
+@pytest.fixture
+def system():
+    return build_system(width=140, height=50)
+
+
+class TestTagEditing:
+    def test_rename_by_editing_tag(self, system):
+        """Edit the name in the tag; Put! writes to the new name."""
+        h = system.help
+        w = h.open_path("/usr/rob/lib/profile")
+        name_len = len("/usr/rob/lib/profile")
+        h.select(w, 0, name_len, Subwindow.TAG)
+        w.type_text(Subwindow.TAG, "/usr/rob/lib/profile2")
+        assert w.name() == "/usr/rob/lib/profile2"
+        w.mark_dirty()
+        h.execute_text(w, "Put!", Subwindow.TAG)
+        assert system.ns.exists("/usr/rob/lib/profile2")
+        assert system.ns.read("/usr/rob/lib/profile2") == \
+            system.ns.read("/usr/rob/lib/profile")
+
+    def test_rename_changes_context(self, system):
+        h = system.help
+        w = h.open_path("/usr/rob/lib/profile")
+        h.select(w, 0, len("/usr/rob/lib/profile"), Subwindow.TAG)
+        w.type_text(Subwindow.TAG, "/tmp/elsewhere")
+        assert w.directory() == "/tmp"
+
+    def test_get_after_rename_loads_new_file(self, system):
+        h = system.help
+        system.ns.write("/tmp/other", "other contents\n")
+        w = h.open_path("/usr/rob/lib/profile")
+        h.select(w, 0, len("/usr/rob/lib/profile"), Subwindow.TAG)
+        w.type_text(Subwindow.TAG, "/tmp/other")
+        h.execute_text(w, "Get!", Subwindow.TAG)
+        assert w.body.string() == "other contents\n"
+
+
+class TestWindowsOnWindows:
+    def test_open_a_window_body_as_a_file(self, system):
+        """A window showing another window's body — the interface is
+        uniform enough that this just works."""
+        h = system.help
+        target = h.new_window("/tmp/inner", "nested text\n")
+        meta = h.open_path(f"/mnt/help/{target.id}/body")
+        assert meta is not None
+        assert meta.body.string() == "nested text\n"
+
+    def test_open_the_index(self, system):
+        h = system.help
+        w = h.open_path("/mnt/help/index")
+        assert w is not None
+        assert "/help/edit/stf" in w.body.string()
+
+    def test_editing_ctl_through_a_window(self, system):
+        """Type a ctl message into a window on another window's ctl,
+        then Put! it — help scripting help through help."""
+        h = system.help
+        target = h.new_window("/tmp/victim", "abcdef")
+        ctl_w = h.new_window(f"/mnt/help/{target.id}/ctl")
+        ctl_w.replace_body("delete 0 3\n", dirty=True)
+        h.execute_text(ctl_w, "Put!", Subwindow.TAG)
+        assert target.body.string() == "def"
+
+    def test_tool_scripts_are_editable_files(self, system):
+        """The mail tool's stf is just a file: edit it, and the new
+        word resolves through the same directory rules."""
+        h = system.help
+        system.ns.write("/help/mail/archive", "echo archived $1\n")
+        stf = h.window_by_name("/help/mail/stf")
+        stf.append("archive\n")
+        h.execute_text(stf, "archive")
+        errors = h.window_by_name("Errors")
+        assert "archived" in errors.body.string()
+
+
+class TestHelpOnItsOwnSources:
+    def test_browse_the_reconstruction(self, system):
+        """The demo's punchline: help is debugging help.  The corpus
+        compiles (simulated), browses, and its mkfile builds."""
+        h = system.help
+        shell = system.shell("/usr/rob/src/help")
+        assert shell.run("mk").status == 0
+        assert shell.run(
+            "cpp help.c | help-rcc -imouseslave -n7 | sed 1q").status == 0
+
+    def test_open_every_corpus_file(self, system):
+        h = system.help
+        for name in system.ns.listdir("/usr/rob/src/help"):
+            if name in ("help", "mkfile") or name.endswith(".v"):
+                continue
+            w = h.open_path(f"/usr/rob/src/help/{name}")
+            assert w is not None, name
+        # all open simultaneously; layout still coherent
+        for column in h.screen.columns:
+            bottom = None
+            for w in column.visible():
+                rect = column.win_rect(w)
+                assert rect.height >= 1
+                if bottom is not None:
+                    assert rect.y0 == bottom
+                bottom = rect.y1
+
+    def test_errors_window_is_ordinary(self, system):
+        """Even the Errors window obeys all the rules: text in it can
+        be selected, executed, opened."""
+        h = system.help
+        h.post_error("see /usr/rob/src/help/errs.c:34 for the call\n")
+        errors = h.window_by_name("Errors")
+        pos = errors.body.string().index("errs.c:34") + 2
+        h.point_at(errors, pos)
+        h.exec_builtin("Open", errors)
+        w = h.window_by_name("/usr/rob/src/help/errs.c")
+        assert w.body.line_of(w.org) == 34

@@ -1,0 +1,100 @@
+"""Tests for mbox parsing and the Mailbox API."""
+
+import pytest
+
+from repro.fs import VFS, Namespace
+from repro.mail import Mailbox, Message, sample_mailbox
+from repro.mail.mbox import format_mbox, parse_mbox
+
+
+@pytest.fixture
+def ns():
+    fs = VFS()
+    fs.mkdir("/mail/box/rob", parents=True)
+    return Namespace(fs)
+
+
+class TestParseFormat:
+    def test_roundtrip(self):
+        messages = [
+            Message("sean", "Tue Apr 16 19:26:14 EDT 1991", "hello\nthere\n"),
+            Message("howard", "Tue Apr 16 15:02 EDT 1991", "lunch?\n"),
+        ]
+        assert parse_mbox(format_mbox(messages)) == messages
+
+    def test_parse_empty(self):
+        assert parse_mbox("") == []
+
+    def test_from_quoting(self):
+        messages = [Message("a", "d", "From the start\n")]
+        text = format_mbox(messages)
+        assert ">From the start" in text
+        assert parse_mbox(text) == messages
+
+    def test_multiline_bodies(self):
+        text = ("From a Mon\nline1\nline2\n\n"
+                "From b Tue\nline3\n\n")
+        parsed = parse_mbox(text)
+        assert [m.sender for m in parsed] == ["a", "b"]
+        assert parsed[0].body == "line1\nline2\n"
+
+    def test_header_line(self):
+        m = Message("sean", "Tue Apr 16", "x")
+        assert m.header_line() == "sean Tue Apr 16"
+
+    def test_render(self):
+        m = Message("sean", "Tue", "body\n")
+        assert m.render() == "From sean Tue\nbody\n"
+
+
+class TestMailbox:
+    def test_append_and_messages(self, ns):
+        box = Mailbox(ns)
+        box.append(Message("a", "Mon", "one\n"))
+        box.append(Message("b", "Tue", "two\n"))
+        assert [m.sender for m in box.messages()] == ["a", "b"]
+
+    def test_missing_box_is_empty(self, ns):
+        assert Mailbox(ns, "/mail/box/rob/none").messages() == []
+
+    def test_get_by_number(self, ns):
+        box = Mailbox(ns)
+        box.append(Message("a", "Mon", "one\n"))
+        assert box.get(1).sender == "a"
+        with pytest.raises(IndexError):
+            box.get(2)
+        with pytest.raises(IndexError):
+            box.get(0)
+
+    def test_delete_renumbers(self, ns):
+        box = Mailbox(ns)
+        for who in ("a", "b", "c"):
+            box.append(Message(who, "Mon", "x\n"))
+        removed = box.delete(2)
+        assert removed.sender == "b"
+        assert [m.sender for m in box.messages()] == ["a", "c"]
+        assert box.get(2).sender == "c"
+
+    def test_headers_numbered(self, ns):
+        box = Mailbox(ns)
+        box.append(Message("sean", "Tue", "x\n"))
+        assert box.headers() == "1 sean Tue\n"
+
+
+class TestSampleMailbox:
+    def test_seven_messages(self, ns):
+        box = sample_mailbox(ns)
+        assert len(box.messages()) == 7
+
+    def test_sean_is_message_two(self, ns):
+        box = sample_mailbox(ns)
+        sean = box.get(2)
+        assert sean.sender == "sean"
+        assert "TLB miss" in sean.body
+        assert "176153" in sean.body
+
+    def test_figure5_order(self, ns):
+        box = sample_mailbox(ns)
+        senders = [m.sender for m in box.messages()]
+        assert senders[0] == "chk@alias.com"
+        assert senders[5] == "howard"

@@ -1,0 +1,127 @@
+"""Tests for the interaction-cost models."""
+
+import pytest
+
+from repro.metrics import InteractionStats, KLM_TIMES, Script
+from repro.metrics.baseline import (
+    ALL_TASKS,
+    comparison_table,
+    cut_selection,
+    cut_via_word,
+    fetch_declaration,
+    open_file_by_pointing,
+    run_build,
+)
+from repro.metrics.klm import Action, Op, help_chord, help_click, script_time
+
+
+class TestInteractionStats:
+    def test_press_counts(self):
+        stats = InteractionStats()
+        stats.press("left")
+        stats.press("middle")
+        stats.press("middle")
+        assert stats.button_presses == 3
+        assert stats.middle_clicks == 2
+
+    def test_keys(self):
+        stats = InteractionStats()
+        stats.keys(5)
+        stats.keys(0)
+        assert stats.keystrokes == 5
+        assert stats.touched_keyboard
+        assert "type:5" in stats.gestures
+        assert "type:0" not in stats.gestures
+
+    def test_reset(self):
+        stats = InteractionStats()
+        stats.press("left")
+        stats.keys(3)
+        stats.reset()
+        assert stats.button_presses == 0
+        assert stats.keystrokes == 0
+        assert stats.gestures == []
+        assert not stats.touched_keyboard
+
+    def test_note(self):
+        stats = InteractionStats()
+        stats.note("execute:Open")
+        assert stats.gestures == ["execute:Open"]
+
+
+class TestKLM:
+    def test_operator_times_positive(self):
+        assert all(t > 0 for t in KLM_TIMES.values())
+        assert KLM_TIMES[Op.P] > KLM_TIMES[Op.B]
+
+    def test_action_seconds(self):
+        assert Action(Op.K, 10).seconds == pytest.approx(2.8)
+
+    def test_script_accumulates(self):
+        script = Script("t").add(Op.P).add(Op.B, 2)
+        assert script.seconds == pytest.approx(1.1 + 0.2)
+        assert script.clicks == 1
+        assert script.count(Op.P) == 1
+
+    def test_script_time_function(self):
+        assert script_time([Action(Op.B, 4)]) == pytest.approx(0.4)
+
+    def test_report_format(self):
+        script = Script("demo").add(Op.B, 2).add(Op.K, 3)
+        report = script.report()
+        assert "demo" in report
+        assert "1 clicks" in report
+        assert "3 keystrokes" in report
+
+    def test_help_click_shape(self):
+        script = help_click(Script("x"), "target")
+        assert script.count(Op.P) == 1
+        assert script.count(Op.B) == 2
+
+    def test_help_chord_shape(self):
+        script = help_chord(Script("x"), "chord")
+        assert script.count(Op.P) == 0
+        assert script.count(Op.B) == 2
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("task", sorted(ALL_TASKS))
+    def test_help_never_slower(self, task):
+        ours, baseline = ALL_TASKS[task]()
+        assert ours.seconds <= baseline.seconds + 0.011, task
+
+    def test_help_never_types(self):
+        for task, build in ALL_TASKS.items():
+            ours, _ = build()
+            assert ours.keystrokes == 0, task
+
+    def test_baselines_type_or_point(self):
+        for task, build in ALL_TASKS.items():
+            _, baseline = build()
+            assert baseline.keystrokes > 0 or baseline.count(Op.P) > 0, task
+
+    def test_comparison_table_shape(self):
+        rows = comparison_table()
+        assert len(rows) == len(ALL_TASKS)
+        for name, ours, theirs, speedup in rows:
+            assert speedup == pytest.approx(theirs / ours)
+            assert speedup >= 1.0
+
+    def test_chord_beats_word_click(self):
+        chord, _ = cut_selection()
+        word, _ = cut_via_word()
+        assert chord.seconds < word.seconds
+
+    def test_decl_baseline_is_typed(self):
+        _, baseline = fetch_declaration()
+        assert baseline.keystrokes >= len("grep -n n *.c\n")
+
+    def test_build_task(self):
+        ours, baseline = run_build()
+        assert ours.clicks == 1
+        assert baseline.keystrokes == len("make\n")
+
+    def test_open_task_parameterized(self):
+        _, short = open_file_by_pointing("/a")
+        _, long = open_file_by_pointing("/very/long/path/to/file.c")
+        assert long.seconds > short.seconds

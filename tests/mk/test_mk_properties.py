@@ -1,0 +1,115 @@
+"""Property tests for the build substrate.
+
+The key correctness statement for the inverted builder: for any
+dependency graph and any set of touched sources, building the
+affected targets leaves nothing for a subsequent full mk to do — the
+two directions agree.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fs import VFS, Namespace
+from repro.mk import Builder, cmd_vc, cmd_vl, parse_mkfile
+from repro.mk.inverted import affected_targets, invert_and_build
+from repro.shell import Interp
+
+
+@st.composite
+def projects(draw):
+    """A random two-layer project: sources -> objects -> programs."""
+    n_sources = draw(st.integers(1, 6))
+    n_programs = draw(st.integers(1, 3))
+    shared_header = draw(st.booleans())
+    sources = [f"s{i}.c" for i in range(n_sources)]
+    programs = {}
+    for p in range(n_programs):
+        members = draw(st.lists(st.sampled_from(sources), min_size=1,
+                                max_size=n_sources, unique=True))
+        programs[f"prog{p}"] = [m.replace(".c", ".v") for m in members]
+    touched = draw(st.lists(st.sampled_from(sources), max_size=3,
+                            unique=True))
+    return sources, programs, shared_header, touched
+
+
+def build_world(sources, programs, shared_header):
+    fs = VFS()
+    fs.mkdir("/p", parents=True)
+    lines = []
+    for name, objs in programs.items():
+        lines.append(f"{name}: {' '.join(objs)}")
+        lines.append(f"\tvl -o {name} {' '.join(objs)}")
+        lines.append("")
+    header = " common.h" if shared_header else ""
+    lines.append(f"%.v: %.c{header}")
+    lines.append("\tvc -w $stem.c")
+    fs.create("/p/mkfile", "\n".join(lines) + "\n")
+    for source in sources:
+        fs.create(f"/p/{source}", f"int x_{source.replace('.', '_')};\n")
+    if shared_header:
+        fs.create("/p/common.h", "extern int shared;\n")
+    interp = Interp(Namespace(fs), cwd="/p")
+    interp.commands["vc"] = cmd_vc
+    interp.commands["vl"] = cmd_vl
+    return interp
+
+
+class TestInvertedAgreesWithForward:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(projects())
+    def test_imk_then_mk_is_noop(self, project):
+        sources, programs, shared_header, touched = project
+        sh = build_world(sources, programs, shared_header)
+        builder = Builder(sh, "/p")
+        for program in programs:
+            builder.build(program)
+        for source in touched:
+            sh.run(f"touch {source}")
+        if touched:
+            invert_and_build(sh, "/p", touched)
+        # a full forward build now finds everything up to date
+        check = Builder(sh, "/p")
+        result = check.build(list(programs)[0])
+        for program in programs:
+            result = check.build(program, result)
+        assert result.built == [], (touched, result.built)
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(projects())
+    def test_affected_is_sound_and_complete(self, project):
+        """affected_targets names exactly the programs whose object
+        lists contain a touched source (or all, via the header)."""
+        sources, programs, shared_header, touched = project
+        sh = build_world(sources, programs, shared_header)
+        builder = Builder(sh, "/p")
+        affected = set(affected_targets(builder, touched))
+        for name, objs in programs.items():
+            members = {o.replace(".v", ".c") for o in objs}
+            should = bool(members & set(touched))
+            if "common.h" in touched:
+                should = True
+            assert (name in affected) == should, (name, touched)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(projects())
+    def test_untouched_objects_not_rebuilt(self, project):
+        sources, programs, shared_header, touched = project
+        sh = build_world(sources, programs, shared_header)
+        builder = Builder(sh, "/p")
+        for program in programs:
+            builder.build(program)
+        for source in touched:
+            sh.run(f"touch {source}")
+        if not touched:
+            return
+        result = invert_and_build(sh, "/p", touched)
+        rebuilt_objects = {t for t in result.built if t.endswith(".v")}
+        expected = {s.replace(".c", ".v") for s in touched
+                    if s.endswith(".c")}
+        # only objects of touched sources recompile (no header touched)
+        used = {o for objs in programs.values() for o in objs}
+        assert rebuilt_objects == (expected & used) or \
+            rebuilt_objects == expected

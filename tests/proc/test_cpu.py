@@ -1,0 +1,100 @@
+"""Tests for the simulated CPU server."""
+
+import pytest
+
+from repro import build_system
+from repro.core.window import Subwindow
+from repro.proc.cpu import CpuServer, RemoteRunner
+from repro.shell.commands import DEFAULT_COMMANDS
+from repro.fs import VFS, Namespace
+
+
+@pytest.fixture
+def terminal_ns():
+    fs = VFS()
+    fs.mkdir("/bin")
+    fs.mkdir("/usr/rob", parents=True)
+    fs.create("/usr/rob/data", "shared file\n")
+    return Namespace(fs)
+
+
+class TestCpuServer:
+    def test_remote_command_runs(self, terminal_ns):
+        server = CpuServer()
+        conn = server.dial(terminal_ns, DEFAULT_COMMANDS)
+        result = conn.run("echo remote", "/", {})
+        assert result.stdout == "remote\n"
+        assert result.status == 0
+
+    def test_shared_files(self, terminal_ns):
+        conn = CpuServer().dial(terminal_ns, DEFAULT_COMMANDS)
+        assert conn.run("cat /usr/rob/data", "/", {}).stdout == "shared file\n"
+        conn.run("echo written remotely > /usr/rob/out", "/", {})
+        assert terminal_ns.read("/usr/rob/out") == "written remotely\n"
+
+    def test_remote_binds_stay_remote(self, terminal_ns):
+        terminal_ns.mkdir("/tmp")
+        conn = CpuServer().dial(terminal_ns, DEFAULT_COMMANDS)
+        conn.run("bind /usr/rob /tmp", "/", {})
+        assert conn.ns.exists("/tmp/data")
+        assert not terminal_ns.exists("/tmp/data")
+
+    def test_terminal_binds_before_dial_are_exported(self, terminal_ns):
+        terminal_ns.mkdir("/tmp")
+        terminal_ns.bind("/usr/rob", "/tmp")
+        conn = CpuServer().dial(terminal_ns, DEFAULT_COMMANDS)
+        assert conn.run("cat /tmp/data", "/", {}).stdout == "shared file\n"
+
+    def test_env_and_cpu_marker(self, terminal_ns):
+        conn = CpuServer().dial(terminal_ns, DEFAULT_COMMANDS)
+        result = conn.run("echo $task on cpu$cpu", "/", {"task": "build"})
+        assert result.stdout == "build on cpu1\n"
+
+    def test_history_recorded(self, terminal_ns):
+        conn = CpuServer().dial(terminal_ns, DEFAULT_COMMANDS)
+        conn.run("echo a", "/", {})
+        conn.run("echo b", "/", {})
+        assert conn.history == ["echo a", "echo b"]
+
+    def test_remote_runner_contract(self, terminal_ns):
+        runner = RemoteRunner(CpuServer().dial(terminal_ns, DEFAULT_COMMANDS))
+        result = runner("pwd", "/usr/rob", {})
+        assert result.stdout == "/usr/rob\n"
+
+
+class TestRemoteSystem:
+    def test_remote_help_commands_reach_windows(self):
+        """The whole point: a remotely run tool still drives the screen,
+        because /mnt/help is in the exported namespace."""
+        system = build_system(remote=True)
+        h = system.help
+        h.execute_text(h.window_by_name("/help/mail/stf"), "headers")
+        mbox_w = h.window_by_name("/mail/box/rob/mbox")
+        assert mbox_w is not None
+        assert "2 sean" in mbox_w.body.string()
+
+    def test_remote_session_full_stack_trace(self):
+        system = build_system(remote=True)
+        h = system.help
+        w = h.new_window("/tmp/note", "176153")
+        h.point_at(w, 2)
+        h.execute_text(h.window_by_name("/help/db/stf"), "stack")
+        stack_w = h.window_by_name("/usr/rob/src/help/")
+        assert "textinsert" in stack_w.body.string()
+
+    def test_remote_mk(self):
+        system = build_system(remote=True)
+        h = system.help
+        src = h.open_path("/usr/rob/src/help/exec.c")
+        h.point_at(src, 0)
+        h.execute_text(h.window_by_name("/help/cbr/stf"), "mk")
+        mk_w = h.window_by_name("/usr/rob/src/help/mk")
+        assert "vl -o help" in mk_w.body.string()
+        assert system.ns.exists("/usr/rob/src/help/help")
+
+    def test_remote_errors_reach_errors_window(self):
+        system = build_system(remote=True)
+        h = system.help
+        w = h.new_window("/tmp/x", "")
+        h.execute_text(w, "no-such-thing")
+        assert "not found" in h.window_by_name("Errors").body.string()

@@ -1,0 +1,200 @@
+"""Tests for the simulated userland commands."""
+
+import pytest
+
+from repro.fs import VFS, Namespace
+from repro.shell import Interp
+
+
+@pytest.fixture
+def sh():
+    fs = VFS()
+    for d in ("/bin", "/tmp", "/lib", "/src"):
+        fs.mkdir(d, parents=True)
+    fs.create("/tmp/data", "one\ntwo\nthree\ntwo\n")
+    fs.create("/src/x.c", "int x;\nchar *s;\n")
+    return Interp(Namespace(fs), cwd="/tmp")
+
+
+def out(sh, cmd, stdin=""):
+    result = sh.run(cmd, stdin)
+    assert result.status == 0, result.stderr
+    return result.stdout
+
+
+class TestEchoCat:
+    def test_echo_n(self, sh):
+        assert out(sh, "echo -n x") == "x"
+
+    def test_cat_stdin(self, sh):
+        assert out(sh, "cat", stdin="piped") == "piped"
+
+    def test_cat_multiple(self, sh):
+        assert out(sh, "cat /tmp/data /src/x.c").startswith("one\n")
+
+    def test_cat_missing(self, sh):
+        assert sh.run("cat /nope").status == 1
+
+
+class TestCpMvRm:
+    def test_cp(self, sh):
+        out(sh, "cp /tmp/data /tmp/copy")
+        assert sh.ns.read("/tmp/copy") == sh.ns.read("/tmp/data")
+
+    def test_cp_into_directory(self, sh):
+        out(sh, "cp /src/x.c /tmp")
+        assert sh.ns.exists("/tmp/x.c")
+
+    def test_cp_relative(self, sh):
+        out(sh, "cp data copy2")
+        assert sh.ns.exists("/tmp/copy2")
+
+    def test_mv(self, sh):
+        out(sh, "mv /tmp/data /tmp/moved")
+        assert sh.ns.exists("/tmp/moved")
+        assert not sh.ns.exists("/tmp/data")
+
+    def test_rm(self, sh):
+        out(sh, "rm /tmp/data")
+        assert not sh.ns.exists("/tmp/data")
+
+    def test_rm_f_missing_ok(self, sh):
+        assert sh.run("rm -f /nope").status == 0
+        assert sh.run("rm /nope").status == 1
+
+
+class TestGrep:
+    def test_basic(self, sh):
+        assert out(sh, "grep two /tmp/data") == "two\ntwo\n"
+
+    def test_line_numbers(self, sh):
+        assert out(sh, "grep -n three /tmp/data") == "3:three\n"
+
+    def test_count(self, sh):
+        assert out(sh, "grep -c two /tmp/data") == "2\n"
+
+    def test_invert(self, sh):
+        assert out(sh, "grep -v two /tmp/data") == "one\nthree\n"
+
+    def test_case_insensitive(self, sh):
+        assert out(sh, "grep -i TWO /tmp/data") == "two\ntwo\n"
+
+    def test_no_match_status_one(self, sh):
+        assert sh.run("grep zebra /tmp/data").status == 1
+
+    def test_multiple_files_prefixed(self, sh):
+        got = out(sh, "grep -n int /src/x.c /tmp/data || true")
+        assert got == "/src/x.c:1:int x;\n"
+
+    def test_stdin(self, sh):
+        assert out(sh, "grep b", stdin="a\nb\n") == "b\n"
+
+    def test_regex(self, sh):
+        assert out(sh, "grep 't..' /tmp/data") == "two\nthree\ntwo\n"
+
+    def test_bad_pattern(self, sh):
+        assert sh.run("grep '[' /tmp/data").status == 2
+
+
+class TestSed:
+    def test_1q(self, sh):
+        assert out(sh, "sed 1q /tmp/data") == "one\n"
+
+    def test_nq(self, sh):
+        assert out(sh, "sed 2q /tmp/data") == "one\ntwo\n"
+
+    def test_substitute(self, sh):
+        assert out(sh, "sed s/two/2/ /tmp/data") == "one\n2\nthree\n2\n"
+
+    def test_substitute_global(self, sh):
+        assert out(sh, "sed s/o/0/g", stdin="foo boo\n") == "f00 b00\n"
+
+    def test_print_line(self, sh):
+        assert out(sh, "sed -n 2p /tmp/data") == "two\n"
+
+    def test_unsupported(self, sh):
+        assert sh.run("sed y/a/b/ /tmp/data").status == 1
+
+
+class TestTextUtils:
+    def test_wc_l(self, sh):
+        assert out(sh, "wc -l /tmp/data") == "4 /tmp/data\n"
+
+    def test_wc_stdin(self, sh):
+        assert out(sh, "wc -w", stdin="a b c") == "3\n"
+
+    def test_sort(self, sh):
+        assert out(sh, "sort", stdin="b\na\nc\n") == "a\nb\nc\n"
+
+    def test_sort_reverse_numeric(self, sh):
+        assert out(sh, "sort -rn", stdin="2\n10\n1\n") == "10\n2\n1\n"
+
+    def test_sort_unique(self, sh):
+        assert out(sh, "sort -u /tmp/data") == "one\nthree\ntwo\n"
+
+    def test_uniq(self, sh):
+        assert out(sh, "sort /tmp/data | uniq") == "one\nthree\ntwo\n"
+
+    def test_uniq_count(self, sh):
+        got = out(sh, "sort /tmp/data | uniq -c")
+        assert "   2 two" in got
+
+    def test_head_tail(self, sh):
+        assert out(sh, "head -2 /tmp/data") == "one\ntwo\n"
+        assert out(sh, "tail -1 /tmp/data") == "two\n"
+        assert out(sh, "head -n 1 /tmp/data") == "one\n"
+
+    def test_tee(self, sh):
+        assert out(sh, "echo x | tee /tmp/teed") == "x\n"
+        assert sh.ns.read("/tmp/teed") == "x\n"
+
+    def test_xargs(self, sh):
+        assert out(sh, "echo a b | xargs echo pre") == "pre a b\n"
+
+
+class TestFsCommands:
+    def test_ls_slashes_dirs(self, sh):
+        got = out(sh, "ls /")
+        assert "bin/\n" in got
+        assert "src/\n" in got
+
+    def test_ls_file(self, sh):
+        assert out(sh, "ls /tmp/data") == "/tmp/data\n"
+
+    def test_ls_missing(self, sh):
+        assert sh.run("ls /zzz").status == 1
+
+    def test_mkdir_p(self, sh):
+        out(sh, "mkdir -p /a/b/c")
+        assert sh.ns.isdir("/a/b/c")
+
+    def test_touch_creates_and_bumps(self, sh):
+        out(sh, "touch /tmp/new")
+        t1 = sh.ns.mtime("/tmp/new")
+        out(sh, "touch /tmp/new")
+        assert sh.ns.mtime("/tmp/new") > t1
+
+    def test_basename_dirname(self, sh):
+        assert out(sh, "basename /a/b/c.x") == "c.x\n"
+        assert out(sh, "basename /a/b/c.x .x") == "c\n"
+        assert out(sh, "dirname /a/b/c.x") == "/a/b\n"
+
+    def test_bind_and_ns(self, sh):
+        out(sh, "bind -a /src /lib")
+        assert sh.ns.exists("/lib/x.c")
+        assert "/lib" in out(sh, "ns")
+
+    def test_date_deterministic(self, sh):
+        assert "1991" in out(sh, "date")
+
+    def test_fortune(self, sh):
+        sh.ns.write("/lib/fortunes", "wise words\n")
+        assert out(sh, "fortune") == "wise words\n"
+
+    def test_news(self, sh):
+        sh.ns.write("/lib/news", "UNIX in song & verse\n")
+        assert out(sh, "news") == "UNIX in song & verse\n"
+
+    def test_read_builtin(self, sh):
+        out(sh, "read line", stdin="first\nsecond\n")
+        assert sh.get("line") == ["first"]

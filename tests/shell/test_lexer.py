@@ -1,0 +1,159 @@
+"""Unit tests for the rc lexer."""
+
+import pytest
+
+from repro.shell.lexer import (
+    Backquote,
+    LexError,
+    Lexer,
+    Lit,
+    TokKind,
+    VarRef,
+)
+
+
+def toks(src):
+    return Lexer(src).tokens()
+
+
+def kinds(src):
+    return [t.kind for t in toks(src)]
+
+
+class TestBasicTokens:
+    def test_simple_words(self):
+        out = toks("echo hello world")
+        assert [t.kind for t in out[:-1]] == [TokKind.WORD] * 3
+        assert out[0].literal() == "echo"
+
+    def test_operators(self):
+        assert kinds("a | b ; c && d || e") == [
+            TokKind.WORD, TokKind.PIPE, TokKind.WORD, TokKind.SEMI,
+            TokKind.WORD, TokKind.ANDAND, TokKind.WORD, TokKind.OROR,
+            TokKind.WORD, TokKind.EOF]
+
+    def test_redirections(self):
+        assert kinds("a > f >> g < h") == [
+            TokKind.WORD, TokKind.GREAT, TokKind.WORD, TokKind.DGREAT,
+            TokKind.WORD, TokKind.LESS, TokKind.WORD, TokKind.EOF]
+
+    def test_braces_parens(self):
+        assert kinds("{ ( ) }") == [
+            TokKind.LBRACE, TokKind.LPAREN, TokKind.RPAREN,
+            TokKind.RBRACE, TokKind.EOF]
+
+    def test_comment_to_eol(self):
+        assert kinds("a # comment here\nb") == [
+            TokKind.WORD, TokKind.NEWLINE, TokKind.WORD, TokKind.EOF]
+
+    def test_newline_token(self):
+        assert kinds("a\nb") == [
+            TokKind.WORD, TokKind.NEWLINE, TokKind.WORD, TokKind.EOF]
+
+    def test_newline_after_pipe_swallowed(self):
+        assert kinds("a |\nb") == [
+            TokKind.WORD, TokKind.PIPE, TokKind.WORD, TokKind.EOF]
+
+    def test_blank_lines_collapse(self):
+        assert kinds("a\n\n\nb") == [
+            TokKind.WORD, TokKind.NEWLINE, TokKind.WORD, TokKind.EOF]
+
+    def test_bang_operator_vs_word(self):
+        out = toks("! ~ x y")
+        assert out[0].kind is TokKind.BANG
+        out = toks("Close!")
+        assert out[0].kind is TokKind.WORD
+        assert out[0].literal() == "Close!"
+
+    def test_ampersand(self):
+        assert kinds("a &") == [TokKind.WORD, TokKind.AMP, TokKind.EOF]
+
+
+class TestQuoting:
+    def test_single_quotes(self):
+        tok = toks("'hello world'")[0]
+        assert tok.fragments == [Lit("hello world", quoted=True)]
+
+    def test_doubled_quote_is_literal(self):
+        tok = toks("'don''t'")[0]
+        assert tok.fragments == [Lit("don't", quoted=True)]
+
+    def test_unterminated_quote(self):
+        with pytest.raises(LexError, match="unterminated"):
+            toks("'oops")
+
+    def test_quoted_operators_are_literal(self):
+        tok = toks("'a|b;c'")[0]
+        assert tok.kind is TokKind.WORD
+        assert tok.fragments[0].text == "a|b;c"
+
+    def test_quote_adjacent_to_text(self):
+        tok = toks("pre'mid'post")[0]
+        assert tok.fragments == [Lit("pre"), Lit("mid", quoted=True),
+                                 Lit("post")]
+
+
+class TestVariables:
+    def test_simple_var(self):
+        tok = toks("$file")[0]
+        assert tok.fragments == [VarRef("file")]
+
+    def test_count_var(self):
+        assert toks("$#*")[0].fragments == [VarRef("*", count=True)]
+
+    def test_flatten_var(self):
+        assert toks('$"var')[0].fragments == [VarRef("var", flatten=True)]
+
+    def test_var_adjacent_literal(self):
+        tok = toks("-i$id")[0]
+        assert tok.fragments == [Lit("-i"), VarRef("id")]
+
+    def test_var_then_slash(self):
+        tok = toks("/mnt/help/$x/ctl")[0]
+        assert tok.fragments == [Lit("/mnt/help/"), VarRef("x"), Lit("/ctl")]
+
+    def test_caret_concatenation(self):
+        tok = toks("a^$b")[0]
+        assert tok.fragments == [Lit("a"), VarRef("b")]
+
+    def test_bad_var(self):
+        with pytest.raises(LexError):
+            toks("$ ")
+
+
+class TestBackquote:
+    def test_simple(self):
+        tok = toks("`{cat file}")[0]
+        assert tok.fragments[0].source == "cat file"
+
+    def test_nested_braces(self):
+        tok = toks("`{a {b} c}")[0]
+        assert tok.fragments[0].source == "a {b} c"
+
+    def test_assignment_from_backquote(self):
+        tok = toks("x=`{cat /mnt/help/new/ctl}")[0]
+        assert tok.fragments[0] == Lit("x")
+        assert tok.fragments[1] == Lit("=")
+        assert isinstance(tok.fragments[2], Backquote)
+
+    def test_unterminated(self):
+        with pytest.raises(LexError, match="unterminated"):
+            toks("`{oops")
+
+    def test_backquote_needs_brace(self):
+        with pytest.raises(LexError, match="followed by"):
+            toks("`cat")
+
+    def test_quote_inside_backquote(self):
+        tok = toks("`{echo 'a}b'}")[0]
+        assert tok.fragments[0].source == "echo 'a}b'"
+
+
+class TestAssignmentLexing:
+    def test_equals_split(self):
+        tok = toks("x=abc")[0]
+        assert tok.fragments == [Lit("x"), Lit("="), Lit("abc")]
+
+    def test_equals_in_argument(self):
+        tok = toks("-DX=1")[0]
+        assert [f.text for f in tok.fragments] == ["-DX", "=", "1"]

@@ -1,0 +1,190 @@
+"""Unit tests for the rc parser."""
+
+import pytest
+
+from repro.shell import ast
+from repro.shell.parser import ParseError, parse
+
+
+def one(src):
+    seq = parse(src)
+    assert len(seq.commands) == 1, seq
+    return seq.commands[0]
+
+
+class TestSimple:
+    def test_words(self):
+        cmd = one("echo a b")
+        assert isinstance(cmd, ast.Simple)
+        assert len(cmd.argv) == 3
+
+    def test_sequence(self):
+        seq = parse("a; b\nc")
+        assert len(seq.commands) == 3
+
+    def test_trailing_separators(self):
+        assert len(parse("a;\n\n").commands) == 1
+
+    def test_empty_program(self):
+        assert parse("").commands == []
+        assert parse("\n\n").commands == []
+
+    def test_redirections_attach(self):
+        cmd = one("a > out >> log < in")
+        assert [r.kind for r in cmd.redirs] == [">", ">>", "<"]
+
+    def test_empty_command_fails(self):
+        with pytest.raises(ParseError):
+            parse(">")
+
+
+class TestAssignments:
+    def test_global_assignment(self):
+        cmd = one("x=5")
+        assert isinstance(cmd, ast.Simple)
+        assert cmd.assigns[0].name == "x"
+        assert not cmd.argv
+
+    def test_list_assignment(self):
+        cmd = one("prompt=('g* ' '')")
+        assert len(cmd.assigns[0].values) == 2
+
+    def test_empty_assignment(self):
+        cmd = one("x=")
+        assert cmd.assigns[0].values == []
+
+    def test_scoped_assignment(self):
+        cmd = one("cppflags=-DX cpp file")
+        assert cmd.assigns[0].name == "cppflags"
+        assert len(cmd.argv) == 2
+
+    def test_not_an_assignment(self):
+        cmd = one("echo a=b")
+        assert not cmd.assigns
+        assert len(cmd.argv) == 2
+
+
+class TestPipelinesAndOr:
+    def test_pipeline(self):
+        cmd = one("a | b | c")
+        assert isinstance(cmd, ast.Pipeline)
+        assert len(cmd.stages) == 3
+
+    def test_andor(self):
+        cmd = one("a && b || c")
+        assert isinstance(cmd, ast.AndOr)
+        assert [op for op, _ in cmd.rest] == ["&&", "||"]
+
+    def test_bang(self):
+        cmd = one("! grep x f")
+        assert isinstance(cmd, ast.Not)
+
+    def test_pipeline_across_lines(self):
+        cmd = one("a |\nb")
+        assert isinstance(cmd, ast.Pipeline)
+
+    def test_block_in_pipeline(self):
+        cmd = one("{ echo a; echo b } | cat")
+        assert isinstance(cmd, ast.Pipeline)
+        assert isinstance(cmd.stages[0], ast.Block)
+
+    def test_block_with_redirect(self):
+        cmd = one("{ echo a } > f")
+        assert isinstance(cmd, ast.Block)
+        assert cmd.redirs[0].kind == ">"
+
+
+class TestControlFlow:
+    def test_if(self):
+        cmd = one("if(~ $x y) echo yes")
+        assert isinstance(cmd, ast.If)
+        assert isinstance(cmd.body, ast.Simple)
+
+    def test_if_not(self):
+        seq = parse("if(a) b\nif not c")
+        assert isinstance(seq.commands[0], ast.If)
+        assert isinstance(seq.commands[1], ast.IfNot)
+
+    def test_if_with_block(self):
+        cmd = one("if(true) { a; b }")
+        assert isinstance(cmd.body, ast.Block)
+
+    def test_for_with_in(self):
+        cmd = one("for(f in a b c) echo $f")
+        assert isinstance(cmd, ast.For)
+        assert cmd.var == "f"
+        assert len(cmd.words) == 3
+
+    def test_for_default_args(self):
+        cmd = one("for(f) echo $f")
+        assert cmd.words is None
+
+    def test_while(self):
+        cmd = one("while(test) work")
+        assert isinstance(cmd, ast.While)
+
+    def test_switch(self):
+        cmd = one("""switch($service){
+case terminal
+    echo t
+case cpu gateway
+    echo c
+}""")
+        assert isinstance(cmd, ast.Switch)
+        assert len(cmd.cases) == 2
+        assert len(cmd.cases[1].patterns) == 2
+
+    def test_switch_empty_case_body(self):
+        cmd = one("switch(x){ case a\ncase b\necho b\n}")
+        assert cmd.cases[0].body.commands == []
+
+    def test_case_outside_braces_fails(self):
+        with pytest.raises(ParseError, match="case"):
+            parse("switch(x){ echo y }")
+
+    def test_fn_definition(self):
+        cmd = one("fn greet { echo hi }")
+        assert isinstance(cmd, ast.FnDef)
+        assert cmd.name == "greet"
+        assert cmd.body is not None
+
+    def test_fn_deletion(self):
+        cmd = one("fn greet")
+        assert cmd.body is None
+
+
+class TestPaperScripts:
+    def test_decl_script_parses(self):
+        """The complete decl script from the paper (transliterated)."""
+        src = """eval `{help/parse -c}
+x=`{cat /mnt/help/new/ctl}
+{
+\techo a
+\techo $dir/' Close! '
+} | help/buf > /mnt/help/$x/ctl
+cpp $cppflags $file |
+help/rcc -w -g -i$id -n$line |
+sed 1q |
+cat > /mnt/help/$x/bodyapp
+"""
+        seq = parse(src)
+        assert len(seq.commands) == 4
+
+    def test_profile_parses(self):
+        """The profile fragment visible in Figure 2."""
+        src = """bind -c $home/tmp /tmp
+bind -a $home/bin/rc /bin
+bind -a $home/bin/$cputype /bin
+fn x { if(! ~ $#* 0) $* }
+switch($service){
+case terminal
+\tprompt=('g* ' '')
+\tsite=plan9
+case cpu
+\tbind -b /mnt/term/mnt/8.5 /dev
+\tnews
+}
+fortune
+"""
+        seq = parse(src)
+        assert len(seq.commands) == 6

@@ -1,0 +1,93 @@
+"""Tests for the ``python -m repro`` interactive driver."""
+
+import io
+
+import pytest
+
+import repro.__main__ as cli
+
+
+def run_cli(monkeypatch, capsys, commands, argv=()):
+    monkeypatch.setattr("sys.stdin", io.StringIO(commands))
+    status = cli.main(list(argv))
+    out = capsys.readouterr()
+    return status, out.out, out.err
+
+
+class TestCli:
+    def test_quit(self, monkeypatch, capsys):
+        status, out, _ = run_cli(monkeypatch, capsys, "quit\n")
+        assert status == 0
+        assert "help booted" in out
+
+    def test_windows_listing(self, monkeypatch, capsys):
+        _, out, _ = run_cli(monkeypatch, capsys, "windows\nquit\n")
+        assert "help/Boot Exit" in out
+        assert "/help/mail/stf" in out
+
+    def test_render(self, monkeypatch, capsys):
+        _, out, _ = run_cli(monkeypatch, capsys, "render\nquit\n")
+        assert "[help/Boot Exit" in out
+
+    def test_open_with_line(self, monkeypatch, capsys):
+        _, out, _ = run_cli(monkeypatch, capsys,
+                            "open /usr/rob/src/help/dat.h:136\nquit\n")
+        assert "/usr/rob/src/help/dat.h" in out
+
+    def test_exec_and_show(self, monkeypatch, capsys):
+        script = ("open /usr/rob/lib/profile\n"
+                  "select 6 0 4\n"
+                  "exec 6 Snarf\n"
+                  "show 6\n"
+                  "quit\n")
+        _, out, _ = run_cli(monkeypatch, capsys, script)
+        assert "selected" in out
+        assert "bind" in out
+
+    def test_type_command(self, monkeypatch, capsys):
+        script = ("open /usr/rob/lib/profile\n"
+                  "select 6 0 0\n"
+                  "type 6 hello\\nworld\n"
+                  "show 6\n"
+                  "quit\n")
+        _, out, _ = run_cli(monkeypatch, capsys, script)
+        assert "hello" in out
+
+    def test_sh_command(self, monkeypatch, capsys):
+        _, out, err = run_cli(monkeypatch, capsys,
+                              "sh echo from the shell\nquit\n")
+        assert "from the shell\n" in out
+
+    def test_demo(self, monkeypatch, capsys):
+        _, out, _ = run_cli(monkeypatch, capsys, "demo\nquit\n")
+        assert "176153 stack" in out
+        assert "textinsert" in out
+
+    def test_unknown_command(self, monkeypatch, capsys):
+        _, out, _ = run_cli(monkeypatch, capsys, "frob\nquit\n")
+        assert "?unknown" in out
+
+    def test_error_recovered(self, monkeypatch, capsys):
+        _, out, _ = run_cli(monkeypatch, capsys,
+                            "exec 999 Open\nwindows\nquit\n")
+        assert "error:" in out
+        assert "help/Boot" in out  # the loop survived
+
+    def test_custom_size(self, monkeypatch, capsys):
+        _, out, _ = run_cli(monkeypatch, capsys, "quit\n",
+                            argv=["150", "50"])
+        assert "150x50" in out
+
+    def test_exit_via_help(self, monkeypatch, capsys):
+        script = "exec 1 Exit\nwindows\nquit\n"
+        _, out, _ = run_cli(monkeypatch, capsys, script)
+        # Exit stops the session; the loop ends before 'windows'
+        assert "help/Boot Exit" not in out.split("ok")[-1]
+
+    def test_blank_lines_ignored(self, monkeypatch, capsys):
+        status, _, _ = run_cli(monkeypatch, capsys, "\n\nquit\n")
+        assert status == 0
+
+    def test_eof_terminates(self, monkeypatch, capsys):
+        status, _, _ = run_cli(monkeypatch, capsys, "windows\n")
+        assert status == 0

@@ -1,0 +1,71 @@
+"""Tests for the reconstructed help sources."""
+
+import pytest
+
+from repro.cbrowse import parse_program
+from repro.fs import VFS, Namespace
+from repro.tools.corpus import LANDMARKS, SRC_DIR, install_help_sources
+
+
+@pytest.fixture(scope="module")
+def ns():
+    namespace = Namespace(VFS())
+    install_help_sources(namespace)
+    return namespace
+
+
+def line_of(ns, name, line):
+    return ns.read(f"{SRC_DIR}/{name}").splitlines()[line - 1]
+
+
+class TestLandmarks:
+    def test_all_landmarks_in_place(self, ns):
+        expectations = {
+            "n-declaration": "extern uchar *n;",
+            "n-initialized": 'n = (uchar*)"a test string";',
+            "n-cleared": "n = 0;",
+            "n-read": "errs(n);",
+            "strlen-call": "nn = strlen((char*)s);",
+            "textinsert-call": "textinsert(1, errtext, s, 13, full);",
+            "execute-call": "execute(t, p0, p1);",
+        }
+        for key, expected in expectations.items():
+            file, line = LANDMARKS[key]
+            assert expected in line_of(ns, file, line), key
+
+    def test_files_written(self, ns):
+        names = ns.listdir(SRC_DIR)
+        for required in ("dat.h", "fns.h", "help.c", "exec.c", "errs.c",
+                         "text.c", "ctrl.c", "file.c", "mkfile"):
+            assert required in names
+
+    def test_returns_landmarks(self):
+        got = install_help_sources(Namespace(VFS()), "/tmp/src")
+        assert got == LANDMARKS
+
+
+class TestCorpusParses:
+    def test_no_unresolved_identifiers(self, ns):
+        paths = ns.glob(f"{SRC_DIR}/*.c")
+        program = parse_program(ns, paths, base_dir=SRC_DIR)
+        assert program.unresolved() == []
+
+    def test_figure10_uses_exactly(self, ns):
+        paths = ns.glob(f"{SRC_DIR}/*.c")
+        program = parse_program(ns, paths, base_dir=SRC_DIR)
+        locations = [u.location for u in program.uses_of("n", "exec.c", 252)]
+        assert locations == ["./dat.h:136", "exec.c:213",
+                             "exec.c:252", "help.c:35"]
+
+    def test_local_n_in_findopen1_separate(self, ns):
+        paths = ns.glob(f"{SRC_DIR}/*.c")
+        program = parse_program(ns, paths, base_dir=SRC_DIR)
+        local = [d for d in program.decls
+                 if d.name == "n" and d.kind == "local"]
+        # findopen1's n in exec.c and textinsert's nn is separate
+        assert any(d.file == "exec.c" for d in local)
+
+    def test_mkfile_parses(self, ns):
+        from repro.mk import parse_mkfile
+        mkfile = parse_mkfile(ns.read(f"{SRC_DIR}/mkfile"))
+        assert mkfile.default_target() == "help"

@@ -1,0 +1,83 @@
+"""Tests for the full set of /help/db scripts."""
+
+import pytest
+
+from repro import build_system
+from repro.proc.crash import synthetic_crash
+
+
+@pytest.fixture
+def system():
+    return build_system()
+
+
+def point_at_pid(system, pid="176153"):
+    h = system.help
+    w = h.new_window("/tmp/report", f"process {pid} is broken\n")
+    h.point_at(w, w.body.string().index(pid) + 1)
+    return w
+
+
+class TestDbScripts:
+    def test_kstack(self, system):
+        h = system.help
+        point_at_pid(system)
+        h.execute_text(h.window_by_name("/help/db/stf"), "kstack")
+        w = h.window_by_name("176153")
+        assert w is not None
+        assert "kstack" in w.tag.string()
+        assert "trap" in w.body.string()
+        assert "/sys/src/9/mips/trap.c:112" in w.body.string()
+
+    def test_nextkstack_no_others(self, system):
+        h = system.help
+        point_at_pid(system)
+        h.execute_text(h.window_by_name("/help/db/stf"), "nextkstack")
+        errors = h.window_by_name("Errors")
+        assert "no more broken processes" in errors.body.string()
+
+    def test_nextkstack_with_another_corpse(self, system):
+        h = system.help
+        other = synthetic_crash(system.procs, "other", depth=2)
+        point_at_pid(system)
+        h.execute_text(h.window_by_name("/help/db/stf"), "nextkstack")
+        w = h.window_by_name(str(other.pid))
+        assert w is not None
+        # the synthetic crash has no kernel frames
+        assert "no kernel stack" in w.body.string()
+
+    def test_ps_window(self, system):
+        h = system.help
+        h.execute_text(h.window_by_name("/help/db/stf"), "ps")
+        w = h.window_by_name("ps")
+        assert "176153 Broken   help" in w.body.string()
+
+    def test_broke_window(self, system):
+        h = system.help
+        system.procs.spawn("healthy")
+        h.execute_text(h.window_by_name("/help/db/stf"), "broke")
+        w = h.window_by_name("broke")
+        body = w.body.string()
+        assert "176153" in body
+        assert "healthy" not in body
+
+    def test_stack_on_healthy_process_reports(self, system):
+        h = system.help
+        healthy = system.procs.spawn("alive")
+        w = h.new_window("/tmp/r", f"{healthy.pid}\n")
+        h.point_at(w, 0)
+        h.execute_text(h.window_by_name("/help/db/stf"), "stack")
+        errors = h.window_by_name("Errors")
+        assert "not broken" in errors.body.string()
+
+    def test_stack_window_reusable_for_browsing(self, system):
+        """The stack window's body text feeds Open directly."""
+        h = system.help
+        point_at_pid(system)
+        h.execute_text(h.window_by_name("/help/db/stf"), "stack")
+        stack_w = h.window_by_name("/usr/rob/src/help/")
+        pos = stack_w.body.string().index("errs.c:34") + 1
+        h.point_at(stack_w, pos)
+        h.exec_builtin("Open", stack_w)
+        errs_w = h.window_by_name("/usr/rob/src/help/errs.c")
+        assert errs_w.body.line_of(errs_w.org) == 34

@@ -1,0 +1,165 @@
+"""Tests for the assembled system and the glue utilities."""
+
+import pytest
+
+from repro import build_system
+from repro.core.window import Subwindow
+
+
+@pytest.fixture
+def system():
+    return build_system()
+
+
+class TestBuildSystem:
+    def test_boots_tools(self, system):
+        names = {w.name() for w in system.help.windows.values()}
+        assert "/help/edit/stf" in names
+        assert "/help/mail/stf" in names
+        assert "help/Boot" in names
+
+    def test_mnt_help_mounted(self, system):
+        assert system.ns.exists("/mnt/help/index")
+
+    def test_paper_pid_broken(self, system):
+        assert system.procs.get(176153) is not None
+
+    def test_mailbox_installed(self, system):
+        assert len(system.mailbox.messages()) == 7
+
+    def test_corpus_installed(self, system):
+        assert system.ns.exists("/usr/rob/src/help/exec.c")
+
+    def test_unbooted_system(self):
+        system = build_system(boot=False)
+        assert system.help.windows == {}
+
+    def test_shell_factory(self, system):
+        sh = system.shell("/usr/rob")
+        assert sh.run("pwd").stdout == "/usr/rob\n"
+        assert sh.get("home") == ["/usr/rob"]
+
+    def test_profile_runs_in_shell(self, system):
+        sh = system.shell("/usr/rob")
+        result = sh.run(". /usr/rob/lib/profile")
+        assert result.status == 0
+        assert sh.get("site") == ["plan9"]
+
+
+class TestExternalCommandPath:
+    def test_command_output_goes_to_errors(self, system):
+        h = system.help
+        w = h.new_window("/usr/rob/src/help/help.c",
+                         system.ns.read("/usr/rob/src/help/help.c"))
+        h.execute_text(w, "echo hello from rc")
+        errors = h.window_by_name("Errors")
+        assert "hello from rc" in errors.body.string()
+
+    def test_grep_paper_example(self, system):
+        """grep 'main' over the help sources, as in the paper."""
+        h = system.help
+        w = h.open_path("/usr/rob/src/help/help.c")
+        h.execute_text(w, "grep -n main /usr/rob/src/help/*.c")
+        errors = h.window_by_name("Errors")
+        assert "help.c" in errors.body.string()
+
+    def test_command_not_found(self, system):
+        h = system.help
+        w = h.new_window("")
+        h.execute_text(w, "frobnicate")
+        assert "not found" in h.window_by_name("Errors").body.string()
+
+    def test_tool_resolved_through_tag_directory(self, system):
+        """Executing a word in a tool window runs /help/<tool>/<word>."""
+        h = system.help
+        stf = h.window_by_name("/help/db/stf")
+        h.execute_text(stf, "ps")
+        ps_w = h.window_by_name("ps")
+        assert ps_w is not None
+        assert "176153" in ps_w.body.string()
+
+    def test_helpsel_passed(self, system):
+        h = system.help
+        w = h.new_window("/tmp/x", "some words")
+        h.select(w, 5, 10)
+        h.execute_text(w, "echo $helpsel")
+        errors = h.window_by_name("Errors")
+        assert f"{w.id}:body:5:10" in errors.body.string()
+
+
+class TestHelpParse:
+    def run_parse(self, system, args=""):
+        h = system.help
+        sh = system.shell()
+        sel = h.current
+        window, sub = sel
+        mark = window.selection(sub)
+        sh.set("helpsel", [f"{window.id}:{sub.value}:{mark.q0}:{mark.q1}"])
+        return sh.run(f"help/parse {args}")
+
+    def test_word_expansion(self, system):
+        h = system.help
+        w = h.new_window("/usr/rob/src/help/exec.c", "errs(n);\n")
+        h.point_at(w, 6)
+        result = self.run_parse(system)
+        assert "word='n'" in result.stdout
+        assert "dir='/usr/rob/src/help'" in result.stdout
+        assert "file='/usr/rob/src/help/exec.c'" in result.stdout
+        assert "line='1'" in result.stdout
+
+    def test_first_word_of_line(self, system):
+        h = system.help
+        w = h.new_window("/tmp/x", "2 sean Tue Apr 16\n")
+        h.point_at(w, 8)  # pointing at 'Tue'
+        result = self.run_parse(system)
+        assert "first='2'" in result.stdout
+
+    def test_explicit_selection_literal(self, system):
+        h = system.help
+        w = h.new_window("/tmp/x", "alpha beta")
+        h.select(w, 0, 5)
+        result = self.run_parse(system)
+        assert "word='alpha'" in result.stdout
+
+    def test_no_helpsel_fails(self, system):
+        result = system.shell().run("help/parse")
+        assert result.status == 1
+        assert "helpsel" in result.stderr
+
+    def test_gone_window_fails(self, system):
+        sh = system.shell()
+        sh.set("helpsel", ["999:body:0:0"])
+        assert sh.run("help-parse").status == 1
+
+    def test_dash_c_requires_file(self, system):
+        h = system.help
+        w = h.new_window("", "text")
+        h.point_at(w, 0)
+        result = self.run_parse(system, "-c")
+        assert result.status == 1
+
+
+class TestHelpGotoWindow:
+    def test_goto_opens_at_line(self, system):
+        sh = system.shell("/usr/rob/src/help")
+        result = sh.run("help/goto dat.h:136")
+        assert result.status == 0
+        w = system.help.window_by_name("/usr/rob/src/help/dat.h")
+        assert w is not None
+        assert w.body.line_of(w.org) == 136
+
+    def test_goto_missing(self, system):
+        result = system.shell().run("help-goto /no/file")
+        assert result.status == 1
+
+    def test_window_lookup(self, system):
+        w = system.help.new_window("/tmp/findme", "x")
+        result = system.shell().run("help/window /tmp/findme")
+        assert result.stdout.strip() == str(w.id)
+
+    def test_window_lookup_missing(self, system):
+        assert system.shell().run("help-window /tmp/ghost").status == 1
+
+    def test_buf_passes_through(self, system):
+        result = system.shell().run("echo data | help/buf")
+        assert result.stdout == "data\n"

@@ -7,7 +7,7 @@ the file-server path all stay interactive.
 
 import pytest
 
-from repro import build_system
+from repro import build_system, render_screen
 
 LINES = 20_000
 BIG = "".join(f"line {i}: the quick brown fox jumps over the dog\n"
@@ -87,3 +87,33 @@ def test_perf_large_body_through_fileserver(big_system, benchmark):
     data = benchmark(
         lambda: big_system.ns.read(f"/mnt/help/{window.id}/body"))
     assert len(data) == len(BIG)
+
+
+def test_perf_type_and_render(big_system, benchmark):
+    """The interactive loop itself: keystroke in, repainted screen out.
+
+    Every keystroke must reach the glass without laying the megabyte
+    body out from scratch — this is the path the incremental display
+    pipeline (newline index + layout cache + damage-tracked canvas)
+    exists for.  Each round types 30 characters and undoes all 30,
+    rendering after every event, so the body is unchanged between
+    rounds.
+    """
+    h = big_system.help
+    window = h.open_path("/big.txt")
+    h.make_visible(window)
+    column = h.screen.column_of(window)
+    rect = column.win_rect(window)
+    x, y = column.body_x0 + 2, rect.y0 + 1
+
+    def type_and_render():
+        h.mouse_move(x, y)
+        for _ in range(30):
+            h.type_text("x")
+            render_screen(h)
+        for _ in range(30):
+            window.body.undo()
+            render_screen(h)
+        return len(window.body)
+
+    assert benchmark(type_and_render) == len(BIG)

@@ -110,13 +110,16 @@ class Column:
         assert rect is not None
         used = 0
         if rect.height > 1:
+            # lay out at most the window's own height of the body — a
+            # megabyte body must not be measured in full just to find
+            # where the next window's tag goes
             frame = Frame(self.text_width, rect.height - 1)
-            layout = frame.layout(last.body.string(), last.org)
+            layout = frame.layout(last.body, last.org)
+            used = len(layout)
             # The row after a trailing newline holds no text; don't
             # count it (an entirely empty body still uses its one row).
-            if len(layout) > 1 and layout[-1].start == layout[-1].end:
-                layout.pop()
-            used = len(layout)
+            if used > 1 and layout[-1].start == layout[-1].end:
+                used -= 1
         return min(last.y + 1 + used, self.rect.y1)
 
     # -- the placement heuristic ------------------------------------------------

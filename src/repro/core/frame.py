@@ -11,11 +11,30 @@ maps every editor needs:
 
 Long lines wrap, exactly as in the original; the origin is always the
 offset of the first character of a display line.
+
+Every method that takes text accepts either a plain string or a
+:class:`~repro.core.text.Text` document.  The string path is the
+original pure function, unchanged.  The document path is the fast one
+production code uses: it lays out from a **bounded slice** of the
+buffer (at most ``height * (width + 1)`` characters — a row can
+consume at most ``width`` characters plus one newline), memoizes the
+result keyed by ``(edit version, org, width, height)`` on the
+document, and answers line arithmetic from the document's maintained
+newline index instead of rescanning.  Cache hits and misses are
+tallied in :mod:`repro.metrics.counter` so the speedup is observable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from repro.metrics.counter import incr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.text import Text
+
+TextLike = Union[str, "Text"]
 
 
 @dataclass(frozen=True)
@@ -76,33 +95,67 @@ class Frame:
         self.width = width
         self.height = height
 
-    def layout(self, text: str, org: int = 0) -> list[DisplayLine]:
+    def layout(self, text: TextLike, org: int = 0) -> list[DisplayLine]:
         """Display lines for *text* starting at offset *org*.
 
         Stops after ``height`` rows.  An empty tail (org at end of
         text) still yields one empty row so the cursor has a home.
+
+        With a document, the result is memoized on the document keyed
+        by ``(version, org, width, height)`` and computed from a
+        bounded slice; treat the returned list as immutable.
+        """
+        if isinstance(text, str):
+            return self._layout_region(text, 0, org, len(text))
+        return self._layout_doc(text, org)
+
+    def _layout_doc(self, doc: "Text", org: int) -> list[DisplayLine]:
+        key = (org, self.width, self.height)
+        version = doc.version
+        cached = doc._layout_cache.get(key)
+        if cached is not None and cached[0] == version:
+            incr("layout.cache_hit")
+            return cached[1]  # type: ignore[return-value]
+        incr("layout.cache_miss")
+        # a row consumes at most width characters plus one newline
+        bound = org + self.height * (self.width + 1)
+        chunk = doc.slice(org, bound)
+        lines = self._layout_region(chunk, org, org, len(doc))
+        cache = doc._layout_cache
+        if len(cache) >= 256:
+            cache.clear()
+        cache[key] = (version, lines)
+        return lines
+
+    def _layout_region(self, s: str, base: int, org: int,
+                       total: int) -> list[DisplayLine]:
+        """Lay out from *org* given *s* = the text of ``base..base+len(s)``.
+
+        *total* is the length of the whole text; offsets in the result
+        are absolute.
         """
         lines: list[DisplayLine] = []
         pos = org
-        n = len(text)
+        width = self.width
         for row in range(self.height):
-            if pos > n:
+            if pos > total:
                 break
+            rel = pos - base
             # Search one past the width: a newline exactly at the wrap
             # column ends the row rather than forcing an empty wrap line.
-            nl = text.find("\n", pos, pos + self.width + 1)
+            nl = s.find("\n", rel, rel + width + 1)
             if nl >= 0:
-                lines.append(DisplayLine(row, pos, nl, hard=True))
-                pos = nl + 1
-            elif pos + self.width < n:
-                lines.append(DisplayLine(row, pos, pos + self.width, hard=False))
-                pos += self.width
+                lines.append(DisplayLine(row, pos, base + nl, hard=True))
+                pos = base + nl + 1
+            elif pos + width < total:
+                lines.append(DisplayLine(row, pos, pos + width, hard=False))
+                pos += width
             else:
-                lines.append(DisplayLine(row, pos, n, hard=True))
-                pos = n + 1
+                lines.append(DisplayLine(row, pos, total, hard=True))
+                pos = total + 1
         return lines
 
-    def visible_span(self, text: str, org: int = 0) -> tuple[int, int]:
+    def visible_span(self, text: TextLike, org: int = 0) -> tuple[int, int]:
         """Offsets ``(org, end)`` of the text visible from *org*."""
         lines = self.layout(text, org)
         if not lines:
@@ -111,11 +164,11 @@ class Frame:
         end = last.end + (1 if last.hard and last.end < len(text) else 0)
         return (org, end)
 
-    def rows_used(self, text: str, org: int = 0) -> int:
+    def rows_used(self, text: TextLike, org: int = 0) -> int:
         """How many rows the text from *org* occupies (max ``height``)."""
         return len(self.layout(text, org))
 
-    def char_of_point(self, text: str, org: int, row: int, col: int) -> int:
+    def char_of_point(self, text: TextLike, org: int, row: int, col: int) -> int:
         """Text offset of a click at cell (*col*, *row*).
 
         Clicks beyond a line's end map to the line's last position;
@@ -130,7 +183,7 @@ class Frame:
         line = lines[max(0, row)]
         return min(line.start + max(0, col), line.end)
 
-    def point_of_char(self, text: str, org: int, pos: int) -> tuple[int, int] | None:
+    def point_of_char(self, text: TextLike, org: int, pos: int) -> tuple[int, int] | None:
         """Cell (row, col) where offset *pos* is displayed, or None.
 
         Offsets on a newline report the cell just past the line's last
@@ -141,7 +194,7 @@ class Frame:
                 return (line.row, pos - line.start)
         return None
 
-    def origin_for_line(self, text: str, line_no: int) -> int:
+    def origin_for_line(self, text: TextLike, line_no: int) -> int:
         """Origin that puts 1-based *line_no* on the top row.
 
         Wrapping is ignored here — origins always start hard lines,
@@ -149,6 +202,10 @@ class Frame:
         """
         if line_no <= 1:
             return 0
+        if not isinstance(text, str):
+            # past the last newline the origin sticks at the final
+            # line's start, exactly like the scanning loop below
+            return text.pos_of_line(min(line_no, text.newline_count() + 1))
         pos = 0
         for _ in range(line_no - 1):
             nl = text.find("\n", pos)
@@ -157,8 +214,12 @@ class Frame:
             pos = nl + 1
         return pos
 
-    def scroll_origins(self, text: str) -> list[int]:
+    def scroll_origins(self, text: TextLike) -> list[int]:
         """Offsets of every hard line start — the legal origins."""
+        if not isinstance(text, str):
+            buf = text._buf
+            return [0] + [buf.newline_position(i) + 1
+                          for i in range(buf.newline_count())]
         origins = [0]
         pos = text.find("\n")
         while pos >= 0:
@@ -168,7 +229,7 @@ class Frame:
             origins.pop()
         return origins
 
-    def scroll(self, text: str, org: int, lines: int) -> int:
+    def scroll(self, text: TextLike, org: int, lines: int) -> int:
         """Origin after scrolling *lines* display rows (negative = up)."""
         if lines == 0:
             return org
@@ -180,6 +241,8 @@ class Frame:
                 org = line.end + (1 if line.hard else 0)
                 lines -= 1
             return min(org, len(text))
+        if not isinstance(text, str):
+            return self._scroll_up_doc(text, org, lines)
         # Scrolling up: walk hard-line starts before org, then re-wrap.
         starts = [o for o in self.scroll_origins(text) if o <= org]
         rows: list[int] = []
@@ -197,3 +260,29 @@ class Frame:
         if not rows:
             return prev_start if org > 0 else 0
         return rows[max(0, len(rows) + lines)]
+
+    def _scroll_up_doc(self, doc: "Text", org: int, lines: int) -> int:
+        """Scroll-up via the newline index: O(rows scrolled), not O(file).
+
+        Replays the string algorithm above, but walks hard lines
+        backwards from the one containing *org* and keeps only the row
+        starts that can still be the answer.
+        """
+        need = -lines
+        rows: list[int] = []
+        cur = doc.line_of(org)
+        first = True
+        while cur >= 1 and len(rows) < need:
+            start = doc.pos_of_line(cur)
+            end = org if first else doc.pos_of_line(cur + 1) - 1
+            r = range(start, max(end, start + 1), self.width)
+            if first:
+                # only row starts strictly before org count
+                r = r[:max(0, (org - start + self.width - 1) // self.width)]
+            remaining = need - len(rows)
+            rows = list(r[max(0, len(r) - remaining):]) + rows
+            first = False
+            cur -= 1
+        if not rows:
+            return doc.pos_of_line(doc.line_of(org)) if org > 0 else 0
+        return rows[max(0, len(rows) - need)]

@@ -423,7 +423,7 @@ class Help:
             return
         amount = max(1, y - rect.y0)
         delta = -amount if up else amount
-        window.org = frame.scroll(window.body.string(), window.org, delta)
+        window.org = frame.scroll(window.body, window.org, delta)
 
     def resize(self, width: int, height: int) -> None:
         """Resize the display (a reparented terminal, a new monitor)."""
@@ -451,4 +451,4 @@ class Help:
         frame = column.body_frame(window)
         if frame is None:
             return
-        window.org = frame.scroll(window.body.string(), window.org, lines)
+        window.org = frame.scroll(window.body, window.org, lines)

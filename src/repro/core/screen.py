@@ -150,10 +150,10 @@ class Screen:
         col_in_text = x - column.body_x0
         if y == rect.y0:
             frame = Frame(column.text_width, 1)
-            pos = frame.char_of_point(window.tag.string(), 0, 0, col_in_text)
+            pos = frame.char_of_point(window.tag, 0, 0, col_in_text)
             return Hit(Region.TAG, column=column, window=window, pos=pos)
         frame = Frame(column.text_width, rect.height - 1)
-        pos = frame.char_of_point(window.body.string(), window.org,
+        pos = frame.char_of_point(window.body, window.org,
                                   y - rect.y0 - 1, col_in_text)
         return Hit(Region.BODY, column=column, window=window, pos=pos)
 

@@ -21,6 +21,7 @@ the original's naming.
 from __future__ import annotations
 
 import re
+from bisect import bisect_left, bisect_right
 from typing import Iterable
 
 
@@ -30,6 +31,18 @@ class GapBuffer:
     Edits near the gap are O(length of edit); moving the gap costs the
     distance moved.  This is the same structure bitmap-terminal editors
     of the era used, and it keeps the interactive benchmarks honest.
+
+    Two pieces of bookkeeping ride along for the display pipeline:
+
+    - a monotonically increasing **edit generation** (:attr:`version`),
+      bumped by every content change, which layout caches and the
+      damage-tracked renderer use as their invalidation stamp;
+    - a **maintained newline index**, split at the gap exactly like the
+      characters are: positions before the gap are stored absolute,
+      positions after the gap as distance from the end of the text, so
+      an edit at the gap never shifts either list.  Line arithmetic
+      (``nlines``/``line_of``/``pos_of_line``) becomes O(log lines)
+      instead of rescanning the whole document.
     """
 
     def __init__(self, text: str = "", gap: int = 64) -> None:
@@ -41,9 +54,32 @@ class GapBuffer:
         # ask for the full text repeatedly between edits, and a large
         # file must not pay O(n) for each of those asks
         self._text_cache: str | None = text
+        self._version = 0
+        # newline index, built lazily on first use (opening a file must
+        # not pay for an index nothing has asked for yet): ascending
+        # absolute offsets before the gap, and ascending distance from
+        # the text end after the gap.  Once built it is maintained
+        # incrementally through every edit and gap move.
+        self._nl_before: list[int] | None = None
+        self._nl_after: list[int] = []
+
+    def _nl_lists(self) -> tuple[list[int], list[int]]:
+        """The (before, after) newline lists, building them on demand."""
+        if self._nl_before is None:
+            positions = [m.start() for m in re.finditer("\n", self.text())]
+            split = bisect_left(positions, self._gap_start)
+            n = len(self)
+            self._nl_before = positions[:split]
+            self._nl_after = [n - p for p in reversed(positions[split:])]
+        return self._nl_before, self._nl_after
 
     def __len__(self) -> int:
         return len(self._buf) - (self._gap_end - self._gap_start)
+
+    @property
+    def version(self) -> int:
+        """Edit generation: bumped by every insert/delete that changes text."""
+        return self._version
 
     def _move_gap(self, pos: int) -> None:
         if pos < self._gap_start:
@@ -52,6 +88,13 @@ class GapBuffer:
             self._buf[dst:self._gap_end] = self._buf[pos:self._gap_start]
             self._gap_start = pos
             self._gap_end = dst
+            # newlines in the moved span now live after the gap; text
+            # offsets are gap-invariant, only the storage side changes
+            if self._nl_before is not None:
+                n = len(self)
+                before, after = self._nl_before, self._nl_after
+                while before and before[-1] >= pos:
+                    after.append(n - before.pop())
         elif pos > self._gap_start:
             span = pos - self._gap_start
             src_end = self._gap_end + span
@@ -59,6 +102,35 @@ class GapBuffer:
                 self._buf[self._gap_end:src_end]
             self._gap_start += span
             self._gap_end = src_end
+            if self._nl_before is not None:
+                n = len(self)
+                before, after = self._nl_before, self._nl_after
+                cut = n - pos
+                while after and after[-1] > cut:
+                    before.append(n - after.pop())
+
+    # -- newline index queries ---------------------------------------------
+
+    def newline_count(self) -> int:
+        """Total number of newlines in the buffer."""
+        before, after = self._nl_lists()
+        return len(before) + len(after)
+
+    def newline_position(self, i: int) -> int:
+        """Text offset of the 0-based *i*-th newline."""
+        before, after = self._nl_lists()
+        if i < len(before):
+            return before[i]
+        # _nl_after ascends in distance-from-end, i.e. descends in offset
+        return len(self) - after[len(before) + len(after) - 1 - i]
+
+    def newlines_before(self, pos: int) -> int:
+        """Number of newlines at text offsets strictly below *pos*."""
+        before, after = self._nl_lists()
+        count = bisect_left(before, pos)
+        # after the gap: offset p < pos  <=>  distance n - p > n - pos
+        count += len(after) - bisect_right(after, len(self) - pos)
+        return count
 
     def _grow(self, need: int) -> None:
         gap = self._gap_end - self._gap_start
@@ -75,10 +147,19 @@ class GapBuffer:
         if not s:
             return
         self._text_cache = None
+        self._version += 1
         self._move_gap(pos)
         self._grow(len(s))
         self._buf[self._gap_start:self._gap_start + len(s)] = list(s)
         self._gap_start += len(s)
+        # inserted newlines land before the gap; existing entries are
+        # unaffected (before-gap offsets < pos, after-gap distances from
+        # the end are invariant under an insert at the gap)
+        if self._nl_before is not None and "\n" in s:
+            idx = s.find("\n")
+            while idx >= 0:
+                self._nl_before.append(pos + idx)
+                idx = s.find("\n", idx + 1)
 
     def delete(self, start: int, end: int) -> str:
         """Remove and return the characters in ``start..end``."""
@@ -86,7 +167,15 @@ class GapBuffer:
             raise IndexError(f"delete {start}..{end} outside 0..{len(self)}")
         if start != end:
             self._text_cache = None
+            self._version += 1
         self._move_gap(start)
+        # the doomed span sits just after the gap: its newlines hold the
+        # largest distances-from-end on the after list
+        if self._nl_before is not None:
+            cut = len(self) - end
+            after = self._nl_after
+            while after and after[-1] > cut:
+                after.pop()
         removed = "".join(self._buf[self._gap_end:self._gap_end + (end - start)])
         self._gap_end += end - start
         return removed
@@ -177,11 +266,24 @@ class Text:
         self._undo: list[list[tuple[str, int, str]]] = []
         self._redo: list[list[tuple[str, int, str]]] = []
         self._open_group: list[tuple[str, int, str]] | None = None
+        # (org, width, height) -> (version, lines); owned by Frame's
+        # layout memoization (see repro.core.frame), stored here because
+        # the document outlives the transient Frame objects
+        self._layout_cache: dict[tuple[int, int, int], tuple[int, object]] = {}
 
     # -- basic access -----------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._buf)
+
+    @property
+    def version(self) -> int:
+        """Edit generation; any content change makes it strictly larger."""
+        return self._buf.version
+
+    def newline_count(self) -> int:
+        """Number of newlines, from the maintained index (O(1))."""
+        return self._buf.newline_count()
 
     def string(self) -> str:
         """The full contents."""
@@ -299,33 +401,31 @@ class Text:
 
     def nlines(self) -> int:
         """Number of lines (a trailing newline does not start a new one)."""
-        s = self.string()
-        if not s:
+        n = len(self)
+        if n == 0:
             return 0
-        return s.count("\n") + (0 if s.endswith("\n") else 1)
+        newlines = self._buf.newline_count()
+        return newlines + (0 if self.char_at(n - 1) == "\n" else 1)
 
     def line_of(self, pos: int) -> int:
         """1-based line number containing offset *pos*."""
-        return self.slice(0, min(pos, len(self))).count("\n") + 1
+        return self._buf.newlines_before(min(pos, len(self))) + 1
 
     def pos_of_line(self, line: int) -> int:
         """Offset of the first character of 1-based *line* (clamped)."""
         if line <= 1:
             return 0
-        pos = 0
-        s = self.string()
-        for _ in range(line - 1):
-            nl = s.find("\n", pos)
-            if nl < 0:
-                return len(s)
-            pos = nl + 1
-        return pos
+        if line - 2 >= self._buf.newline_count():
+            return len(self)
+        return self._buf.newline_position(line - 2) + 1
 
     def line_span(self, line: int) -> tuple[int, int]:
         """Offsets ``(start, end)`` of 1-based *line*, newline excluded."""
         start = self.pos_of_line(line)
-        nl = self.string().find("\n", start)
-        return (start, len(self) if nl < 0 else nl)
+        k = self._buf.newlines_before(start)
+        if k >= self._buf.newline_count():
+            return (start, len(self))
+        return (start, self._buf.newline_position(k))
 
     # -- expansion scans -------------------------------------------------------
 

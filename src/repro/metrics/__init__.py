@@ -15,7 +15,9 @@ keyboard."  This package makes those claims measurable:
   the paper argues against.
 """
 
-from repro.metrics.counter import InteractionStats
+from repro.metrics.counter import (InteractionStats, counter, counters,
+                                   hit_rate, incr, reset_counters)
 from repro.metrics.klm import KLM_TIMES, Action, Script, script_time
 
-__all__ = ["InteractionStats", "Action", "Script", "script_time", "KLM_TIMES"]
+__all__ = ["InteractionStats", "Action", "Script", "script_time", "KLM_TIMES",
+           "incr", "counter", "counters", "reset_counters", "hit_rate"]

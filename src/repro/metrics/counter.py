@@ -3,11 +3,52 @@
 :class:`InteractionStats` is attached to every
 :class:`repro.core.help.Help` instance and updated by its event layer;
 integration tests assert the paper's numbers against it.
+
+The module also hosts the process-wide **performance counters** the
+incremental display pipeline reports into: layout cache hits/misses,
+cells repainted, full versus damage-tracked renders.  They make the
+pipeline's claimed speedups observable — benchmarks read them out into
+``bench_artifacts/BENCH_perf.json`` instead of asserting "it's faster"
+blind.  Counting is a dict bump per event, cheap enough for hot paths.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+# -- performance counters ---------------------------------------------------
+
+_perf_counters: dict[str, int] = {}
+
+
+def incr(name: str, n: int = 1) -> None:
+    """Add *n* to the named performance counter."""
+    _perf_counters[name] = _perf_counters.get(name, 0) + n
+
+
+def counter(name: str) -> int:
+    """Current value of the named counter (0 if never bumped)."""
+    return _perf_counters.get(name, 0)
+
+
+def counters(prefix: str = "") -> dict[str, int]:
+    """A snapshot of all counters whose name starts with *prefix*."""
+    return {k: v for k, v in _perf_counters.items() if k.startswith(prefix)}
+
+
+def reset_counters(prefix: str = "") -> None:
+    """Zero the counters starting with *prefix* ('' resets everything)."""
+    for key in list(_perf_counters):
+        if key.startswith(prefix):
+            del _perf_counters[key]
+
+
+def hit_rate(kind: str = "layout.cache") -> float | None:
+    """Hit rate of a hit/miss counter pair, or None if never exercised."""
+    hits = counter(f"{kind}_hit")
+    misses = counter(f"{kind}_miss")
+    total = hits + misses
+    return hits / total if total else None
 
 
 @dataclass

@@ -31,12 +31,12 @@ class Session:
         if sub is Subwindow.TAG:
             return (column.body_x0 + pos, rect.y0)
         frame = column.body_frame(window)
-        point = frame.point_of_char(window.body.string(), window.org, pos)
+        point = frame.point_of_char(window.body, window.org, pos)
         if point is None:
             # scroll the offset into view, as a user would
             window.org = frame.origin_for_line(
-                window.body.string(), window.body.line_of(pos))
-            point = frame.point_of_char(window.body.string(), window.org, pos)
+                window.body, window.body.line_of(pos))
+            point = frame.point_of_char(window.body, window.org, pos)
         assert point is not None, f"offset {pos} not displayable"
         row, col = point
         return (column.body_x0 + col, rect.y0 + 1 + row)

@@ -1,0 +1,79 @@
+"""Guard against silent rendering drift in the paper's figure artifacts.
+
+The twelve figure benchmarks save ASCII screenshots under
+``bench_artifacts/fig*.txt``; byte-identical copies live next to the
+test suite as baselines (``tests/goldens/fig*.txt``).  The incremental display
+pipeline (layout caching, damage-tracked repaints) must never change a
+rendered byte, so this check compares every regenerated artifact
+against its baseline and reports any drift.  It runs both as a CLI::
+
+    python -m repro.tools.figcheck [baseline_dir artifact_dir]
+
+and from the test suite (``tests/tools/test_figcheck.py``), so a
+refactor that perturbs rendering fails CI instead of silently
+rewriting the figures.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+DEFAULT_PATTERN = "fig*.txt"
+
+
+def compare(baseline_dir: str | pathlib.Path,
+            artifact_dir: str | pathlib.Path,
+            pattern: str = DEFAULT_PATTERN) -> list[str]:
+    """Drift messages for every artifact that disagrees with its baseline.
+
+    An artifact that has not been regenerated (benchmarks not run) is
+    not drift; an artifact with no baseline at all is — it means a new
+    figure appeared without a pinned reference.
+    """
+    baseline_dir = pathlib.Path(baseline_dir)
+    artifact_dir = pathlib.Path(artifact_dir)
+    problems: list[str] = []
+    for artifact in sorted(artifact_dir.glob(pattern)):
+        baseline = baseline_dir / artifact.name
+        if not baseline.exists():
+            problems.append(f"{artifact.name}: no baseline in {baseline_dir}")
+            continue
+        got = artifact.read_text()
+        want = baseline.read_text()
+        if got != want:
+            line = _first_divergent_line(want, got)
+            problems.append(
+                f"{artifact.name}: differs from baseline (first at line {line})")
+    return problems
+
+
+def _first_divergent_line(want: str, got: str) -> int:
+    for i, (a, b) in enumerate(zip(want.splitlines(), got.splitlines()),
+                               start=1):
+        if a != b:
+            return i
+    return min(want.count("\n"), got.count("\n")) + 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if len(args) == 2:
+        baseline_dir, artifact_dir = args
+    elif not args:
+        baseline_dir = root / "tests" / "goldens"
+        artifact_dir = root / "bench_artifacts"
+    else:
+        print("usage: figcheck [baseline_dir artifact_dir]", file=sys.stderr)
+        return 2
+    problems = compare(baseline_dir, artifact_dir)
+    for problem in problems:
+        print(f"figcheck: {problem}", file=sys.stderr)
+    if not problems:
+        print("figcheck: all figure artifacts match their baselines")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -81,18 +81,28 @@ class Executor:
 
     def execute(self, window: Window, subwindow: Subwindow, text: str,
                 extent: tuple[int, int] = (0, 0)) -> None:
-        """Execute *text* as selected in *window*'s *subwindow*."""
+        """Execute *text* as selected in *window*'s *subwindow*.
+
+        A filesystem failure anywhere below (a faulted ``/mnt/help``,
+        a vanished file) must not take the interface down with it: it
+        is reported in the Errors window, the paper's only channel
+        from a failing tool to the user, and help stays live.
+        """
+        from repro.fs.vfs import FsError
         text = text.strip()
         if not text:
             return
         cmd, _, arg = text.partition(" ")
         ctx = ExecContext(self.help, window, subwindow, cmd, arg.strip(),
                           extent)
-        builtin = self.builtins.get(cmd)
-        if builtin is not None:
-            builtin(ctx)
-            return
-        self._run_external(ctx)
+        try:
+            builtin = self.builtins.get(cmd)
+            if builtin is not None:
+                builtin(ctx)
+                return
+            self._run_external(ctx)
+        except FsError as exc:
+            self.help.post_error(f"help: {exc.diagnostic()}\n")
 
     # -- external commands ---------------------------------------------------
 

@@ -14,23 +14,42 @@ package provides that substrate in-process:
 - :mod:`repro.fs.server` — synthetic (server-backed) files and
   directories whose contents are computed per open, the mechanism by
   which :mod:`repro.helpfs` serves ``/mnt/help``.
+- :mod:`repro.fs.errors` — the structured error taxonomy every layer
+  raises (``NotFound``, ``Closed``, ``IOFault``, ...), each carrying
+  the canonical path and operation.
+- :mod:`repro.fs.faults` — deterministic fault injection: wrap any
+  tree in a :class:`~repro.fs.faults.FaultPlan` and scheduled opens,
+  reads, writes, or closes fail on cue for robustness tests.
 
 All file contents are text (``str``): ``help`` "operates only on text"
 and so does this reproduction.
 """
 
+from repro.fs.errors import (
+    Busy,
+    Closed,
+    Exists,
+    FsError,
+    Invalid,
+    IOFault,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+    Permission,
+    diagnostic,
+)
 from repro.fs.vfs import (
     VFS,
     Dir,
     File,
     FileHandle,
-    FsError,
     Node,
     normalize,
     split_path,
 )
 from repro.fs.namespace import BindFlag, Namespace
 from repro.fs.server import SynthDir, SynthFile, SynthSession
+from repro.fs.faults import Fault, FaultPlan, wrap
 
 __all__ = [
     "VFS",
@@ -38,6 +57,19 @@ __all__ = [
     "File",
     "FileHandle",
     "FsError",
+    "NotFound",
+    "NotADirectory",
+    "IsADirectory",
+    "Exists",
+    "Permission",
+    "Busy",
+    "Closed",
+    "IOFault",
+    "Invalid",
+    "diagnostic",
+    "Fault",
+    "FaultPlan",
+    "wrap",
     "Node",
     "Namespace",
     "BindFlag",

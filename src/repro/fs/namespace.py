@@ -22,12 +22,21 @@ from __future__ import annotations
 import enum
 import fnmatch
 
+from repro.fs.errors import (
+    Exists,
+    FsError,
+    Invalid,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+    Busy,
+    Permission,
+)
 from repro.fs.vfs import (
     VFS,
     Dir,
     File,
     FileHandle,
-    FsError,
     Node,
     basename,
     dirname,
@@ -78,7 +87,8 @@ class UnionDir(Dir):
         for member in self.stack:
             if isinstance(member, Dir):
                 return member
-        raise FsError(f"'{self.name}': no directory to create in")
+        raise NotADirectory(f"'{self.name}': no directory to create in",
+                            path=self.name, op="create")
 
 
 class Namespace:
@@ -111,7 +121,8 @@ class Namespace:
         src_node = self.walk(src)
         dst_node = self.walk(dst)
         if src_node.is_dir != dst_node.is_dir:
-            raise FsError(f"bind: '{src}' and '{dst}' differ in kind")
+            raise Invalid(f"bind: '{src}' and '{dst}' differ in kind",
+                          path=normalize(dst), op="bind")
         self._install(normalize(dst), self._flatten(src_node), dst_node, flag)
 
     def mount(self, node: Node, dst: str, flag: BindFlag = BindFlag.REPLACE) -> None:
@@ -128,7 +139,7 @@ class Namespace:
         """Drop every bind or mount at *dst*."""
         canon = normalize(dst)
         if canon not in self._mounts:
-            raise FsError(f"'{canon}' not mounted")
+            raise NotFound(f"'{canon}' not mounted", path=canon, op="unmount")
         del self._mounts[canon]
 
     def _flatten(self, node: Node) -> list[Node]:
@@ -182,7 +193,7 @@ class Namespace:
         """Resolve *path*, raising :class:`FsError` if it does not exist."""
         node = self.resolve(path)
         if node is None:
-            raise FsError(f"'{normalize(path)}' does not exist")
+            raise NotFound(path=normalize(path), op="walk")
         return node
 
     def exists(self, path: str) -> bool:
@@ -207,12 +218,13 @@ class Namespace:
         if node is None:
             if mode in ("w", "a"):
                 return FileHandle(self._create_node(path), mode, self.vfs.clock)
-            raise FsError(f"'{normalize(path)}' does not exist")
+            raise NotFound(path=normalize(path), op="open")
         if node.is_dir:
-            raise FsError(f"'{normalize(path)}' is a directory")
+            raise IsADirectory(path=normalize(path), op="open")
         opener = getattr(node, "open", None)
         if opener is None:
-            raise FsError(f"'{normalize(path)}' cannot be opened")
+            raise Permission(f"'{normalize(path)}' cannot be opened",
+                             path=normalize(path), op="open")
         handle = opener(mode)
         if isinstance(handle, FileHandle):
             handle._clock = self.vfs.clock
@@ -223,7 +235,7 @@ class Namespace:
         if isinstance(parent, UnionDir):
             parent = parent.create_target()
         if not isinstance(parent, Dir):
-            raise FsError(f"'{dirname(path)}' is not a directory")
+            raise NotADirectory(path=dirname(path), op="create")
         node = File(basename(path))
         node.mtime = self.vfs.clock.tick()
         parent.attach(node)
@@ -253,17 +265,17 @@ class Namespace:
         if self.exists(path):
             if parents and self.isdir(path):
                 return
-            raise FsError(f"'{normalize(path)}' already exists")
+            raise Exists(path=normalize(path), op="mkdir")
         parent_path = dirname(path)
         if not self.exists(parent_path):
             if not parents:
-                raise FsError(f"'{parent_path}' does not exist")
+                raise NotFound(path=parent_path, op="mkdir")
             self.mkdir(parent_path, parents=True)
         parent = self.walk(parent_path)
         if isinstance(parent, UnionDir):
             parent = parent.create_target()
         if not isinstance(parent, Dir):
-            raise FsError(f"'{parent_path}' is not a directory")
+            raise NotADirectory(path=parent_path, op="mkdir")
         node = Dir(basename(path))
         node.mtime = self.vfs.clock.tick()
         parent.attach(node)
@@ -272,26 +284,26 @@ class Namespace:
         """Remove a file or empty directory (unmounting is separate)."""
         canon = normalize(path)
         if canon in self._mounts:
-            raise FsError(f"'{canon}' is a mount point")
+            raise Busy(f"'{canon}' is a mount point", path=canon, op="remove")
         node = self.walk(canon)
         if isinstance(node, Dir) and node.entries():
-            raise FsError(f"'{canon}' not empty")
+            raise Busy(f"'{canon}' not empty", path=canon, op="remove")
         parent = self.walk(dirname(canon))
         if isinstance(parent, UnionDir):
             for member in parent.stack:
                 if isinstance(member, Dir) and member.lookup(basename(canon)):
                     member.detach(basename(canon))
                     return
-            raise FsError(f"'{canon}' does not exist")
+            raise NotFound(path=canon, op="remove")
         if not isinstance(parent, Dir):
-            raise FsError(f"'{dirname(canon)}' is not a directory")
+            raise NotADirectory(path=dirname(canon), op="remove")
         parent.detach(basename(canon))
 
     def listdir(self, path: str) -> list[str]:
         """Sorted entry names of the directory at *path* (unions merged)."""
         node = self.walk(path)
         if not isinstance(node, Dir):
-            raise FsError(f"'{normalize(path)}' is not a directory")
+            raise NotADirectory(path=normalize(path), op="listdir")
         return sorted(entry.name for entry in node.entries())
 
     def mtime(self, path: str) -> int:

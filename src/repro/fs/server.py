@@ -23,7 +23,9 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.fs.vfs import Dir, File, FsError, Node
+from repro.fs.errors import Closed, Invalid, Permission
+from repro.fs.vfs import Dir, File, Node
+from repro.metrics.counter import incr
 
 
 class SynthSession:
@@ -33,32 +35,48 @@ class SynthSession:
     a reader sees a consistent view even while the window changes) and
     forwards each write, line-buffered, to the consumer.  Servers that
     need different semantics subclass or replace it via ``open_fn``.
+
+    Every session knows the *name* of the file it was opened on, so
+    its errors identify the file instead of saying only "closed file".
+    Closing is idempotent and exception-safe: a second ``close`` is a
+    no-op even if the first one's flush raised, and a session dropped
+    without ``close()`` flushes its unterminated final line from
+    ``__del__`` as a last resort.
     """
 
     def __init__(self, mode: str,
                  read_fn: Callable[[], str] | None = None,
-                 write_fn: Callable[[str], None] | None = None) -> None:
+                 write_fn: Callable[[str], None] | None = None,
+                 name: str = "") -> None:
         self.mode = mode
+        self.name = name
         self.closed = False
         self._read_fn = read_fn
         self._write_fn = write_fn
         self._snapshot: str | None = None
         self._pending = ""
         self.pos = 0
+        incr("fs.open")
 
     def _check(self, want: str) -> None:
+        op = "read" if want == "r" else "write"
+        where = self.name or "?"
         if self.closed:
-            raise FsError("read/write on closed file")
+            raise Closed(path=where, op=op)
         if want == "r" and self.mode not in ("r", "rw"):
-            raise FsError("not open for reading")
+            raise Permission(f"'{where}' not open for reading",
+                             path=where, op=op)
         if want == "w" and self.mode == "r":
-            raise FsError("not open for writing")
+            raise Permission(f"'{where}' not open for writing",
+                             path=where, op=op)
 
     def read(self, n: int = -1) -> str:
         """Read from the snapshot taken at first read."""
         self._check("r")
         if self._read_fn is None:
-            raise FsError("not readable")
+            raise Permission(f"'{self.name or '?'}' not readable",
+                             path=self.name or "?", op="read")
+        incr("fs.read")
         if self._snapshot is None:
             self._snapshot = self._read_fn()
         data = self._snapshot
@@ -78,7 +96,9 @@ class SynthSession:
         """Forward complete lines to the consumer; buffer the remainder."""
         self._check("w")
         if self._write_fn is None:
-            raise FsError("not writable")
+            raise Permission(f"'{self.name or '?'}' not writable",
+                             path=self.name or "?", op="write")
+        incr("fs.write")
         self._pending += s
         while "\n" in self._pending:
             line, self._pending = self._pending.split("\n", 1)
@@ -93,11 +113,29 @@ class SynthSession:
         self.pos = max(0, min(pos, limit))
 
     def close(self) -> None:
-        """Flush any unterminated final line, then close."""
-        if self._pending and self._write_fn is not None:
-            self._write_fn(self._pending)
-            self._pending = ""
+        """Flush any unterminated final line, then close.
+
+        Idempotent, and exception-safe: the session is marked closed
+        and the buffer cleared *before* the flush callback runs, so a
+        consumer that fails cannot leave the session half-closed or
+        replay the tail on a retry.
+        """
+        if self.closed:
+            return
         self.closed = True
+        incr("fs.close")
+        pending, self._pending = self._pending, ""
+        if pending and self._write_fn is not None:
+            self._write_fn(pending)
+
+    def __del__(self) -> None:
+        # Last-ditch flush for sessions dropped without close(): an
+        # unterminated final line must not vanish just because the
+        # writer forgot (or failed) to close the handle.
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter teardown / consumer gone: nothing to tell
 
     def __enter__(self) -> "SynthSession":
         return self
@@ -135,18 +173,25 @@ class SynthFile(File):
 
     @data.setter
     def data(self, value: str) -> None:
-        raise FsError(f"'{self.name}': synthetic file; write through a handle")
+        raise Permission(f"'{self.name}': synthetic file; write through a handle",
+                         path=self.name, op="write")
 
     def open(self, mode: str) -> SynthSession:
         if mode not in ("r", "w", "a", "rw"):
-            raise FsError(f"bad open mode '{mode}'")
+            raise Invalid(f"bad open mode '{mode}'", path=self.name, op="open")
         if self._open_fn is not None:
-            return self._open_fn(mode)
+            session = self._open_fn(mode)
+            if not getattr(session, "name", ""):
+                session.name = self.name
+            return session
         if mode in ("w", "a") and self._write_fn is None:
-            raise FsError(f"'{self.name}' not writable")
+            raise Permission(f"'{self.name}' not writable",
+                             path=self.name, op="open")
         if mode == "r" and self._read_fn is None:
-            raise FsError(f"'{self.name}' not readable")
-        return SynthSession(mode, self._read_fn, self._write_fn)
+            raise Permission(f"'{self.name}' not readable",
+                             path=self.name, op="open")
+        return SynthSession(mode, self._read_fn, self._write_fn,
+                            name=self.name)
 
 
 class SynthDir(Dir):

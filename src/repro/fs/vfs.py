@@ -14,14 +14,18 @@ from __future__ import annotations
 
 from typing import Iterator
 
-
-class FsError(Exception):
-    """Raised for all filesystem failures.
-
-    The message follows the terse Plan 9 convention, e.g.
-    ``'/usr/rob/lib/profile' does not exist`` — these strings end up in
-    the Errors window, so they are written for users.
-    """
+from repro.fs.errors import (
+    Closed,
+    Exists,
+    FsError,
+    Invalid,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+    Busy,
+    Permission,
+)
+from repro.metrics.counter import incr
 
 
 def split_path(path: str) -> list[str]:
@@ -149,7 +153,7 @@ class Dir(Node):
         Raises :class:`FsError` if there is no such child.
         """
         if name not in self._children:
-            raise FsError(f"'{name}' does not exist")
+            raise NotFound(path=name, op="remove")
         del self._children[name]
 
     def __contains__(self, name: str) -> bool:
@@ -172,7 +176,7 @@ class FileHandle:
 
     def __init__(self, node: File, mode: str, clock: "Clock | None" = None) -> None:
         if mode not in ("r", "w", "a", "rw"):
-            raise FsError(f"bad open mode '{mode}'")
+            raise Invalid(f"bad open mode '{mode}'", path=node.name, op="open")
         self.node = node
         self.mode = mode
         self.closed = False
@@ -180,18 +184,23 @@ class FileHandle:
         if mode == "w":
             node.data = ""
         self.pos = len(node.data) if mode == "a" else 0
+        incr("fs.open")
 
     def _check(self, want: str) -> None:
+        op = "read" if want == "r" else "write"
         if self.closed:
-            raise FsError("read/write on closed file")
+            raise Closed(path=self.node.name, op=op)
         if want == "r" and self.mode not in ("r", "rw"):
-            raise FsError(f"'{self.node.name}' not open for reading")
+            raise Permission(f"'{self.node.name}' not open for reading",
+                             path=self.node.name, op=op)
         if want == "w" and self.mode == "r":
-            raise FsError(f"'{self.node.name}' not open for writing")
+            raise Permission(f"'{self.node.name}' not open for writing",
+                             path=self.node.name, op=op)
 
     def read(self, n: int = -1) -> str:
         """Read up to *n* characters (all remaining if n < 0)."""
         self._check("r")
+        incr("fs.read")
         data = self.node.data
         if n < 0:
             out = data[self.pos:]
@@ -208,6 +217,7 @@ class FileHandle:
     def write(self, s: str) -> int:
         """Write *s* at the current position, extending the file."""
         self._check("w")
+        incr("fs.write")
         data = self.node.data
         self.node.data = data[:self.pos] + s + data[self.pos + len(s):]
         self.pos += len(s)
@@ -220,7 +230,11 @@ class FileHandle:
         self.pos = max(0, min(pos, len(self.node.data)))
 
     def close(self) -> None:
+        """Close the handle; closing twice is a no-op."""
+        if self.closed:
+            return
         self.closed = True
+        incr("fs.close")
 
     def __enter__(self) -> "FileHandle":
         return self
@@ -264,7 +278,7 @@ class VFS:
         """Resolve *path* to a node, raising :class:`FsError` if absent."""
         node = self.resolve(path)
         if node is None:
-            raise FsError(f"'{normalize(path)}' does not exist")
+            raise NotFound(path=normalize(path), op="walk")
         return node
 
     def resolve(self, path: str) -> Node | None:
@@ -303,13 +317,13 @@ class VFS:
             last = i == len(parts) - 1
             if child is None:
                 if not last and not parents:
-                    raise FsError(f"'{dirname(path)}' does not exist")
+                    raise NotFound(path=dirname(path), op="mkdir")
                 child = node.attach(Dir(comp))
                 child.mtime = self.clock.tick()
             elif last and not parents:
-                raise FsError(f"'{normalize(path)}' already exists")
+                raise Exists(path=normalize(path), op="mkdir")
             if not isinstance(child, Dir):
-                raise FsError(f"'{comp}' is not a directory")
+                raise NotADirectory(path=comp, op="mkdir")
             node = child
         return node
 
@@ -317,12 +331,12 @@ class VFS:
         """Create (or truncate) the file at *path* with *data*."""
         parent = self.walk(dirname(path))
         if not isinstance(parent, Dir):
-            raise FsError(f"'{dirname(path)}' is not a directory")
+            raise NotADirectory(path=dirname(path), op="create")
         name = basename(path)
         existing = parent.lookup(name)
         if existing is not None:
             if existing.is_dir:
-                raise FsError(f"'{normalize(path)}' is a directory")
+                raise IsADirectory(path=normalize(path), op="create")
             assert isinstance(existing, File)
             existing.data = data
             existing.mtime = self.clock.tick()
@@ -336,7 +350,8 @@ class VFS:
         """Remove the file or (empty) directory at *path*."""
         node = self.walk(path)
         if isinstance(node, Dir) and node.entries():
-            raise FsError(f"'{normalize(path)}' not empty")
+            raise Busy(f"'{normalize(path)}' not empty",
+                       path=normalize(path), op="remove")
         parent = self.walk(dirname(path))
         assert isinstance(parent, Dir)
         parent.detach(basename(path))
@@ -355,9 +370,9 @@ class VFS:
             if mode in ("w", "a"):
                 node = self.create(path)
             else:
-                raise FsError(f"'{normalize(path)}' does not exist")
+                raise NotFound(path=normalize(path), op="open")
         if node.is_dir:
-            raise FsError(f"'{normalize(path)}' is a directory")
+            raise IsADirectory(path=normalize(path), op="open")
         assert isinstance(node, File)
         return FileHandle(node, mode, self.clock)
 
@@ -380,7 +395,7 @@ class VFS:
         """Sorted names of the entries in the directory at *path*."""
         node = self.walk(path)
         if not isinstance(node, Dir):
-            raise FsError(f"'{normalize(path)}' is not a directory")
+            raise NotADirectory(path=normalize(path), op="listdir")
         return sorted(e.name for e in node.entries())
 
     def mtime(self, path: str) -> int:

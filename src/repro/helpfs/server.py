@@ -18,8 +18,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.window import Window
+from repro.fs.errors import FsError, Invalid
 from repro.fs.server import SynthDir, SynthFile, SynthSession
-from repro.fs.vfs import FsError, Node
+from repro.fs.vfs import Node
 from repro.helpfs.ctl import CtlError, apply_ctl, ctl_status
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -98,27 +99,36 @@ class HelpFS:
         window.tag_sel.set(0, 0)
 
     def _body_session(self, window: Window, mode: str) -> SynthSession:
+        name = f"{window.id}/body"
         if mode == "r":
-            return SynthSession("r", read_fn=lambda: window.body.string())
+            return SynthSession("r", read_fn=lambda: window.body.string(),
+                                name=name)
         if mode == "a":
-            return _RawWriteSession(mode, window.append)
+            return _RawWriteSession(mode, window.append, name=name)
         if mode in ("w", "rw"):
             window.replace_body("")
-            return _RawWriteSession("w", window.append)
-        raise FsError(f"bad open mode '{mode}'")
+            return _RawWriteSession("w", window.append, name=name)
+        raise Invalid(f"bad open mode '{mode}'", path=name, op="open")
 
     def _ctl_session(self, window: Window, mode: str) -> SynthSession:
+        name = f"{window.id}/ctl"
         if mode == "r":
-            return SynthSession("r", read_fn=lambda: ctl_status(window))
+            return SynthSession("r", read_fn=lambda: ctl_status(window),
+                                name=name)
         return SynthSession(mode,
                             read_fn=lambda: ctl_status(window),
-                            write_fn=lambda line: self._apply(window, line))
+                            write_fn=lambda line: self._apply(window, line),
+                            name=name)
 
     def _apply(self, window: Window, line: str) -> None:
         try:
             apply_ctl(self.help, window, line)
         except CtlError as exc:
             self.help.post_error(f"help: {exc}\n")
+        except FsError as exc:
+            # A ctl message that touched the filesystem and failed:
+            # the writer has no other channel to the user.
+            self.help.post_error(f"help: {exc.diagnostic()}\n")
 
     # -- window creation --------------------------------------------------------------------
 
@@ -138,14 +148,15 @@ class HelpFS:
         window = self.help.new_window("")
         return SynthSession(mode,
                             read_fn=lambda: f"{window.id}\n",
-                            write_fn=lambda line: self._apply(window, line))
+                            write_fn=lambda line: self._apply(window, line),
+                            name=f"{window.id}/ctl")
 
 
 class _RawWriteSession(SynthSession):
     """A write session that forwards chunks unbuffered (body writes)."""
 
-    def __init__(self, mode: str, sink) -> None:
-        super().__init__(mode, write_fn=sink)
+    def __init__(self, mode: str, sink, name: str = "") -> None:
+        super().__init__(mode, write_fn=sink, name=name)
 
     def write(self, s: str) -> int:
         self._check("w")

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import re
 
+from repro.fs.errors import diagnostic as _diag
 from repro.fs.namespace import BindFlag
 from repro.fs.vfs import FsError, basename as _basename, dirname as _dirname, join
 from repro.shell.interp import IO, Interp
@@ -49,7 +50,7 @@ def cmd_cat(interp: Interp, args: list[str], io: IO) -> int:
         for _, data in _files_or_stdin(interp, args, io):
             io.stdout.append(data)
     except FsError as exc:
-        io.stderr.append(f"cat: {exc}\n")
+        io.stderr.append(f"cat: {_diag(exc)}\n")
         return 1
     return 0
 
@@ -66,7 +67,7 @@ def cmd_cp(interp: Interp, args: list[str], io: IO) -> int:
             dst = join(dst, _basename(src))
         interp.ns.write(dst, data)
     except FsError as exc:
-        io.stderr.append(f"cp: {exc}\n")
+        io.stderr.append(f"cp: {_diag(exc)}\n")
         return 1
     return 0
 
@@ -92,7 +93,7 @@ def cmd_rm(interp: Interp, args: list[str], io: IO) -> int:
             interp.ns.remove(interp._abspath(name))
         except FsError as exc:
             if not force:
-                io.stderr.append(f"rm: {exc}\n")
+                io.stderr.append(f"rm: {_diag(exc)}\n")
                 status = 1
     return status
 
@@ -117,7 +118,7 @@ def cmd_ls(interp: Interp, args: list[str], io: IO) -> int:
                          else "/")
                 io.stdout.append(name + slash + "\n")
         except FsError as exc:
-            io.stderr.append(f"ls: {exc}\n")
+            io.stderr.append(f"ls: {_diag(exc)}\n")
             status = 1
     return status
 
@@ -156,7 +157,7 @@ def cmd_grep(interp: Interp, args: list[str], io: IO) -> int:
     try:
         sources = _files_or_stdin(interp, files, io)
     except FsError as exc:
-        io.stderr.append(f"grep: {exc}\n")
+        io.stderr.append(f"grep: {_diag(exc)}\n")
         return 2
     many = len(sources) > 1
     for name, data in sources:
@@ -191,7 +192,7 @@ def cmd_sed(interp: Interp, args: list[str], io: IO) -> int:
     try:
         sources = _files_or_stdin(interp, files, io)
     except FsError as exc:
-        io.stderr.append(f"sed: {exc}\n")
+        io.stderr.append(f"sed: {_diag(exc)}\n")
         return 1
     text = "".join(data for _, data in sources)
     lines = text.splitlines(keepends=True)
@@ -237,7 +238,7 @@ def cmd_wc(interp: Interp, args: list[str], io: IO) -> int:
     try:
         sources = _files_or_stdin(interp, args, io)
     except FsError as exc:
-        io.stderr.append(f"wc: {exc}\n")
+        io.stderr.append(f"wc: {_diag(exc)}\n")
         return 1
     for name, data in sources:
         fields = []
@@ -264,7 +265,7 @@ def cmd_sort(interp: Interp, args: list[str], io: IO) -> int:
     try:
         sources = _files_or_stdin(interp, args, io)
     except FsError as exc:
-        io.stderr.append(f"sort: {exc}\n")
+        io.stderr.append(f"sort: {_diag(exc)}\n")
         return 1
     lines = "".join(d for _, d in sources).splitlines()
     if numeric:
@@ -292,7 +293,7 @@ def cmd_uniq(interp: Interp, args: list[str], io: IO) -> int:
     try:
         sources = _files_or_stdin(interp, args, io)
     except FsError as exc:
-        io.stderr.append(f"uniq: {exc}\n")
+        io.stderr.append(f"uniq: {_diag(exc)}\n")
         return 1
     lines = "".join(d for _, d in sources).splitlines()
     out: list[tuple[str, int]] = []
@@ -323,7 +324,7 @@ def cmd_head(interp: Interp, args: list[str], io: IO) -> int:
     try:
         sources = _files_or_stdin(interp, args, io)
     except FsError as exc:
-        io.stderr.append(f"head: {exc}\n")
+        io.stderr.append(f"head: {_diag(exc)}\n")
         return 1
     lines = "".join(d for _, d in sources).splitlines(keepends=True)
     io.stdout.append("".join(lines[:n]))
@@ -336,7 +337,7 @@ def cmd_tail(interp: Interp, args: list[str], io: IO) -> int:
     try:
         sources = _files_or_stdin(interp, args, io)
     except FsError as exc:
-        io.stderr.append(f"tail: {exc}\n")
+        io.stderr.append(f"tail: {_diag(exc)}\n")
         return 1
     lines = "".join(d for _, d in sources).splitlines(keepends=True)
     io.stdout.append("".join(lines[-n:] if n else []))
@@ -365,7 +366,7 @@ def cmd_mkdir(interp: Interp, args: list[str], io: IO) -> int:
         try:
             interp.ns.mkdir(interp._abspath(name), parents=parents)
         except FsError as exc:
-            io.stderr.append(f"mkdir: {exc}\n")
+            io.stderr.append(f"mkdir: {_diag(exc)}\n")
             status = 1
     return status
 
@@ -417,7 +418,7 @@ def cmd_bind(interp: Interp, args: list[str], io: IO) -> int:
     try:
         interp.ns.bind(interp._abspath(args[0]), interp._abspath(args[1]), flag)
     except FsError as exc:
-        io.stderr.append(f"bind: {exc}\n")
+        io.stderr.append(f"bind: {_diag(exc)}\n")
         return 1
     return 0
 

@@ -17,6 +17,7 @@ import fnmatch
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.fs.errors import diagnostic as fs_diagnostic
 from repro.fs.namespace import Namespace
 from repro.fs.vfs import FsError, join
 from repro.shell import ast
@@ -96,7 +97,11 @@ class Interp:
             status = self.exec(program, io)
         except _Exit as exc:
             status = exc.status
-        except (ShellError, FsError) as exc:
+        except FsError as exc:
+            # Structured one-liner: op, canonical path, reason, kind.
+            io.stderr.append(f"rc: {fs_diagnostic(exc)}\n")
+            status = 1
+        except ShellError as exc:
             io.stderr.append(f"rc: {exc}\n")
             status = 1
         return RunResult(status, io.out(), io.err())
@@ -197,7 +202,9 @@ class Interp:
             self.exec(parse(fragment.source), sub_io)
         except ParseError as exc:
             raise ShellError(f"in `{{...}}: {exc}") from exc
-        io.stderr.append(sub_io.err())
+        finally:
+            # even a failing substitution surfaces its diagnostics
+            io.stderr.append(sub_io.err())
         return (sub_io.out().split(), False)
 
     def _glob(self, pattern: str) -> list[str]:
@@ -262,8 +269,12 @@ class Interp:
         status = 0
         for i, stage in enumerate(node.stages):
             stage_io = IO(stdin=data)
-            status = self.exec(stage, stage_io)
-            io.stderr.append(stage_io.err())
+            try:
+                status = self.exec(stage, stage_io)
+            finally:
+                # a stage that dies mid-pipeline must not swallow the
+                # diagnostics (or partial output) it already produced
+                io.stderr.append(stage_io.err())
             data = stage_io.out()
         io.stdout.append(data)
         return self._set_status(status)
@@ -342,25 +353,40 @@ class Interp:
                 sub.stdin = self.ns.read(self._abspath(targets[0]))
             else:
                 capture_out = True
-        status = run(sub)
-        io.stderr.append(sub.err())
-        wrote = False
-        for redir in redirs:
-            if redir.kind == "<":
-                continue
-            targets = self.eval_word(redir.target, io)
-            if len(targets) != 1:
-                raise ShellError("redirection needs one file name")
-            path = self._abspath(targets[0])
-            if redir.kind == ">":
-                self.ns.write(path, sub.out())
-            else:
-                self.ns.append(path, sub.out())
-            wrote = True
-        if capture_out and not wrote:  # pragma: no cover - defensive
-            io.stdout.append(sub.out())
-        if not capture_out:
-            io.stdout.append(sub.out())
+        status = 0
+        failed = False
+        try:
+            status = run(sub)
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            # Flush even when the command failed: whatever it wrote
+            # before dying still reaches the redirection targets (and
+            # its stderr is never swallowed).  Secondary errors while
+            # flushing must not mask the original failure.
+            io.stderr.append(sub.err())
+            wrote = False
+            for redir in redirs:
+                if redir.kind == "<":
+                    continue
+                try:
+                    targets = self.eval_word(redir.target, io)
+                    if len(targets) != 1:
+                        raise ShellError("redirection needs one file name")
+                    path = self._abspath(targets[0])
+                    if redir.kind == ">":
+                        self.ns.write(path, sub.out())
+                    else:
+                        self.ns.append(path, sub.out())
+                    wrote = True
+                except (ShellError, FsError):
+                    if not failed:
+                        raise
+            if capture_out and not wrote and not failed:
+                io.stdout.append(sub.out())
+            if not capture_out:
+                io.stdout.append(sub.out())
         return status
 
     def _abspath(self, path: str) -> str:
@@ -493,8 +519,10 @@ def _builtin_dot(interp: Interp, args: list[str], io: IO) -> int:
     except ParseError as exc:
         io.stderr.append(f"rc: {exc}\n")
         return 1
-    io.stdout.append(result_io.out())
-    io.stderr.append(result_io.err())
+    finally:
+        # a profile that dies halfway still shows what it printed
+        io.stdout.append(result_io.out())
+        io.stderr.append(result_io.err())
     return status
 
 

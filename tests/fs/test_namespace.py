@@ -121,6 +121,26 @@ class TestFork:
         assert not child.exists("/bin/grep")
         assert ns.exists("/bin/grep")  # parent untouched
 
+    def test_fork_does_not_share_mount_stacks(self, ns):
+        # A union bind in the child must grow the *child's* stack list,
+        # never the parent's — stacks are copied, not aliased.
+        ns.bind("/usr/rob/bin/rc", "/bin", BindFlag.AFTER)
+        child = ns.fork()
+        ns.vfs.mkdir("/usr/rob/extra")
+        ns.vfs.create("/usr/rob/extra/late", "#late")
+        child.bind("/usr/rob/extra", "/bin", BindFlag.AFTER)
+        assert child.exists("/bin/late")
+        assert not ns.exists("/bin/late")  # parent's union unchanged
+        assert ns.listdir("/bin") == ["grep", "news"]
+
+    def test_fork_unmount_leaves_parent_mounted(self, ns):
+        ns.bind("/usr/rob/tmp", "/tmp")
+        child = ns.fork()
+        child.unmount("/tmp")
+        assert "/tmp" in ns.mount_table()  # parent still bound
+        ns.write("/tmp/x", "1")
+        assert ns.read("/usr/rob/tmp/x") == "1"
+
 
 class TestSyntheticMounts:
     def test_mount_synth_dir(self, ns):

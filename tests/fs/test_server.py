@@ -96,6 +96,61 @@ class TestSynthFile:
         assert f.open("r").readlines() == ["a\n", "b\n"]
 
 
+class TestSessionLifecycle:
+    def test_close_is_idempotent(self):
+        lines = []
+        f = SynthFile("ctl", write_fn=lines.append)
+        session = f.open("w")
+        session.write("tail")
+        session.close()
+        session.close()
+        assert lines == ["tail"]  # flushed exactly once
+
+    def test_close_survives_failing_flush(self):
+        def sink(s):
+            raise RuntimeError("consumer gone")
+        session = SynthFile("ctl", write_fn=sink).open("w")
+        session._pending = "tail"  # bypass write so only close flushes
+        with pytest.raises(RuntimeError):
+            session.close()
+        assert session.closed  # marked closed before the flush ran
+        session.close()  # and a retry neither raises nor replays the tail
+
+    def test_dropped_session_flushes_tail_on_gc(self):
+        lines = []
+        f = SynthFile("ctl", write_fn=lines.append)
+        session = f.open("w")
+        session.write("unterminated final line")
+        del session  # dropped without close(): __del__ must flush
+        assert lines == ["unterminated final line"]
+
+    def test_closed_error_names_the_file(self):
+        f = SynthFile("body", read_fn=lambda: "x")
+        session = f.open("r")
+        session.close()
+        with pytest.raises(FsError, match="'body'.*closed file"):
+            session.read()
+
+    def test_permission_errors_name_the_file(self):
+        session = SynthFile("ctl", write_fn=lambda s: None).open("w")
+        with pytest.raises(FsError, match="'ctl' not open for reading"):
+            session.read()
+        session = SynthFile("body", read_fn=lambda: "x").open("r")
+        with pytest.raises(FsError, match="'body' not open for writing"):
+            session.write("x")
+
+    def test_open_fn_session_inherits_file_name(self):
+        f = SynthFile("new", open_fn=lambda mode: SynthSession(
+            mode, read_fn=lambda: "7"))
+        assert f.open("r").name == "new"
+
+    def test_context_manager_flushes(self):
+        lines = []
+        with SynthFile("ctl", write_fn=lines.append).open("w") as session:
+            session.write("a\nb")
+        assert lines == ["a\n", "b"]
+
+
 class TestSynthDir:
     def test_dynamic_listing(self):
         nodes = [File("1"), File("2")]

@@ -168,6 +168,43 @@ class TestPipesRedirs:
         assert "cat:" in result.stderr
 
 
+class TestIOLifecycle:
+    """Handles and buffered output survive commands that die mid-way."""
+
+    def test_failed_command_still_flushes_redirected_output(self, sh):
+        result = run(sh, "{echo partial; cat /absent} > /tmp/out")
+        assert result.status == 1
+        assert "cat:" in result.stderr
+        # what the block wrote before the failure still reaches the file
+        assert sh.ns.read("/tmp/out") == "partial\n"
+
+    def test_raising_stage_keeps_its_own_stderr(self, sh):
+        # the block's cat diagnostics must survive the redirection
+        # blowing up afterwards (/no/such/dir cannot be created)
+        result = run(sh, "{cat /absent; echo x > /no/such/dir/f} | wc -l")
+        assert result.status == 1
+        assert "cat:" in result.stderr   # stage's own diagnostics kept
+        assert "rc:" in result.stderr    # and the fatal error reported
+
+    def test_failing_pipeline_flushes_unterminated_ctl_tail(self, sh):
+        from repro.fs import SynthDir, SynthFile
+        lines = []
+        root = SynthDir("srv", list_fn=lambda: [
+            SynthFile("ctl", write_fn=lines.append)])
+        sh.ns.mkdir("/mnt")
+        sh.ns.mount(root, "/mnt")
+        result = run(sh, "{echo -n 'tag 1 2'; cat /absent} > /mnt/ctl")
+        assert result.status == 1
+        assert "cat:" in result.stderr
+        # the unterminated final line was flushed when the handle closed
+        assert lines == ["tag 1 2"]
+
+    def test_backquote_failure_keeps_diagnostics(self, sh):
+        result = run(sh, "x=`{cat /absent}; echo got $x")
+        assert "cat:" in result.stderr
+        assert result.stdout == "got\n"
+
+
 class TestControlFlow:
     def test_if_true(self, sh):
         assert run(sh, "if(true) echo yes").stdout == "yes\n"

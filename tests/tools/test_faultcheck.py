@@ -1,0 +1,47 @@
+"""The faultcheck CLI: the figure session must survive injected faults.
+
+Marked ``tier2_faults`` with the rest of the robustness suite; the
+standard schedule is part of the repo's contract, so these tests pin
+both its outcome (exit 0, every rule fires) and the CLI surface
+(argument validation, diagnostics on stderr).
+"""
+
+import pytest
+
+from repro.tools import faultcheck
+
+pytestmark = pytest.mark.tier2_faults
+
+
+class TestSchedule:
+    def test_standard_schedule_targets_real_session_ops(self):
+        plan = faultcheck.standard_schedule()
+        ops = [fault.op for fault in plan.faults]
+        assert sorted(ops) == ["close", "open", "read", "write"]
+        assert all(fault.at > 0 for fault in plan.faults)
+
+
+class TestRun:
+    def test_clean_and_faulted_passes_hold(self):
+        assert faultcheck.run() == []
+
+    def test_replay_completes_without_faults(self):
+        from repro.tools.install import build_system
+        system = build_system(width=120, height=40)
+        assert faultcheck.replay(system) == []
+        assert system.help.window_by_name("/usr/rob/src/help/") is not None
+
+
+class TestCli:
+    def test_main_ok(self, capsys):
+        assert faultcheck.main([]) == 0
+        out = capsys.readouterr().out
+        assert "survives" in out
+        assert "fs.fault.injected=4" in out
+
+    def test_main_usage_error(self, capsys):
+        assert faultcheck.main(["--bogus"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_main_accepts_dimensions(self, capsys):
+        assert faultcheck.main(["160", "60"]) == 0

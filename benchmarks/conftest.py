@@ -21,7 +21,11 @@ import re
 import pytest
 
 from repro import build_system, render_screen
-from repro.metrics.counter import counters
+from repro.metrics.counter import (
+    counters,
+    histograms,
+    reset_counters,
+)
 
 ARTIFACTS = pathlib.Path(__file__).resolve().parent.parent / "bench_artifacts"
 
@@ -40,6 +44,11 @@ SEED_BASELINE_US = {
 
 # per-group counter deltas, accumulated across the whole session
 _counter_groups: dict[str, dict[str, int]] = {}
+
+# session-wide totals: each test runs against zeroed counters (so
+# benches are isolated from each other), and its deltas are folded in
+# here for the end-of-session report
+_counter_total: dict[str, int] = {}
 
 
 def _groups_of(nodeid: str) -> list[str]:
@@ -60,16 +69,27 @@ def _groups_of(nodeid: str) -> list[str]:
 
 @pytest.fixture(autouse=True)
 def _track_perf_counters(request):
-    """Attribute display-pipeline counter activity to its bench group."""
-    before = counters()
+    """Isolate each bench's counters, then fold them into the session.
+
+    Every test starts from zeroed counters (a bench asserting on
+    ``fs.open``/``fs.close`` balance can't be poisoned by an earlier
+    bench's traffic) and its activity is accumulated into both its
+    bench group and the session total that ``BENCH_perf.json``
+    reports.  Histograms are left to accumulate across the session:
+    the wire latency report wants every sample, and no bench asserts
+    on histogram state.
+    """
+    reset_counters()
     yield
     after = counters()
-    for group in _groups_of(request.node.nodeid):
-        acc = _counter_groups.setdefault(group, {})
+    groups = _groups_of(request.node.nodeid) + ["__total__"]
+    for group in groups:
+        acc = (_counter_total if group == "__total__"
+               else _counter_groups.setdefault(group, {}))
         for key, value in after.items():
-            delta = value - before.get(key, 0)
-            if delta:
-                acc[key] = acc.get(key, 0) + delta
+            if value:
+                acc[key] = acc.get(key, 0) + value
+    reset_counters()
 
 
 def _rate(stats: dict[str, int]) -> float | None:
@@ -78,10 +98,19 @@ def _rate(stats: dict[str, int]) -> float | None:
     return round(hits / (hits + misses), 4) if hits + misses else None
 
 
+def _histogram_report(prefix: str) -> dict[str, dict[str, float]]:
+    return {name: {k: round(v, 3) for k, v in stats.items()}
+            for name, stats in histograms(prefix).items()}
+
+
 def pytest_sessionfinish(session, exitstatus):
     bench_session = getattr(session.config, "_benchmarksession", None)
-    if bench_session is None or not bench_session.benchmarks:
+    if bench_session is None or not _counter_total:
         return
+    # With --benchmark-disable (CI's counters-only mode) the bench
+    # list is empty, but the counter and histogram record is still the
+    # point: the gate (repro.tools.benchgate) audits it for leaked
+    # sessions and error traffic on the clean path.
     ops = {}
     for bench in bench_session.benchmarks:
         median = bench.get("median")
@@ -93,14 +122,22 @@ def pytest_sessionfinish(session, exitstatus):
             ops[bench.name]["seed_median_us"] = seed
             ops[bench.name]["speedup_vs_seed"] = round(
                 seed / (median * 1e6), 2)
-    total = counters()
+        extra = dict(getattr(bench, "extra_info", None) or {})
+        if extra:
+            ops[bench.name]["extra_info"] = extra
+    total = dict(_counter_total)
     report = {
+        "mode": "timings" if ops else "counters-only",
         "ops": dict(sorted(ops.items())),
         "layout_cache_hit_rate": _rate(total),
         "group_layout_cache_hit_rate": {
             group: _rate(stats)
             for group, stats in sorted(_counter_groups.items())},
         "counters": dict(sorted(total.items())),
+        "wire": {
+            "server_rpc_us": _histogram_report("wire.rpc."),
+            "client_rpc_us": _histogram_report("mux.rpc."),
+        },
     }
     ARTIFACTS.mkdir(exist_ok=True)
     (ARTIFACTS / "BENCH_perf.json").write_text(

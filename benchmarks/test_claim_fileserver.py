@@ -46,8 +46,8 @@ def test_claim_index_file(benchmark):
     for w in windows:
         assert f"{w.id}\t/tmp/f{w.id - 0}" in index or \
             any(line.startswith(f"{w.id}\t") for line in index.splitlines())
-    line = next(l for l in index.splitlines()
-                if l.startswith(f"{windows[0].id}\t"))
+    line = next(ln for ln in index.splitlines()
+                if ln.startswith(f"{windows[0].id}\t"))
     number, tag = line.split("\t", 1)
     assert int(number) == windows[0].id
     assert tag == windows[0].tag.string().split("\n")[0]

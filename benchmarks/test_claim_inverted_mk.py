@@ -6,7 +6,6 @@ have been modified and builds the targets that depend on them."
 """
 
 from repro import build_system
-from repro.core.window import Subwindow
 from repro.tools.corpus import SRC_DIR
 
 

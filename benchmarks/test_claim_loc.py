@@ -29,7 +29,7 @@ def count_lines(packages):
 def test_claim_loc(benchmark, save_artifact):
     (core_total, core_detail) = benchmark(lambda: count_lines(CORE_PACKAGES))
     substrate_total, substrate_detail = count_lines(SUBSTRATE_PACKAGES)
-    rows = [f"paper's help: 4300 lines of C"]
+    rows = ["paper's help: 4300 lines of C"]
     rows.append(f"our core (help itself): {core_total} lines of Python")
     for package, lines in sorted(core_detail.items()):
         rows.append(f"  {package:10s} {lines:6d}")

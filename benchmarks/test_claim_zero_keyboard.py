@@ -4,8 +4,6 @@
 This bench replays Figures 5-12 through raw mouse events and counts.
 """
 
-import pytest
-
 from repro import build_system
 from repro.core.window import Subwindow
 from repro.tools.corpus import SRC_DIR

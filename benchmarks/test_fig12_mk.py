@@ -60,7 +60,6 @@ def test_fig12_exactly_three_middle_clicks(system):
 
 def test_fig12_rebuild_only_what_changed(system):
     """mk recompiles exec.c alone on the second run."""
-    h = system.help
     shell = system.shell(SRC_DIR)
     shell.run("mk")
     shell.run("touch exec.c")

@@ -7,7 +7,6 @@ variable and clicking uses should feel instant.
 
 from repro import build_system
 from repro.cbrowse import parse_program, parse_source
-from repro.shell import Interp
 from repro.tools.corpus import SRC_DIR
 
 SYNTHETIC = "\n".join(

@@ -64,7 +64,7 @@ def test_perf_edit_deep_in_large_file(big_system, benchmark):
 def test_perf_scroll_through_large_file(big_system, benchmark):
     h = big_system.help
     window = h.open_path("/big.txt")
-    column = h.screen.column_of(window)
+    h.screen.column_of(window)  # warm the layout before timing
 
     def page_down_up():
         window.org = 0

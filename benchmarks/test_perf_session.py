@@ -8,10 +8,7 @@ measures sustained events/second through the full stack.
 
 import random
 
-import pytest
-
 from repro import build_system
-from repro.core.events import Button
 from repro.tools.corpus import SRC_DIR
 
 N_EVENTS = 400

@@ -92,7 +92,7 @@ class _Parser:
             return "member"
         return "local" if self._in_function() else "var"
 
-    # -- token helpers -----------------------------------------------------------
+    # -- token helpers --------------------------------------------------------
 
     def _peek(self, offset: int = 0) -> CToken | None:
         idx = self.i + offset
@@ -117,7 +117,7 @@ class _Parser:
                     self._use(tok)
             self.i += 1
 
-    # -- main walk ----------------------------------------------------------------------
+    # -- main walk ------------------------------------------------------------
 
     def walk(self, tokens: list[CToken]) -> None:
         self.tokens = tokens
@@ -157,7 +157,7 @@ class _Parser:
             else:
                 self._statement()
 
-    # -- preprocessor remnants -----------------------------------------------------------
+    # -- preprocessor remnants ------------------------------------------------
 
     def _cpp_define(self, tok: CToken) -> None:
         parts = tok.text.split(None, 2)
@@ -167,7 +167,7 @@ class _Parser:
             if name.isidentifier():
                 self._declare(name, "macro", tok)
 
-    # -- declarations ----------------------------------------------------------------------
+    # -- declarations ---------------------------------------------------------
 
     def _starts_declaration(self) -> bool:
         tok = self._peek()
@@ -331,7 +331,6 @@ class _Parser:
         self.i += 1
         depth = 1
         last_ident: CToken | None = None
-        prev_punct = ""
         while self.i < len(self.tokens):
             tok = self.tokens[self.i]
             if tok.is_punct("("):
@@ -361,11 +360,10 @@ class _Parser:
             self.i += 1
         return params
 
-    # -- composites ---------------------------------------------------------------------------
+    # -- composites -----------------------------------------------------------
 
     def _typedef(self) -> None:
         """typedef ... Name; — the last top-level ident is the name."""
-        start_tok = self.tokens[self.i]
         self.i += 1
         depth = 0
         last_ident: CToken | None = None
@@ -473,7 +471,7 @@ class _Parser:
                 self.i += 1
         self.scopes.pop()
 
-    # -- statements ----------------------------------------------------------------------------
+    # -- statements -----------------------------------------------------------
 
     def _statement(self) -> None:
         """Scan a non-declaration statement, recording identifier uses."""
@@ -505,7 +503,7 @@ class _Parser:
             self.i += 1
 
 
-# -- entry points -----------------------------------------------------------------------------
+# -- entry points -------------------------------------------------------------
 
 
 def parse_source(source: str, file: str = "<stdin>",

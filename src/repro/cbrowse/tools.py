@@ -113,7 +113,6 @@ def parse_marked_source(source: str) -> tuple[Program, str]:
     parser = _Parser(program, set())
     parser.walk([t for t in tokens
                  if not (t.kind == "cpp" and t.text.startswith("#include"))])
-    match = _LINE_MARKER.match(source) if source.startswith("#line") else None
     main_file = "<stdin>"
     # the main file is the label of the outermost (first) marker
     first = re.search(_LINE_MARKER, source)

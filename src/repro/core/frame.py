@@ -183,7 +183,8 @@ class Frame:
         line = lines[max(0, row)]
         return min(line.start + max(0, col), line.end)
 
-    def point_of_char(self, text: TextLike, org: int, pos: int) -> tuple[int, int] | None:
+    def point_of_char(self, text: TextLike, org: int,
+                      pos: int) -> tuple[int, int] | None:
         """Cell (row, col) where offset *pos* is displayed, or None.
 
         Offsets on a newline report the cell just past the line's last

@@ -81,7 +81,7 @@ class Help:
             if self.ns.exists(stf) and not self.ns.isdir(stf):
                 self.new_window(stf, self.ns.read(stf), column=tools_column)
 
-    # -- window management -----------------------------------------------------
+    # -- window management ----------------------------------------------------
 
     def new_window(self, name: str, body: str = "",
                    near: Window | None = None,
@@ -128,7 +128,7 @@ class Help:
         if column is not None:
             column.make_visible(window)
 
-    # -- files ---------------------------------------------------------------------
+    # -- files ----------------------------------------------------------------
 
     def directory_listing(self, path: str) -> str:
         """The body text of a directory window: entries, dirs slashed."""
@@ -169,7 +169,7 @@ class Help:
             window.show_line(line)
         return window
 
-    # -- the Errors window ---------------------------------------------------------
+    # -- the Errors window ----------------------------------------------------
 
     def errors_window(self) -> Window:
         """The Errors window, created on demand.
@@ -191,7 +191,7 @@ class Help:
         window.append(text)
         self.make_visible(window)
 
-    # -- selection ----------------------------------------------------------------------
+    # -- selection ------------------------------------------------------------
 
     def select(self, window: Window, q0: int, q1: int,
                subwindow: Subwindow = Subwindow.BODY) -> None:
@@ -215,7 +215,7 @@ class Help:
         sel = window.selection(sub)
         return window.text(sub).slice(sel.q0, sel.q1)
 
-    # -- execution ----------------------------------------------------------------------
+    # -- execution ------------------------------------------------------------
 
     def execute_text(self, window: Window, text: str,
                      subwindow: Subwindow = Subwindow.BODY) -> None:
@@ -234,7 +234,7 @@ class Help:
         fn = self.executor.builtins[name]
         fn(ExecContext(self, window, subwindow, name, arg))
 
-    # -- raw events -----------------------------------------------------------------------
+    # -- raw events -----------------------------------------------------------
 
     def mouse_press(self, x: int, y: int, button: Button) -> None:
         """A mouse button went down."""
@@ -314,7 +314,7 @@ class Help:
             window.body_sel.set(len(window.body))
             window.mark_clean()
 
-    # -- semantic conveniences ----------------------------------------------------------
+    # -- semantic conveniences ------------------------------------------------
 
     def left_click(self, x: int, y: int) -> None:
         """Press and release the left button at (x, y)."""
@@ -337,7 +337,7 @@ class Help:
         """Drag a window by its tag from (x0, y0) to (x1, y1)."""
         self.sweep(x0, y0, x1, y1, Button.RIGHT)
 
-    # -- gesture handling ------------------------------------------------------------------
+    # -- gesture handling -----------------------------------------------------
 
     def _handle(self, gesture: Gesture) -> None:
         kind = gesture.kind

@@ -357,7 +357,8 @@ class Text:
         else:
             self._undo.append([op])
 
-    def _apply_inverse(self, ops: list[tuple[str, int, str]]) -> list[tuple[str, int, str]]:
+    def _apply_inverse(self, ops: list[tuple[str, int, str]],
+                       ) -> list[tuple[str, int, str]]:
         inverse: list[tuple[str, int, str]] = []
         for kind, pos, s in reversed(ops):
             if kind == "ins":

@@ -20,6 +20,14 @@ package provides that substrate in-process:
 - :mod:`repro.fs.faults` — deterministic fault injection: wrap any
   tree in a :class:`~repro.fs.faults.FaultPlan` and scheduled opens,
   reads, writes, or closes fail on cue for robustness tests.
+- :mod:`repro.fs.wire` — the 9P-style wire codec: tagged T/R message
+  frames with size prefixes, carrying the error taxonomy in
+  ``Rerror`` replies.
+- :mod:`repro.fs.mux` — multiplexed service over byte transports
+  (in-memory pipes, TCP sockets): a concurrent
+  :class:`~repro.fs.mux.WireServer`, a tag-multiplexing
+  :class:`~repro.fs.mux.MuxClient`, and ``Remote*`` proxies so a
+  remote server mounts into a local namespace transparently.
 
 All file contents are text (``str``): ``help`` "operates only on text"
 and so does this reproduction.
@@ -50,6 +58,16 @@ from repro.fs.vfs import (
 from repro.fs.namespace import BindFlag, Namespace
 from repro.fs.server import SynthDir, SynthFile, SynthSession
 from repro.fs.faults import Fault, FaultPlan, wrap
+from repro.fs.mux import (
+    MuxClient,
+    RemoteDir,
+    RemoteFile,
+    RemoteSession,
+    WireServer,
+    channel_pair,
+    dial,
+    mount_remote,
+)
 
 __all__ = [
     "VFS",
@@ -78,4 +96,12 @@ __all__ = [
     "SynthSession",
     "normalize",
     "split_path",
+    "WireServer",
+    "MuxClient",
+    "RemoteDir",
+    "RemoteFile",
+    "RemoteSession",
+    "channel_pair",
+    "dial",
+    "mount_remote",
 ]

@@ -1,0 +1,842 @@
+"""Multiplexed file service over byte transports.
+
+This is the layer that makes :mod:`repro.fs.wire` useful: a
+:class:`WireServer` serves any :class:`~repro.fs.vfs.Node` tree to
+many concurrent client connections, a :class:`MuxClient` multiplexes
+many outstanding requests over one connection by tag, and the
+``Remote*`` proxies satisfy the local node interface so
+:meth:`repro.fs.namespace.Namespace.mount` can graft a *remote* server
+into a local namespace — ``help`` and the shell run unchanged against
+a mounted remote ``/mnt/help``, which is the paper's whole point about
+the UI being a file server.
+
+Transports are anything with ``send``/``recv``/``close``:
+:func:`channel_pair` builds an in-memory byte pipe (optionally with a
+``max_chunk`` so every read is short, exercising frame reassembly),
+and :meth:`WireServer.listen` / :func:`dial` speak the same frames
+over real TCP sockets.
+
+Flow control: the client bounds its own outstanding requests with a
+semaphore, and the server protects itself independently — a connection
+exceeding ``max_outstanding`` in-flight requests gets ``busy`` error
+replies until it drains.
+
+Instrumentation (:mod:`repro.metrics`): the server counts every RPC
+(``wire.rpc.<op>``) and byte (``wire.bytes.in`` / ``wire.bytes.out``),
+tracks the in-flight gauge (``mux.inflight``), and records per-op
+service-time histograms (``wire.rpc.<op>``, microseconds); the client
+records round-trip histograms (``mux.rpc.<op>``).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.fs import wire
+from repro.fs.errors import (
+    Busy,
+    Closed,
+    FsError,
+    Invalid,
+    IOFault,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+)
+from repro.fs.vfs import Clock, Dir, File, FileHandle, Node, basename, join, split_path
+from repro.metrics.counter import incr, observe
+
+_RECV_SIZE = 1 << 16
+
+
+# -- transports --------------------------------------------------------------
+
+
+class _Buffer:
+    """One direction of an in-memory pipe: a byte queue with blocking."""
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def put(self, data: bytes) -> None:
+        with self._cond:
+            if self._closed:
+                raise Closed("pipe closed", path="<pipe>", op="write")
+            self._data.extend(data)
+            self._cond.notify_all()
+
+    def get(self, n: int) -> bytes:
+        with self._cond:
+            while not self._data and not self._closed:
+                self._cond.wait()
+            if not self._data:
+                return b""
+            out = bytes(self._data[:n])
+            del self._data[:n]
+            return out
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class PipeChannel:
+    """One endpoint of an in-memory bidirectional byte pipe.
+
+    With ``max_chunk`` set, every receive returns at most that many
+    bytes — a deterministic short read, so framing code can prove it
+    reassembles messages split at arbitrary byte boundaries.
+    """
+
+    def __init__(self, rx: _Buffer, tx: _Buffer,
+                 max_chunk: int | None = None) -> None:
+        self._rx = rx
+        self._tx = tx
+        self.max_chunk = max_chunk
+
+    def send(self, data: bytes) -> None:
+        # short *writes* at the transport: hand the peer one chunk at
+        # a time so a reader can wake mid-frame
+        step = self.max_chunk or len(data) or 1
+        for i in range(0, len(data), step):
+            self._tx.put(data[i:i + step])
+
+    def recv(self, n: int = _RECV_SIZE) -> bytes:
+        if self.max_chunk is not None:
+            n = min(n, self.max_chunk)
+        return self._rx.get(n)
+
+    def close(self) -> None:
+        self._rx.close()
+        self._tx.close()
+
+
+def channel_pair(max_chunk: int | None = None
+                 ) -> tuple[PipeChannel, PipeChannel]:
+    """Two connected in-memory endpoints (client end, server end)."""
+    a, b = _Buffer(), _Buffer()
+    return PipeChannel(a, b, max_chunk), PipeChannel(b, a, max_chunk)
+
+
+class SocketChannel:
+    """The same interface over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+
+    def send(self, data: bytes) -> None:
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise Closed(f"socket send failed: {exc}",
+                         path="<socket>", op="write") from exc
+
+    def recv(self, n: int = _RECV_SIZE) -> bytes:
+        try:
+            return self._sock.recv(n)
+        except OSError:
+            return b""
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def dial(host: str, port: int) -> SocketChannel:
+    """Connect to a :meth:`WireServer.listen` endpoint."""
+    return SocketChannel(socket.create_connection((host, port)))
+
+
+class FrameReader:
+    """Reassemble wire frames from a byte stream of arbitrary chunks."""
+
+    def __init__(self, channel, bytes_counter: str | None = None) -> None:
+        self._channel = channel
+        self._buf = b""
+        self._bytes_counter = bytes_counter
+
+    def next_frame(self) -> wire.Message | None:
+        """The next complete message, or None at orderly end of stream.
+
+        Raises :class:`~repro.fs.errors.Invalid` on protocol garbage
+        and :class:`~repro.fs.errors.IOFault` if the stream ends in the
+        middle of a frame.
+        """
+        while True:
+            msg, rest = wire.decode(self._buf)
+            if msg is not None:
+                self._buf = self._buf[rest:]
+                return msg
+            chunk = self._channel.recv(_RECV_SIZE)
+            if not chunk:
+                if self._buf:
+                    raise IOFault("connection closed mid-frame",
+                                  path="<wire>", op="read")
+                return None
+            if self._bytes_counter:
+                incr(self._bytes_counter, len(chunk))
+            self._buf += chunk
+
+
+# -- server ------------------------------------------------------------------
+
+
+class _FidState:
+    """What a connection's fid currently refers to."""
+
+    __slots__ = ("node", "path", "session")
+
+    def __init__(self, node: Node, path: str) -> None:
+        self.node = node
+        self.path = path
+        self.session = None  # set by open
+
+
+class _Connection:
+    """One client connection: fid table, dispatch, reply serialization."""
+
+    def __init__(self, server: "WireServer", channel) -> None:
+        self.server = server
+        self.channel = channel
+        self.fids: dict[int, _FidState] = {}
+        self.inflight = 0
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+
+    def serve(self) -> None:
+        reader = FrameReader(self.channel, bytes_counter="wire.bytes.in")
+        try:
+            while True:
+                try:
+                    msg = reader.next_frame()
+                except (Invalid, IOFault):
+                    break  # protocol error: drop the connection
+                if msg is None:
+                    break
+                self._dispatch(msg)
+        finally:
+            self._teardown()
+
+    def _dispatch(self, msg: wire.Message) -> None:
+        incr(f"wire.rpc.{msg.op}")
+        with self._lock:
+            if self.inflight >= self.server.max_outstanding:
+                # backpressure: the client has too many requests in
+                # flight; refuse this one instead of queueing unbounded
+                err = wire.Rerror.from_exc(
+                    msg.tag, Busy("server busy: too many outstanding "
+                                  "requests", path="<wire>", op=msg.op))
+                self._reply(err)
+                return
+            self.inflight += 1
+        incr("mux.inflight")
+        self.server._executor.submit(self._serve_one, msg)
+
+    def _serve_one(self, msg: wire.Message) -> None:
+        start = time.perf_counter()
+        try:
+            reply = self._handle(msg)
+        except FsError as exc:
+            reply = wire.Rerror.from_exc(msg.tag, exc)
+        except Exception as exc:  # a server bug must not kill the loop
+            reply = wire.Rerror.from_exc(msg.tag, exc)
+        finally:
+            observe(f"wire.rpc.{msg.op}",
+                    (time.perf_counter() - start) * 1e6)
+            with self._lock:
+                self.inflight -= 1
+            incr("mux.inflight", -1)
+        self._reply(reply)
+
+    def _reply(self, reply: wire.Message) -> None:
+        frame = wire.encode(reply)
+        try:
+            with self._send_lock:
+                self.channel.send(frame)
+        except (Closed, OSError):
+            return  # peer went away; nothing to tell it
+        incr("wire.bytes.out", len(frame))
+
+    # -- op handlers --------------------------------------------------------
+
+    def _handle(self, msg: wire.Message) -> wire.Message:
+        lock = self.server._oplock
+        if isinstance(msg, wire.Tattach):
+            return self._attach(msg)
+        if isinstance(msg, wire.Twalk):
+            with lock:
+                return self._walk(msg)
+        if isinstance(msg, wire.Topen):
+            with lock:
+                return self._open(msg)
+        if isinstance(msg, wire.Tread):
+            with lock:
+                return self._read(msg)
+        if isinstance(msg, wire.Twrite):
+            with lock:
+                return self._write(msg)
+        if isinstance(msg, wire.Tclunk):
+            with lock:
+                return self._clunk(msg)
+        if isinstance(msg, wire.Tstat):
+            with lock:
+                return self._stat(msg)
+        raise Invalid(f"unexpected message {type(msg).__name__}",
+                      path="<wire>", op="dispatch")
+
+    def _fid(self, fid: int, op: str) -> _FidState:
+        with self._lock:
+            state = self.fids.get(fid)
+        if state is None:
+            raise Invalid(f"unknown fid {fid}", path="<wire>", op=op)
+        return state
+
+    def _attach(self, msg: wire.Tattach) -> wire.Message:
+        root = self.server.root
+        with self._lock:
+            self.fids[msg.fid] = _FidState(root, "/")
+        return wire.Rattach(tag=msg.tag, is_dir=root.is_dir,
+                            mtime=root.mtime)
+
+    def _walk(self, msg: wire.Twalk) -> wire.Message:
+        src = self._fid(msg.fid, "walk")
+        with self._lock:
+            if msg.newfid != msg.fid and msg.newfid in self.fids:
+                raise Invalid(f"fid {msg.newfid} already in use",
+                              path="<wire>", op="walk")
+        node, path = src.node, src.path
+        for name in msg.names:
+            if not isinstance(node, Dir):
+                raise NotADirectory(path=path, op="walk")
+            child = node.lookup(name)
+            path = join(path, name)
+            if child is None:
+                # a clean miss is an answer, not an error — local
+                # resolve() returns None without raising, and a remote
+                # lookup must not poison fs.error.* counters either
+                return wire.Rwalk(tag=msg.tag, found=False)
+            node = child
+        with self._lock:
+            self.fids[msg.newfid] = _FidState(node, path)
+        return wire.Rwalk(tag=msg.tag, found=True, is_dir=node.is_dir,
+                          mtime=node.mtime)
+
+    def _open(self, msg: wire.Topen) -> wire.Message:
+        state = self._fid(msg.fid, "open")
+        if state.session is not None:
+            raise Invalid(f"fid {msg.fid} already open",
+                          path=state.path, op="open")
+        if state.node.is_dir:
+            raise IsADirectory(path=state.path, op="open")
+        opener = getattr(state.node, "open", None)
+        if opener is None:
+            raise Invalid(f"'{state.path}' cannot be opened",
+                          path=state.path, op="open")
+        session = opener(msg.mode)
+        if isinstance(session, FileHandle) and self.server.clock is not None:
+            session._clock = self.server.clock
+        state.session = session
+        return wire.Ropen(tag=msg.tag)
+
+    def _session(self, msg, op: str):
+        state = self._fid(msg.fid, op)
+        if state.session is None:
+            raise Invalid(f"fid {msg.fid} not open", path=state.path, op=op)
+        return state
+
+    def _read(self, msg: wire.Tread) -> wire.Message:
+        state = self._session(msg, "read")
+        if msg.offset != wire.SEQUENTIAL:
+            state.session.seek(msg.offset)
+        return wire.Rread(tag=msg.tag, data=state.session.read(msg.count))
+
+    def _write(self, msg: wire.Twrite) -> wire.Message:
+        state = self._session(msg, "write")
+        return wire.Rwrite(tag=msg.tag, count=state.session.write(msg.data))
+
+    def _clunk(self, msg: wire.Tclunk) -> wire.Message:
+        state = self._fid(msg.fid, "clunk")
+        with self._lock:
+            del self.fids[msg.fid]
+        if state.session is not None:
+            state.session.close()  # close-time errors reach the client
+        return wire.Rclunk(tag=msg.tag)
+
+    def _stat(self, msg: wire.Tstat) -> wire.Message:
+        state = self._fid(msg.fid, "stat")
+        node = state.node
+        stat = wire.StatEntry(name=node.name or basename(state.path) or "/",
+                              is_dir=node.is_dir, mtime=node.mtime)
+        children: list[wire.StatEntry] = []
+        if isinstance(node, Dir):
+            children = [wire.StatEntry(name=child.name, is_dir=child.is_dir,
+                                       mtime=child.mtime)
+                        for child in node.entries()]
+        return wire.Rstat(tag=msg.tag, stat=stat, children=children)
+
+    def _teardown(self) -> None:
+        with self._lock:
+            fids, self.fids = self.fids, {}
+        for state in fids.values():
+            if state.session is not None:
+                try:
+                    state.session.close()
+                except Exception:
+                    pass  # the connection is gone; best-effort cleanup
+        self.channel.close()
+
+
+class WireServer:
+    """Serve a node tree to any number of connections over any channel.
+
+    ``serialize=True`` (the default) runs node operations one at a
+    time under a server-wide lock: the trees we serve (``help``'s
+    window files in particular) are not thread-safe, and the wire
+    layer's concurrency — many connections, many outstanding tags —
+    still stands.  Turn it off to bench raw transport parallelism over
+    trees that tolerate it.
+
+    A :class:`~repro.fs.faults.FaultPlan` can be installed at the
+    transport boundary (``plan=``): every fid's opens, reads, writes
+    and closes consult it, with paths reported under *base*, so the
+    fault schedules from PR 2 apply unchanged to remote service.
+    """
+
+    def __init__(self, root: Node, *, max_outstanding: int = 64,
+                 workers: int = 4, serialize: bool = True,
+                 plan=None, base: str = "/",
+                 clock: Clock | None = None) -> None:
+        if plan is not None:
+            from repro.fs.faults import wrap
+            root = wrap(root, plan, base=base)
+        self.root = root
+        self.max_outstanding = max_outstanding
+        self.clock = clock
+        self._oplock = threading.Lock() if serialize else _NullLock()
+        self._executor = ThreadPoolExecutor(max_workers=workers)
+        self._lock = threading.Lock()
+        self._conns: list[_Connection] = []
+        self._threads: list[threading.Thread] = []
+        self._sockets: list[socket.socket] = []
+        self._closed = False
+
+    def serve(self, channel) -> threading.Thread:
+        """Serve one connection on *channel* in a background thread."""
+        conn = _Connection(self, channel)
+        thread = threading.Thread(target=conn.serve, daemon=True,
+                                  name="wire-conn")
+        with self._lock:
+            if self._closed:
+                raise Closed("server closed", path="<wire>", op="attach")
+            self._conns.append(conn)
+            self._threads.append(thread)
+        thread.start()
+        return thread
+
+    def listen(self, host: str = "127.0.0.1",
+               port: int = 0) -> tuple[str, int]:
+        """Accept TCP connections on *host*:*port* (0 = ephemeral).
+
+        Returns the bound address; every accepted socket is served
+        like a pipe connection.
+        """
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen()
+        with self._lock:
+            self._sockets.append(sock)
+        thread = threading.Thread(target=self._accept_loop, args=(sock,),
+                                  daemon=True, name="wire-accept")
+        with self._lock:
+            self._threads.append(thread)
+        thread.start()
+        return sock.getsockname()[:2]
+
+    def _accept_loop(self, sock: socket.socket) -> None:
+        while True:
+            try:
+                client, _addr = sock.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                self.serve(SocketChannel(client))
+            except Closed:
+                client.close()
+                return
+
+    def close(self) -> None:
+        """Stop listening, drop every connection, release the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sockets, self._sockets = self._sockets, []
+            conns, self._conns = self._conns, []
+            threads, self._threads = self._threads, []
+        for sock in sockets:
+            sock.close()
+        for conn in conns:
+            conn.channel.close()
+        for thread in threads:
+            thread.join(timeout=5)
+        self._executor.shutdown(wait=False)
+
+    def __enter__(self) -> "WireServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class _NullLock:
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+# -- client ------------------------------------------------------------------
+
+
+class _Pending:
+    __slots__ = ("event", "reply")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.reply: wire.Message | None = None
+
+
+class MuxClient:
+    """One connection's client end: tagged, concurrent, bounded.
+
+    Many threads may call :meth:`rpc` at once; each call takes a free
+    tag, and a receiver thread routes replies back by tag, so slow
+    requests do not block fast ones.  ``max_outstanding`` bounds the
+    requests in flight — the client-side half of flow control (the
+    server enforces its own limit with ``busy`` replies).
+    """
+
+    ROOT_FID = 0
+
+    def __init__(self, channel, *, uname: str = "rob", aname: str = "",
+                 max_outstanding: int = 16, timeout: float = 30.0) -> None:
+        self._channel = channel
+        self._reader = FrameReader(channel)
+        self._pending: dict[int, _Pending] = {}
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._sem = threading.BoundedSemaphore(max_outstanding)
+        self._next_tag = 0
+        self._next_fid = self.ROOT_FID + 1
+        self._free_fids: list[int] = []
+        self._timeout = timeout
+        self._closed = False
+        self._recv_thread = threading.Thread(target=self._recv_loop,
+                                             daemon=True, name="mux-recv")
+        self._recv_thread.start()
+        self.root_stat = self.rpc(wire.Tattach(fid=self.ROOT_FID,
+                                               uname=uname, aname=aname))
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _recv_loop(self) -> None:
+        try:
+            while True:
+                msg = self._reader.next_frame()
+                if msg is None:
+                    break
+                with self._lock:
+                    slot = self._pending.pop(msg.tag, None)
+                if slot is None:
+                    incr("mux.orphan_reply")  # timed out or bogus tag
+                    continue
+                slot.reply = msg
+                slot.event.set()
+        except (Invalid, IOFault, Closed):
+            pass
+        finally:
+            with self._lock:
+                self._closed = True
+                pending, self._pending = self._pending, {}
+            for slot in pending.values():
+                slot.event.set()  # reply stays None: connection lost
+
+    def rpc(self, msg: wire.Message) -> wire.Message:
+        """Send one T-message, wait for its R-message, raise Rerrors."""
+        with self._sem:
+            with self._lock:
+                if self._closed:
+                    raise Closed("connection closed", path="<wire>",
+                                 op=msg.op)
+                tag = self._alloc_tag()
+                slot = _Pending()
+                self._pending[tag] = slot
+            msg.tag = tag
+            start = time.perf_counter()
+            try:
+                with self._send_lock:
+                    self._channel.send(wire.encode(msg))
+            except (Closed, OSError) as exc:
+                with self._lock:
+                    self._pending.pop(tag, None)
+                raise IOFault(f"send failed: {exc}", path="<wire>",
+                              op=msg.op) from exc
+            if not slot.event.wait(self._timeout):
+                with self._lock:
+                    self._pending.pop(tag, None)
+                raise IOFault(f"rpc timed out after {self._timeout}s",
+                              path="<wire>", op=msg.op)
+            observe(f"mux.rpc.{msg.op}",
+                    (time.perf_counter() - start) * 1e6)
+        reply = slot.reply
+        if reply is None:
+            raise IOFault("connection closed awaiting reply",
+                          path="<wire>", op=msg.op)
+        if isinstance(reply, wire.Rerror):
+            raise reply.to_exc()
+        return reply
+
+    def _alloc_tag(self) -> int:
+        for _ in range(0x10000):
+            tag = self._next_tag
+            self._next_tag = (self._next_tag + 1) & 0xFFFF
+            if tag not in self._pending:
+                return tag
+        raise Busy("no free tags", path="<wire>", op="rpc")
+
+    def alloc_fid(self) -> int:
+        with self._lock:
+            if self._free_fids:
+                return self._free_fids.pop()
+            fid = self._next_fid
+            self._next_fid += 1
+            return fid
+
+    def free_fid(self, fid: int) -> None:
+        with self._lock:
+            self._free_fids.append(fid)
+
+    # -- conveniences over the raw ops --------------------------------------
+
+    def walk_fid(self, path: str) -> int:
+        """A fresh fid for *path*, or :class:`NotFound` if it is absent."""
+        fid = self.alloc_fid()
+        try:
+            reply = self.rpc(wire.Twalk(fid=self.ROOT_FID, newfid=fid,
+                                        names=split_path(path)))
+        except FsError:
+            self.free_fid(fid)
+            raise
+        if not reply.found:
+            self.free_fid(fid)
+            raise NotFound(path=path, op="walk")
+        return fid
+
+    def probe(self, path: str) -> wire.Rwalk | None:
+        """Stat-lite: kind and mtime of *path*, or None if absent."""
+        fid = self.alloc_fid()
+        try:
+            reply = self.rpc(wire.Twalk(fid=self.ROOT_FID, newfid=fid,
+                                        names=split_path(path)))
+        except FsError:
+            self.free_fid(fid)
+            raise
+        if not reply.found:
+            self.free_fid(fid)
+            return None
+        self.clunk(fid)
+        return reply
+
+    def clunk(self, fid: int) -> None:
+        try:
+            self.rpc(wire.Tclunk(fid=fid))
+        finally:
+            self.free_fid(fid)
+
+    def stat(self, path: str) -> wire.Rstat:
+        fid = self.walk_fid(path)
+        try:
+            return self.rpc(wire.Tstat(fid=fid))
+        finally:
+            self.clunk(fid)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                self._channel.close()
+                return
+            self._closed = True
+        self._channel.close()
+        self._recv_thread.join(timeout=5)
+
+    def __enter__(self) -> "MuxClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# -- client-side node proxies ------------------------------------------------
+
+
+class RemoteSession:
+    """An open remote file: reads, writes and close map to RPCs.
+
+    Mirrors the :class:`~repro.fs.server.SynthSession` surface
+    (``read``/``readlines``/``write``/``seek``/``close``/``mode``/
+    ``pos``/``closed``, context manager) so everything that consumes
+    local sessions — the shell's redirections, ``help``'s tools —
+    works on remote files unchanged.
+    """
+
+    def __init__(self, client: MuxClient, fid: int, mode: str,
+                 name: str) -> None:
+        self._client = client
+        self._fid = fid
+        self.mode = mode
+        self.name = name
+        self.closed = False
+        self.pos = 0
+        self._seek_to: int | None = None
+
+    def _check_open(self, op: str) -> None:
+        if self.closed:
+            raise Closed(path=self.name, op=op)
+
+    def read(self, n: int = -1) -> str:
+        self._check_open("read")
+        offset = wire.SEQUENTIAL if self._seek_to is None else self._seek_to
+        self._seek_to = None
+        reply = self._client.rpc(wire.Tread(fid=self._fid, offset=offset,
+                                            count=n))
+        if offset != wire.SEQUENTIAL:
+            self.pos = offset
+        self.pos += len(reply.data)
+        return reply.data
+
+    def readlines(self) -> list[str]:
+        return self.read().splitlines(keepends=True)
+
+    def write(self, s: str) -> int:
+        self._check_open("write")
+        reply = self._client.rpc(wire.Twrite(fid=self._fid, data=s))
+        self.pos += reply.count
+        return reply.count
+
+    def seek(self, pos: int) -> None:
+        # applied server-side on the next read, where the snapshot is
+        self._seek_to = pos
+
+    def close(self) -> None:
+        """Clunk the fid; close-time server errors surface here once."""
+        if self.closed:
+            return
+        self.closed = True
+        self._client.clunk(self._fid)
+
+    def __del__(self) -> None:
+        # a dropped handle must still flush its server-side tail
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter teardown / connection gone
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class RemoteFile(File):
+    """A client-side proxy for a file served across the wire."""
+
+    def __init__(self, client: MuxClient, path: str, mtime: int = 0) -> None:
+        Node.__init__(self, basename(path))  # no local .data storage
+        self._client = client
+        self._path = path
+        self.mtime = mtime
+
+    @property
+    def data(self) -> str:  # type: ignore[override]
+        with self.open("r") as session:
+            return session.read()
+
+    @data.setter
+    def data(self, value: str) -> None:
+        with self.open("w") as session:
+            session.write(value)
+
+    def open(self, mode: str) -> RemoteSession:
+        fid = self._client.walk_fid(self._path)
+        try:
+            self._client.rpc(wire.Topen(fid=fid, mode=mode))
+        except FsError:
+            self._client.clunk(fid)
+            raise
+        return RemoteSession(self._client, fid, mode, self._path)
+
+
+class RemoteDir(Dir):
+    """A client-side proxy for a directory served across the wire.
+
+    Satisfies everything :class:`~repro.fs.namespace.Namespace` asks
+    of a directory — ``lookup`` walks, ``entries`` stats — so mounting
+    the proxy makes the whole remote tree appear, unions and globs
+    included.  The remote's *structure* is the server's to change:
+    ``attach``/``detach`` are refused.
+    """
+
+    def __init__(self, client: MuxClient, path: str = "/",
+                 mtime: int = 0) -> None:
+        super().__init__(basename(path) or "/")
+        self._client = client
+        self._path = path
+        self.mtime = mtime
+
+    def _make(self, path: str, is_dir: bool, mtime: int) -> Node:
+        if is_dir:
+            return RemoteDir(self._client, path, mtime)
+        return RemoteFile(self._client, path, mtime)
+
+    def lookup(self, name: str) -> Node | None:
+        path = join(self._path, name)
+        reply = self._client.probe(path)
+        if reply is None:
+            return None
+        return self._make(path, reply.is_dir, reply.mtime)
+
+    def entries(self) -> list[Node]:
+        reply = self._client.stat(self._path)
+        return [self._make(join(self._path, child.name), child.is_dir,
+                           child.mtime)
+                for child in reply.children]
+
+    def attach(self, node: Node) -> Node:
+        raise Invalid(f"'{self._path}': remote tree; create through the "
+                      f"server", path=self._path, op="create")
+
+    def detach(self, name: str) -> None:
+        raise Invalid(f"'{self._path}': remote tree; remove through the "
+                      f"server", path=self._path, op="remove")
+
+
+def mount_remote(client: MuxClient) -> RemoteDir:
+    """The client's proxy for the server's root, ready for ``mount``."""
+    return RemoteDir(client, "/", client.root_stat.mtime)
+
+
+__all__ = ["PipeChannel", "SocketChannel", "channel_pair", "dial",
+           "FrameReader", "WireServer", "MuxClient", "RemoteSession",
+           "RemoteFile", "RemoteDir", "mount_remote"]

@@ -62,7 +62,7 @@ class HelpFS:
                 return self._window_dir(window)
         return None
 
-    # -- index ---------------------------------------------------------------------
+    # -- index ----------------------------------------------------------------
 
     def _index_file(self) -> SynthFile:
         return SynthFile("index", read_fn=self._index_text)
@@ -77,7 +77,7 @@ class HelpFS:
             lines.append(f"{wid}\t{first}\n")
         return "".join(lines)
 
-    # -- per-window directories ---------------------------------------------------------
+    # -- per-window directories -----------------------------------------------
 
     def _window_dir(self, window: Window) -> SynthDir:
         files = [
@@ -130,7 +130,7 @@ class HelpFS:
             # the writer has no other channel to the user.
             self.help.post_error(f"help: {exc.diagnostic()}\n")
 
-    # -- window creation --------------------------------------------------------------------
+    # -- window creation ------------------------------------------------------
 
     def _new_dir(self) -> SynthDir:
         ctl = SynthFile("ctl", open_fn=self._new_session)

@@ -16,8 +16,10 @@ keyboard."  This package makes those claims measurable:
 """
 
 from repro.metrics.counter import (InteractionStats, counter, counters,
-                                   hit_rate, incr, reset_counters)
+                                   hit_rate, histogram, histograms, incr,
+                                   observe, reset_counters, reset_histograms)
 from repro.metrics.klm import KLM_TIMES, Action, Script, script_time
 
 __all__ = ["InteractionStats", "Action", "Script", "script_time", "KLM_TIMES",
-           "incr", "counter", "counters", "reset_counters", "hit_rate"]
+           "incr", "counter", "counters", "reset_counters", "hit_rate",
+           "observe", "histogram", "histograms", "reset_histograms"]

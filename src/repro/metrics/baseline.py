@@ -52,7 +52,8 @@ def cut_via_word() -> tuple[Script, Script]:
     return ours, menu
 
 
-def open_file_by_pointing(path: str = "/usr/rob/src/help/dat.h") -> tuple[Script, Script]:
+def open_file_by_pointing(
+        path: str = "/usr/rob/src/help/dat.h") -> tuple[Script, Script]:
     """Open a file whose name is on screen: two clicks vs retyping.
 
     Help (Figure 3): point into the name, click Open.  Baseline: home

@@ -43,6 +43,69 @@ def reset_counters(prefix: str = "") -> None:
             del _perf_counters[key]
 
 
+# -- latency histograms ------------------------------------------------------
+
+_histograms: dict[str, list[float]] = {}
+
+
+def observe(name: str, value: float) -> None:
+    """Record one sample (e.g. a latency in microseconds) under *name*."""
+    _histograms.setdefault(name, []).append(value)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The *q*-quantile (0..1) of *samples* by linear interpolation."""
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("percentile of no samples")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def histogram(name: str) -> dict[str, float] | None:
+    """Summary stats of the named histogram, or None if never observed.
+
+    Keys: ``count``, ``min``, ``max``, ``mean``, ``p50``, ``p95``,
+    ``p99`` — the shape benchmark reports and the wire layer's
+    ``wire.rpc.<op>`` latency tracking need.
+    """
+    samples = _histograms.get(name)
+    if not samples:
+        return None
+    return {
+        "count": len(samples),
+        "min": min(samples),
+        "max": max(samples),
+        "mean": sum(samples) / len(samples),
+        "p50": percentile(samples, 0.50),
+        "p95": percentile(samples, 0.95),
+        "p99": percentile(samples, 0.99),
+    }
+
+
+def histograms(prefix: str = "") -> dict[str, dict[str, float]]:
+    """Summaries of every histogram whose name starts with *prefix*."""
+    out: dict[str, dict[str, float]] = {}
+    for name in sorted(_histograms):
+        if name.startswith(prefix):
+            stats = histogram(name)
+            if stats is not None:
+                out[name] = stats
+    return out
+
+
+def reset_histograms(prefix: str = "") -> None:
+    """Drop the histograms starting with *prefix* ('' drops everything)."""
+    for key in list(_histograms):
+        if key.startswith(prefix):
+            del _histograms[key]
+
+
 def hit_rate(kind: str = "layout.cache") -> float | None:
     """Hit rate of a hit/miss counter pair, or None if never exercised."""
     hits = counter(f"{kind}_hit")

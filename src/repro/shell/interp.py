@@ -131,7 +131,7 @@ class Interp:
         for i in range(1, 10):
             self.vars[str(i)] = [args[i - 1]] if i <= len(args) else []
 
-    # -- variables -------------------------------------------------------------
+    # -- variables ------------------------------------------------------------
 
     def get(self, name: str) -> list[str]:
         return self.vars.get(name, [])
@@ -150,7 +150,7 @@ class Interp:
         self.vars["status"] = [str(status)]
         return status
 
-    # -- word evaluation ----------------------------------------------------------
+    # -- word evaluation ------------------------------------------------------
 
     def eval_word(self, word: ast.Word, io: IO, glob: bool = True) -> list[str]:
         """Evaluate one word to a list, with concatenation and globbing.
@@ -221,7 +221,7 @@ class Interp:
         return [m[len(prefix):] if m.startswith(prefix) else m
                 for m in matches]
 
-    # -- execution ---------------------------------------------------------------------
+    # -- execution ------------------------------------------------------------
 
     def exec(self, node: ast.Command, io: IO) -> int:
         """Execute any AST node; returns (and records) the exit status."""
@@ -337,7 +337,7 @@ class Interp:
             self.funcs[node.name] = node.body
         return self._set_status(0)
 
-    # -- redirections ----------------------------------------------------------------------
+    # -- redirections ---------------------------------------------------------
 
     def _with_redirs(self, redirs: list[ast.Redir], io: IO,
                      run: Callable[[IO], int]) -> int:
@@ -392,7 +392,7 @@ class Interp:
     def _abspath(self, path: str) -> str:
         return path if path.startswith("/") else join(self.cwd, path)
 
-    # -- command dispatch ----------------------------------------------------------------------
+    # -- command dispatch -----------------------------------------------------
 
     def _dispatch(self, argv: list[str], io: IO) -> int:
         name, args = argv[0], argv[1:]

@@ -5,7 +5,6 @@ no programmatic shortcuts — so the integration tests measure exactly
 what the paper measures: button clicks and (absent) keystrokes.
 """
 
-from repro import build_system
 from repro.core.events import Button
 from repro.core.window import Subwindow
 
@@ -48,7 +47,7 @@ class Session:
         tab_y = column.rect.y0 + order.index(window)
         self.help.left_click(column.rect.x0, tab_y)
 
-    # -- gestures ----------------------------------------------------------------
+    # -- gestures -------------------------------------------------------------
 
     def point_at(self, window, needle, offset=0, occurrence=0,
                  sub=Subwindow.BODY):
@@ -82,7 +81,7 @@ class Session:
             pos = text.index(needle, pos + 1)
         return pos
 
-    # -- conveniences -------------------------------------------------------------------
+    # -- conveniences ---------------------------------------------------------
 
     def window(self, name):
         w = self.help.window_by_name(name)

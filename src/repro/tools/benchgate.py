@@ -1,0 +1,106 @@
+"""Audit a benchmark run's counter record for regressions.
+
+``bench_artifacts/BENCH_perf.json`` is more than a scoreboard: its
+counters section is a ledger of everything the benchmarks did to the
+filesystem substrate.  On a healthy run the ledger balances — every
+server-side open was closed (no leaked sessions), and the clean path
+raised no taxonomy errors and injected no faults.  A PR that breaks
+session teardown or starts erroring under load shifts these totals
+long before any median moves, so CI runs the benchmarks (counters-only
+is enough: ``pytest benchmarks --benchmark-disable``) and then gates
+on this audit::
+
+    python -m repro.tools.benchgate [path/to/BENCH_perf.json]
+
+Checks applied:
+
+- ``fs.open == fs.close`` — a mismatch means a leaked (or
+  double-closed) file-server session somewhere in the run;
+- every ``fs.error.*`` counter is zero — benchmarks drive the clean
+  path only, so any taxonomy error is a regression;
+- ``fs.fault.injected`` is zero — fault plans belong to the fault
+  matrix tests, never to benchmarks;
+- the wire transport really ran: at least ``MIN_SESSIONS`` sessions
+  attached and per-op latency histograms were recorded.
+
+Exit 0 when the ledger balances, 1 on any violation, 2 on usage
+errors or an unreadable report.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+DEFAULT_REPORT = (pathlib.Path(__file__).resolve().parents[3]
+                  / "bench_artifacts" / "BENCH_perf.json")
+
+# the acceptance floor for concurrent wire sessions in a bench run
+MIN_SESSIONS = 4
+
+
+def audit(report: dict) -> list[str]:
+    """Every violated invariant in *report*, as human-readable lines."""
+    problems: list[str] = []
+    counters = report.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        return ["report has no counters section — not a benchmark run?"]
+
+    opened = counters.get("fs.open", 0)
+    closed = counters.get("fs.close", 0)
+    if opened != closed:
+        problems.append(
+            f"session leak: fs.open={opened} != fs.close={closed} "
+            f"({opened - closed:+d} never closed)")
+
+    for name in sorted(counters):
+        if name.startswith("fs.error.") and counters[name]:
+            problems.append(
+                f"clean path raised errors: {name}={counters[name]}")
+    if counters.get("fs.fault.injected", 0):
+        problems.append(
+            f"fault injection ran during benchmarks: "
+            f"fs.fault.injected={counters['fs.fault.injected']}")
+
+    sessions = counters.get("wire.rpc.attach", 0)
+    for op in report.get("ops", {}).values():
+        sessions = max(sessions, op.get("extra_info", {}).get("sessions", 0))
+    if sessions < MIN_SESSIONS:
+        problems.append(
+            f"wire bench underpowered: {sessions} concurrent sessions "
+            f"recorded, need >= {MIN_SESSIONS}")
+
+    wire = report.get("wire", {})
+    for side in ("server_rpc_us", "client_rpc_us"):
+        stats = wire.get(side) or {}
+        if not any(entry.get("count", 0) for entry in stats.values()):
+            problems.append(f"no wire latency samples recorded ({side})")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) > 1:
+        print("usage: benchgate [BENCH_perf.json]", file=sys.stderr)
+        return 2
+    path = pathlib.Path(args[0]) if args else DEFAULT_REPORT
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"benchgate: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    problems = audit(report)
+    for problem in problems:
+        print(f"benchgate: {problem}", file=sys.stderr)
+    if not problems:
+        counters = report["counters"]
+        print(f"benchgate: ledger balances — "
+              f"fs.open == fs.close == {counters.get('fs.open', 0)}, "
+              f"no errors, no faults, "
+              f"{counters.get('wire.rpc.attach', 0)} wire sessions")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -352,7 +352,8 @@ LANDMARKS = {
 }
 
 
-def install_help_sources(ns: Namespace, directory: str = SRC_DIR) -> dict[str, tuple[str, int]]:
+def install_help_sources(ns: Namespace, directory: str = SRC_DIR,
+                         ) -> dict[str, tuple[str, int]]:
     """Write the reconstructed sources under *directory*.
 
     Returns :data:`LANDMARKS` for callers that assert coordinates.

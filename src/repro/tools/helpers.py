@@ -37,7 +37,9 @@ def _quote(value: str) -> str:
     return "'" + value.replace("'", "''") + "'"
 
 
-def make_help_commands(help_app: "Help") -> dict[str, Callable[[Interp, list[str], IO], int]]:
+def make_help_commands(
+        help_app: "Help",
+) -> dict[str, Callable[[Interp, list[str], IO], int]]:
     """The command table entries that need the application object."""
 
     def cmd_parse(interp: Interp, args: list[str], io: IO) -> int:

@@ -1,7 +1,5 @@
 """Unit tests for the built-in commands, driven programmatically."""
 
-import pytest
-
 from repro.core.window import Subwindow
 
 

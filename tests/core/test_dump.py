@@ -48,8 +48,8 @@ class TestDumpFormat:
 class TestRoundTrip:
     def test_layout_survives(self, system):
         h = system.help
-        profile = h.open_path("/usr/rob/lib/profile")
-        exec_w = h.open_path("/usr/rob/src/help/exec.c", line=213)
+        h.open_path("/usr/rob/lib/profile")
+        h.open_path("/usr/rob/src/help/exec.c", line=213)
         before = {w.name(): (w.y, w.hidden, w.org)
                   for w in h.windows.values()}
         text = dump(h)
@@ -86,7 +86,7 @@ class TestRoundTrip:
 
     def test_unnamed_window_round_trips(self, system):
         h = system.help
-        w = h.new_window("", "scratch contents")
+        h.new_window("", "scratch contents")
         load(h, dump(h))
         scratch = [x for x in h.windows.values()
                    if x.body.string() == "scratch contents"]

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.frame import DisplayLine, Frame, Rect
+from repro.core.frame import Frame, Rect
 
 
 class TestRect:
@@ -42,18 +42,18 @@ class TestLayout:
     def test_simple_lines(self):
         f = Frame(10, 5)
         lines = f.layout("ab\ncd\n")
-        assert [(l.start, l.end, l.hard) for l in lines] == [
+        assert [(ln.start, ln.end, ln.hard) for ln in lines] == [
             (0, 2, True), (3, 5, True), (6, 6, True)]
 
     def test_no_trailing_newline(self):
         f = Frame(10, 5)
         lines = f.layout("ab\ncd")
-        assert [(l.start, l.end) for l in lines] == [(0, 2), (3, 5)]
+        assert [(ln.start, ln.end) for ln in lines] == [(0, 2), (3, 5)]
 
     def test_wrapping(self):
         f = Frame(3, 5)
         lines = f.layout("abcdefg")
-        assert [(l.start, l.end, l.hard) for l in lines] == [
+        assert [(ln.start, ln.end, ln.hard) for ln in lines] == [
             (0, 3, False), (3, 6, False), (6, 7, True)]
 
     def test_height_caps_layout(self):
@@ -70,7 +70,7 @@ class TestLayout:
     def test_origin_offsets(self):
         f = Frame(10, 5)
         lines = f.layout("aa\nbb\ncc", org=3)
-        assert [(l.start, l.end) for l in lines] == [(3, 5), (6, 8)]
+        assert [(ln.start, ln.end) for ln in lines] == [(3, 5), (6, 8)]
 
     def test_zero_height(self):
         f = Frame(10, 0)
@@ -85,7 +85,7 @@ class TestLayout:
     def test_exact_width_line_no_spurious_wrap(self):
         f = Frame(3, 5)
         lines = f.layout("abc")
-        assert [(l.start, l.end, l.hard) for l in lines] == [(0, 3, True)]
+        assert [(ln.start, ln.end, ln.hard) for ln in lines] == [(0, 3, True)]
 
     def test_exact_width_then_newline(self):
         f = Frame(3, 5)

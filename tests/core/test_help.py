@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.events import Button
-from repro.core.screen import Region
 from repro.core.window import Subwindow
 
 

@@ -118,7 +118,8 @@ class TestGapBufferProperties:
             assert buf.text() == ref
             assert len(buf) == len(ref)
 
-    @given(st.text(alphabet="ab\n", max_size=40), st.integers(0, 45), st.integers(0, 45))
+    @given(st.text(alphabet="ab\n", max_size=40), st.integers(0, 45),
+           st.integers(0, 45))
     def test_slice_matches_python_slice(self, s, a, b):
         buf = GapBuffer(s)
         lo, hi = max(0, min(a, len(s))), max(0, min(b, len(s)))

@@ -15,7 +15,7 @@ import pytest
 
 from repro import build_system, render_screen
 from repro.core.help import ERRORS
-from repro.fs import Fault, FaultPlan, IOFault, wrap
+from repro.fs import Fault, FaultPlan, wrap
 from repro.metrics.counter import counter, reset_counters
 
 pytestmark = pytest.mark.tier2_faults

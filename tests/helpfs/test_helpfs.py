@@ -216,7 +216,8 @@ class TestNewWindow:
         """The decl script's skeleton: make a window, fill it."""
         with world.open("/mnt/help/new/ctl") as f:
             x = f.read().strip()
-        world.append(f"/mnt/help/{x}/ctl", "name /usr/rob/src/help/ Close!\n".replace("name ", "tag "))
+        world.append(f"/mnt/help/{x}/ctl",
+                     "name /usr/rob/src/help/ Close!\n".replace("name ", "tag "))
         world.append(f"/mnt/help/{x}/bodyapp", "dat.h:136 n declared here\n")
         window = app.windows[int(x)]
         assert "dat.h:136" in window.body.string()

@@ -14,8 +14,6 @@ regenerate with::
 
 import pathlib
 
-import pytest
-
 from repro import build_system, render_screen
 
 GOLDEN = pathlib.Path(__file__).resolve().parent.parent / "golden"

@@ -10,8 +10,6 @@ final assertions are the paper's claims: the bug is found and fixed,
 the program rebuilt, and the keystroke count is zero.
 """
 
-import pytest
-
 from repro.core.window import Subwindow
 from repro.tools.corpus import SRC_DIR
 

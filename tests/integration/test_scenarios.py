@@ -1,8 +1,5 @@
 """Further end-to-end scenarios beyond the paper's main demo."""
 
-import pytest
-
-from repro.core.events import Button
 from repro.core.window import Subwindow
 from repro.tools.corpus import SRC_DIR
 
@@ -40,7 +37,6 @@ class TestWindowManagementSession:
         h = session.help
         w = h.open_path("/usr/rob/lib/profile")
         column = h.screen.column_of(w)
-        index = h.screen.columns.index(column)
         original = column.rect.width
         h.left_click(column.rect.x0, 0)
         assert column.rect.width > original

@@ -91,7 +91,6 @@ class TestHelpOnItsOwnSources:
     def test_browse_the_reconstruction(self, system):
         """The demo's punchline: help is debugging help.  The corpus
         compiles (simulated), browses, and its mkfile builds."""
-        h = system.help
         shell = system.shell("/usr/rob/src/help")
         assert shell.run("mk").status == 0
         assert shell.run(

@@ -6,11 +6,10 @@ affected targets leaves nothing for a subsequent full mk to do — the
 two directions agree.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.fs import VFS, Namespace
-from repro.mk import Builder, cmd_vc, cmd_vl, parse_mkfile
+from repro.mk import Builder, cmd_vc, cmd_vl
 from repro.mk.inverted import affected_targets, invert_and_build
 from repro.shell import Interp
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import build_system
-from repro.core.window import Subwindow
 from repro.proc.cpu import CpuServer, RemoteRunner
 from repro.shell.commands import DEFAULT_COMMANDS
 from repro.fs import VFS, Namespace

@@ -211,7 +211,7 @@ class TestShellIntegration:
         assert sh.run("adb notapid").status == 1
 
     def test_synthetic_crash_depth(self, sh):
-        result = sh.run("echo '$c' | adb " + "104")
+        sh.run("echo '$c' | adb " + "104")
         # synthetic pid may vary; find it via ps instead
         out = sh.run("ps").stdout
         pid = next(line.split()[0] for line in out.splitlines()

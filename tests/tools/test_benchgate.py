@@ -1,0 +1,91 @@
+"""The benchgate CLI: the benchmark counter ledger must balance."""
+
+import json
+
+from repro.tools import benchgate
+
+
+def clean_report() -> dict:
+    return {
+        "mode": "counters-only",
+        "ops": {"test_perf_wire_concurrent_sessions": {
+            "extra_info": {"sessions": 6}}},
+        "counters": {
+            "fs.open": 100, "fs.close": 100,
+            "wire.rpc.attach": 8, "wire.rpc.read": 40,
+        },
+        "wire": {
+            "server_rpc_us": {"wire.rpc.read": {"count": 40, "p50": 10.0}},
+            "client_rpc_us": {"mux.rpc.read": {"count": 40, "p50": 12.0}},
+        },
+    }
+
+
+class TestAudit:
+    def test_clean_ledger_passes(self):
+        assert benchgate.audit(clean_report()) == []
+
+    def test_session_leak_is_flagged(self):
+        report = clean_report()
+        report["counters"]["fs.close"] = 97
+        problems = benchgate.audit(report)
+        assert any("session leak" in p and "+3" in p for p in problems)
+
+    def test_any_error_counter_is_flagged(self):
+        report = clean_report()
+        report["counters"]["fs.error.notfound"] = 2
+        assert any("fs.error.notfound=2" in p
+                   for p in benchgate.audit(report))
+
+    def test_fault_injection_is_flagged(self):
+        report = clean_report()
+        report["counters"]["fs.fault.injected"] = 1
+        assert any("fault injection" in p for p in benchgate.audit(report))
+
+    def test_too_few_wire_sessions_is_flagged(self):
+        report = clean_report()
+        report["counters"]["wire.rpc.attach"] = 2
+        report["ops"] = {}
+        assert any("underpowered" in p for p in benchgate.audit(report))
+
+    def test_sessions_satisfied_by_extra_info_alone(self):
+        report = clean_report()
+        report["counters"]["wire.rpc.attach"] = 0
+        assert benchgate.audit(report) == []
+
+    def test_missing_wire_histograms_is_flagged(self):
+        report = clean_report()
+        report["wire"]["client_rpc_us"] = {}
+        assert any("client_rpc_us" in p for p in benchgate.audit(report))
+
+    def test_counterless_report_is_rejected(self):
+        assert benchgate.audit({}) == [
+            "report has no counters section — not a benchmark run?"]
+
+
+class TestCli:
+    def test_main_ok(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(clean_report()))
+        assert benchgate.main([str(path)]) == 0
+        assert "ledger balances" in capsys.readouterr().out
+
+    def test_main_flags_violations(self, tmp_path, capsys):
+        report = clean_report()
+        report["counters"]["fs.open"] = 101
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(report))
+        assert benchgate.main([str(path)]) == 1
+        assert "session leak" in capsys.readouterr().err
+
+    def test_main_missing_file(self, tmp_path, capsys):
+        assert benchgate.main([str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_main_usage_error(self, capsys):
+        assert benchgate.main(["a", "b"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_default_path_points_at_bench_artifacts(self):
+        assert benchgate.DEFAULT_REPORT.parts[-2:] == (
+            "bench_artifacts", "BENCH_perf.json")

@@ -2,8 +2,6 @@
 
 import io
 
-import pytest
-
 import repro.__main__ as cli
 
 

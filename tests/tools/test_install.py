@@ -3,7 +3,6 @@
 import pytest
 
 from repro import build_system
-from repro.core.window import Subwindow
 
 
 @pytest.fixture

@@ -138,6 +138,10 @@ def pytest_sessionfinish(session, exitstatus):
             "server_rpc_us": _histogram_report("wire.rpc."),
             "client_rpc_us": _histogram_report("mux.rpc."),
         },
+        "journal": {
+            "replay_latency_us": _histogram_report("replay."),
+            "journal_us": _histogram_report("journal."),
+        },
     }
     ARTIFACTS.mkdir(exist_ok=True)
     (ARTIFACTS / "BENCH_perf.json").write_text(

@@ -51,6 +51,14 @@ def dump(help_app: "Help") -> str:
             name = window.name()
             inline = window.dirty or not name or name.endswith("/") \
                 or not help_app.ns.exists(name)
+            if not inline:
+                # a clean window whose body is not the file's content
+                # (tool output written through the server, a truncated
+                # view) must still restore byte-identical
+                try:
+                    inline = window.body.string() != help_app.ns.read(name)
+                except Exception:
+                    inline = True
             out.append(f"window {index} {window.y} {int(window.hidden)} "
                        f"{window.org} {int(window.dirty)} {name}")
             out.append(f"tag {escape(window.tag.string())}")
@@ -85,7 +93,11 @@ def load(help_app: "Help", text: str) -> None:
     if i >= len(lines) or not lines[i].startswith("screen "):
         raise DumpError("missing screen line")
     _, width, height, ncols = lines[i].split()
-    help_app.screen.resize(int(width), int(height))
+    if int(ncols) != len(help_app.screen.columns):
+        from repro.core.screen import Screen
+        help_app.screen = Screen(int(width), int(height), int(ncols))
+    else:
+        help_app.screen.resize(int(width), int(height))
     i += 1
     while i < len(lines) and lines[i].startswith("column "):
         i += 1  # column extents are restored by resize proportions
@@ -125,10 +137,10 @@ def load(help_app: "Help", text: str) -> None:
         window.hidden = bool(int(hidden))
         window.org = int(org)
         if int(dirty):
-            if "Put!" in tag_text.split():
-                window.dirty = True    # the dumped tag already shows it
-            else:
-                window.mark_dirty()
+            # set the flag directly: mark_dirty() would insert "Put!"
+            # into a dumped tag that (deliberately) lacks it, breaking
+            # byte-identical restore
+            window.dirty = True
         column._normalize()
 
 

@@ -153,3 +153,26 @@ class MouseMachine:
         out += self.drag(x1, y1)
         out += self.release(x1, y1, button)
         return out
+
+
+# -- button names -------------------------------------------------------------
+
+_BUTTON_NAMES = {Button.LEFT: "left", Button.MIDDLE: "middle",
+                 Button.RIGHT: "right"}
+_BUTTONS_BY_NAME = {name: button for button, name in _BUTTON_NAMES.items()}
+
+
+def button_name(button: Button) -> str:
+    """The canonical name of a single button (journal records use it)."""
+    name = _BUTTON_NAMES.get(button)
+    if name is None:
+        raise ValueError(f"not a single button: {button!r}")
+    return name
+
+
+def button_from(name: str) -> Button:
+    """The inverse of :func:`button_name`."""
+    try:
+        return _BUTTONS_BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown button name {name!r}") from None

@@ -92,6 +92,8 @@ class Executor:
         text = text.strip()
         if not text:
             return
+        if self.help.journal is not None:
+            self.help.journal.trace("run", (text,))
         cmd, _, arg = text.partition(" ")
         ctx = ExecContext(self.help, window, subwindow, cmd, arg.strip(),
                           extent)

@@ -25,8 +25,17 @@ identically however they are driven.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from repro.core.column import Column
-from repro.core.events import Button, Gesture, GestureKind, MouseMachine, Point
+from repro.core.events import (
+    Button,
+    Gesture,
+    GestureKind,
+    MouseMachine,
+    Point,
+    button_name,
+)
 from repro.core.execute import ExecContext, Executor, Runner
 from repro.core.screen import Region, Screen
 from repro.core.selection import expand_execution
@@ -39,6 +48,11 @@ ERRORS = "Errors"
 
 _BUTTON_NAMES = {Button.LEFT: "left", Button.MIDDLE: "middle",
                  Button.RIGHT: "right"}
+
+
+def _opt(value) -> str:
+    """A journal token for an optional field: '-' absent, '=v' present."""
+    return "-" if value is None else f"={value}"
 
 
 class Help:
@@ -59,6 +73,19 @@ class Help:
         self.mouse = Point(0, 0)
         self.executor = Executor(self, runner)
         self.stats = InteractionStats()
+        # a repro.journal.recorder.SessionRecorder, installed by attach()
+        self.journal = None
+
+    def _record(self, kind: str, *fields):
+        """The journal tee around one mutating entry point.
+
+        With no recorder attached this is free; with one, the record is
+        appended (and, at top level, flushed) *before* the method body
+        runs — the write-ahead ordering crash recovery depends on.
+        """
+        if self.journal is None:
+            return nullcontext()
+        return self.journal.recording(kind, fields)
 
     # -- boot ---------------------------------------------------------------
 
@@ -93,27 +120,34 @@ class Help:
         the column of *near*, the column of the current selection
         ("near the current selected text"), or the least crowded one.
         """
-        window = (Window(self._next_id, name, body)
-                  if tag_suffix is None
-                  else Window(self._next_id, name, body, tag_suffix))
-        self._next_id += 1
-        target = column
-        if target is None and near is not None:
-            target = self.screen.column_of(near)
-        if target is None and self.current is not None:
-            target = self.screen.column_of(self.current[0])
-        if target is None:
-            target = min(self.screen.columns, key=lambda c: len(c.windows))
-        target.place(window)
-        self.windows[window.id] = window
-        return window
+        with self._record(
+                "newwin",
+                _opt(None if column is None
+                     else self.screen.columns.index(column)),
+                _opt(None if near is None else near.id),
+                _opt(tag_suffix), name, body):
+            window = (Window(self._next_id, name, body)
+                      if tag_suffix is None
+                      else Window(self._next_id, name, body, tag_suffix))
+            self._next_id += 1
+            target = column
+            if target is None and near is not None:
+                target = self.screen.column_of(near)
+            if target is None and self.current is not None:
+                target = self.screen.column_of(self.current[0])
+            if target is None:
+                target = min(self.screen.columns, key=lambda c: len(c.windows))
+            target.place(window)
+            self.windows[window.id] = window
+            return window
 
     def close_window(self, window: Window) -> None:
         """Remove *window* from the screen and forget it."""
-        self.screen.remove_window(window)
-        self.windows.pop(window.id, None)
-        if self.current is not None and self.current[0] is window:
-            self.current = None
+        with self._record("close", window.id):
+            self.screen.remove_window(window)
+            self.windows.pop(window.id, None)
+            if self.current is not None and self.current[0] is window:
+                self.current = None
 
     def window_by_name(self, name: str) -> Window | None:
         """The first window whose tag names *name* (files are unique)."""
@@ -147,27 +181,29 @@ class Help:
         (Figure 1); an already-open file's window is just made visible;
         a ``line`` positions and selects that line (Figure 8).
         """
-        if self.ns.isdir(path):
-            name = path if path.endswith("/") else path + "/"
-            existing = self.window_by_name(name)
+        with self._record("open", path, _opt(line),
+                          _opt(None if near is None else near.id)):
+            if self.ns.isdir(path):
+                name = path if path.endswith("/") else path + "/"
+                existing = self.window_by_name(name)
+                if existing is not None:
+                    self.make_visible(existing)
+                    return existing
+                return self.new_window(name, self.directory_listing(path),
+                                       near=near)
+            existing = self.window_by_name(path)
             if existing is not None:
                 self.make_visible(existing)
+                if line is not None:
+                    existing.show_line(line)
                 return existing
-            return self.new_window(name, self.directory_listing(path),
-                                   near=near)
-        existing = self.window_by_name(path)
-        if existing is not None:
-            self.make_visible(existing)
+            if not self.ns.exists(path):
+                self.post_error(f"help: '{path}' does not exist\n")
+                return None
+            window = self.new_window(path, self.ns.read(path), near=near)
             if line is not None:
-                existing.show_line(line)
-            return existing
-        if not self.ns.exists(path):
-            self.post_error(f"help: '{path}' does not exist\n")
-            return None
-        window = self.new_window(path, self.ns.read(path), near=near)
-        if line is not None:
-            window.show_line(line)
-        return window
+                window.show_line(line)
+            return window
 
     # -- the Errors window ----------------------------------------------------
 
@@ -196,11 +232,12 @@ class Help:
     def select(self, window: Window, q0: int, q1: int,
                subwindow: Subwindow = Subwindow.BODY) -> None:
         """Set a subwindow's selection and make it the current one."""
-        text = window.text(subwindow)
-        lo = max(0, min(q0, len(text)))
-        hi = max(0, min(q1, len(text)))
-        window.selection(subwindow).set(min(lo, hi), max(lo, hi))
-        self.current = (window, subwindow)
+        with self._record("select", window.id, subwindow.value, q0, q1):
+            text = window.text(subwindow)
+            lo = max(0, min(q0, len(text)))
+            hi = max(0, min(q1, len(text)))
+            window.selection(subwindow).set(min(lo, hi), max(lo, hi))
+            self.current = (window, subwindow)
 
     def point_at(self, window: Window, pos: int,
                  subwindow: Subwindow = Subwindow.BODY) -> None:
@@ -224,48 +261,55 @@ class Help:
         The programmatic twin of the middle button, used by the help
         file server's ``event`` path and by tests.
         """
-        self.stats.note(f"execute:{text.split()[0] if text.split() else ''}")
-        self.executor.execute(window, subwindow, text)
+        with self._record("exec", window.id, subwindow.value, text):
+            self.stats.note(
+                f"execute:{text.split()[0] if text.split() else ''}")
+            self.executor.execute(window, subwindow, text)
 
     def exec_builtin(self, name: str, window: Window,
                      subwindow: Subwindow = Subwindow.BODY,
                      arg: str = "") -> None:
         """Invoke built-in *name* directly (chords use this for Cut/Paste)."""
-        fn = self.executor.builtins[name]
-        fn(ExecContext(self, window, subwindow, name, arg))
+        with self._record("builtin", name, window.id, subwindow.value, arg):
+            fn = self.executor.builtins[name]
+            fn(ExecContext(self, window, subwindow, name, arg))
 
     # -- raw events -----------------------------------------------------------
 
     def mouse_press(self, x: int, y: int, button: Button) -> None:
         """A mouse button went down."""
-        self.mouse = Point(x, y)
-        self.stats.press(_BUTTON_NAMES.get(button, "?"))
-        gestures = self.machine.press(x, y, button)
-        if (button is Button.LEFT and self.machine.primary is Button.LEFT
-                and not gestures):
-            # A left press starts a selection immediately: chords that
-            # fire before any drag must see the null selection here.
-            hit = self.screen.hit(x, y)
-            if hit.window is not None and hit.subwindow is not None:
-                self.select(hit.window, hit.pos, hit.pos, hit.subwindow)
-        for gesture in gestures:
-            self._handle(gesture)
+        with self._record("mouse-press", x, y, button_name(button)):
+            self.mouse = Point(x, y)
+            self.stats.press(_BUTTON_NAMES.get(button, "?"))
+            gestures = self.machine.press(x, y, button)
+            if (button is Button.LEFT and self.machine.primary is Button.LEFT
+                    and not gestures):
+                # A left press starts a selection immediately: chords that
+                # fire before any drag must see the null selection here.
+                hit = self.screen.hit(x, y)
+                if hit.window is not None and hit.subwindow is not None:
+                    self.select(hit.window, hit.pos, hit.pos, hit.subwindow)
+            for gesture in gestures:
+                self._handle(gesture)
 
     def mouse_drag(self, x: int, y: int) -> None:
         """The mouse moved with a button held."""
-        self.mouse = Point(x, y)
-        for gesture in self.machine.drag(x, y):
-            self._handle(gesture)
+        with self._record("mouse-drag", x, y):
+            self.mouse = Point(x, y)
+            for gesture in self.machine.drag(x, y):
+                self._handle(gesture)
 
     def mouse_release(self, x: int, y: int, button: Button) -> None:
         """A mouse button came up."""
-        self.mouse = Point(x, y)
-        for gesture in self.machine.release(x, y, button):
-            self._handle(gesture)
+        with self._record("mouse-release", x, y, button_name(button)):
+            self.mouse = Point(x, y)
+            for gesture in self.machine.release(x, y, button):
+                self._handle(gesture)
 
     def mouse_move(self, x: int, y: int) -> None:
         """The mouse moved with no buttons (typing targets follow it)."""
-        self.mouse = Point(x, y)
+        with self._record("mouse-move", x, y):
+            self.mouse = Point(x, y)
 
     def type_text(self, s: str) -> None:
         """Type *s* into the subwindow under the mouse.
@@ -274,18 +318,19 @@ class Help:
         mouse.  Note that typing does not execute commands: newline is
         just a character."
         """
-        self.stats.keys(len(s))
-        hit = self.screen.hit(self.mouse.x, self.mouse.y)
-        if hit.window is not None and hit.subwindow is not None:
-            target, sub = hit.window, hit.subwindow
-        elif self.current is not None:
-            target, sub = self.current
-        else:
-            return
-        target.type_text(sub, s)
-        self.current = (target, sub)
-        if target.is_shell and sub is Subwindow.BODY and "\n" in s:
-            self._shell_lines(target)
+        with self._record("type", s):
+            self.stats.keys(len(s))
+            hit = self.screen.hit(self.mouse.x, self.mouse.y)
+            if hit.window is not None and hit.subwindow is not None:
+                target, sub = hit.window, hit.subwindow
+            elif self.current is not None:
+                target, sub = self.current
+            else:
+                return
+            target.type_text(sub, s)
+            self.current = (target, sub)
+            if target.is_shell and sub is Subwindow.BODY and "\n" in s:
+                self._shell_lines(target)
 
     def _shell_lines(self, window: Window) -> None:
         """Run completed input lines of a shell window.
@@ -427,7 +472,8 @@ class Help:
 
     def resize(self, width: int, height: int) -> None:
         """Resize the display (a reparented terminal, a new monitor)."""
-        self.screen.resize(width, height)
+        with self._record("resize", width, height):
+            self.screen.resize(width, height)
 
     def hover(self, x: int, y: int) -> str:
         """What pointing at (x, y) would tell the user, without a click.
@@ -445,10 +491,22 @@ class Help:
 
     def scroll(self, window: Window, lines: int) -> None:
         """Scroll *window*'s body by *lines* rows (negative scrolls up)."""
-        column = self.screen.column_of(window)
-        if column is None:
-            return
-        frame = column.body_frame(window)
-        if frame is None:
-            return
-        window.org = frame.scroll(window.body, window.org, lines)
+        with self._record("scroll", window.id, lines):
+            column = self.screen.column_of(window)
+            if column is None:
+                return
+            frame = column.body_frame(window)
+            if frame is None:
+                return
+            window.org = frame.scroll(window.body, window.org, lines)
+
+    def replace_body(self, window: Window, text: str,
+                     dirty: bool = False) -> None:
+        """Replace *window*'s whole body (the programmatic file rewrite).
+
+        The recordable twin of :meth:`repro.core.window.Window.replace_body`
+        — tools and tests that rewrite a body wholesale should come
+        through here so the journal sees the mutation.
+        """
+        with self._record("replace-body", window.id, int(dirty), text):
+            window.replace_body(text, dirty=dirty)

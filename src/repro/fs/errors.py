@@ -128,6 +128,18 @@ class Invalid(FsError):
     fmt = "'{path}': invalid request"
 
 
+class Crashed(IOFault):
+    """The serving process died mid-operation.
+
+    Raised once by the operation that crashed (possibly after a torn
+    partial write) and then by every later operation on the same
+    fault plan: a dead process answers nothing.
+    """
+
+    kind = "crashed"
+    fmt = "'{path}': process crashed"
+
+
 def diagnostic(exc: BaseException) -> str:
     """The structured form of *exc* if it has one, else ``str(exc)``.
 
@@ -140,8 +152,8 @@ def diagnostic(exc: BaseException) -> str:
 
 
 TAXONOMY = (NotFound, NotADirectory, IsADirectory, Exists, Permission,
-            Busy, Closed, IOFault, Invalid)
+            Busy, Closed, IOFault, Invalid, Crashed)
 
 __all__ = ["FsError", "NotFound", "NotADirectory", "IsADirectory",
            "Exists", "Permission", "Busy", "Closed", "IOFault",
-           "Invalid", "diagnostic", "TAXONOMY"]
+           "Invalid", "Crashed", "diagnostic", "TAXONOMY"]

@@ -24,6 +24,13 @@ the schedule.
 Short reads (``short=N``) truncate the data instead of raising: the
 reader sees the first *N* characters and must cope with a partial
 result, the file-server analogue of a short ``read(2)``.
+
+Crash faults (``crash=True``) kill the simulated process: the
+triggering write lands only a torn prefix of its data (``short``
+characters, default half), the op raises
+:class:`~repro.fs.errors.Crashed`, and the plan goes *dead* — every
+later op on it raises ``Crashed`` too, because a dead process answers
+nothing.  This is how journal crash-recovery scenarios are staged.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from __future__ import annotations
 import fnmatch
 from dataclasses import dataclass, field
 
-from repro.fs.errors import FsError, IOFault
+from repro.fs.errors import Crashed, FsError, IOFault
 from repro.fs.vfs import Dir, File, Node, join
 from repro.metrics.counter import incr
 
@@ -48,7 +55,12 @@ class Fault:
                 means *every* matching op fails;
     ``kind``    the taxonomy error class to raise;
     ``short``   for reads: return only the first *short* characters
-                instead of raising;
+                instead of raising; for crashing writes: how many
+                characters land before the process dies;
+    ``crash``   the process dies at this op: a write tears mid-record
+                (``short`` characters if given, else half), the plan
+                goes *dead*, and every later op raises
+                :class:`~repro.fs.errors.Crashed`;
     ``message`` optional override for the error message.
     """
 
@@ -57,6 +69,7 @@ class Fault:
     at: int = 1
     kind: type[FsError] = IOFault
     short: int | None = None
+    crash: bool = False
     message: str | None = None
 
     def __post_init__(self) -> None:
@@ -76,11 +89,13 @@ class FaultPlan:
         self.faults = list(faults)
         self._seen = [0] * len(self.faults)
         self.fired = [0] * len(self.faults)
+        self.dead = False   # a crash fault fired; the process is gone
 
     def reset(self) -> None:
         """Zero the op counters so the schedule replays from the start."""
         self._seen = [0] * len(self.faults)
         self.fired = [0] * len(self.faults)
+        self.dead = False
 
     @property
     def injected(self) -> int:
@@ -93,6 +108,12 @@ class FaultPlan:
         Returns the triggering rule for non-raising modifiers (short
         reads) so the caller can apply them, or None.
         """
+        if self.dead:
+            # closing a handle to a dead process is a no-op (as after
+            # EIO); raising here would mask the crash that killed it
+            if op == "close":
+                return None
+            raise Crashed(path=path, op=op)
         modifier: Fault | None = None
         to_raise: Fault | None = None
         # every matching rule counts the op, even when an earlier rule
@@ -105,12 +126,23 @@ class FaultPlan:
                 continue
             self.fired[i] += 1
             incr("fs.fault.injected")
-            if fault.short is not None and op == "read":
+            if fault.crash:
+                # the plan dies; a crashing *write* is handed back so
+                # the session can tear the record before raising
+                self.dead = True
+                if op == "write":
+                    if modifier is None:
+                        modifier = fault
+                elif to_raise is None:
+                    to_raise = fault
+            elif fault.short is not None and op == "read":
                 if modifier is None:
                     modifier = fault
             elif to_raise is None:
                 to_raise = fault
         if to_raise is not None:
+            if to_raise.crash:
+                raise Crashed(to_raise.message, path=path, op=op)
             raise to_raise.kind(to_raise.message, path=path, op=op)
         return modifier
 
@@ -154,7 +186,12 @@ class FaultySession:
         return self.read().splitlines(keepends=True)
 
     def write(self, s: str) -> int:
-        self._plan.check("write", self._path)
+        rule = self._plan.check("write", self._path)
+        if rule is not None and rule.crash:
+            torn = s[:rule.short] if rule.short is not None else s[:len(s) // 2]
+            if torn:
+                self._inner.write(torn)
+            raise Crashed(rule.message, path=self._path, op="write")
         return self._inner.write(s)
 
     def seek(self, pos: int) -> None:

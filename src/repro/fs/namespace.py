@@ -102,12 +102,21 @@ class Namespace:
     def __init__(self, vfs: VFS) -> None:
         self.vfs = vfs
         self._mounts: dict[str, list[Node]] = {}
+        # journal hook: called with (op, canonical path) on every
+        # mutation routed through this namespace (write-open, mkdir,
+        # remove) — see repro.journal.recorder.SessionRecorder.fs_trace
+        self.on_mutation = None
 
     def fork(self) -> "Namespace":
         """A child namespace sharing the VFS but with its own mount table."""
         child = Namespace(self.vfs)
         child._mounts = {path: list(stack) for path, stack in self._mounts.items()}
+        child.on_mutation = self.on_mutation
         return child
+
+    def _mutated(self, op: str, path: str) -> None:
+        if self.on_mutation is not None:
+            self.on_mutation(op, normalize(path))
 
     # -- bind / mount -----------------------------------------------------
 
@@ -214,6 +223,8 @@ class Namespace:
         missing path creates a plain file in the enclosing directory
         (which for a union directory is its first member).
         """
+        if mode in ("w", "a"):
+            self._mutated("write", path)
         node = self.resolve(path)
         if node is None:
             if mode in ("w", "a"):
@@ -279,6 +290,7 @@ class Namespace:
         node = Dir(basename(path))
         node.mtime = self.vfs.clock.tick()
         parent.attach(node)
+        self._mutated("mkdir", path)
 
     def remove(self, path: str) -> None:
         """Remove a file or empty directory (unmounting is separate)."""
@@ -293,11 +305,13 @@ class Namespace:
             for member in parent.stack:
                 if isinstance(member, Dir) and member.lookup(basename(canon)):
                     member.detach(basename(canon))
+                    self._mutated("remove", canon)
                     return
             raise NotFound(path=canon, op="remove")
         if not isinstance(parent, Dir):
             raise NotADirectory(path=dirname(canon), op="remove")
         parent.detach(basename(canon))
+        self._mutated("remove", canon)
 
     def listdir(self, path: str) -> list[str]:
         """Sorted entry names of the directory at *path* (unions merged)."""

@@ -43,6 +43,17 @@ class HelpFS:
             ns.mkdir(at, parents=True)
         ns.mount(self.root, at)
 
+    def _trace(self, kind: str, *fields) -> None:
+        """Tee one server-side mutation into the session journal.
+
+        These are derived records: the commands that caused them are
+        replayed, the server regenerates them, and the journal's
+        divergence check compares the two streams.
+        """
+        recorder = self.help.journal
+        if recorder is not None:
+            recorder.trace(kind, fields)
+
     # -- root directory -------------------------------------------------------
 
     def _list_root(self) -> list[Node]:
@@ -87,7 +98,7 @@ class HelpFS:
             SynthFile("body",
                       open_fn=lambda mode, w=window: self._body_session(w, mode)),
             SynthFile("bodyapp",
-                      write_fn=lambda s, w=window: w.append(s)),
+                      write_fn=lambda s, w=window: self._bodyapp(w, s)),
             SynthFile("ctl",
                       open_fn=lambda mode, w=window: self._ctl_session(w, mode)),
         ]
@@ -95,6 +106,7 @@ class HelpFS:
 
     def _set_tag(self, window: Window, line: str) -> None:
         """Writing the tag file replaces the tag line."""
+        self._trace("fs-tag", window.id, line.rstrip("\n"))
         window.tag.set_string(line.rstrip("\n"))
         window.tag_sel.set(0, 0)
 
@@ -104,11 +116,21 @@ class HelpFS:
             return SynthSession("r", read_fn=lambda: window.body.string(),
                                 name=name)
         if mode == "a":
-            return _RawWriteSession(mode, window.append, name=name)
+            return _RawWriteSession(
+                mode, lambda s, w=window: self._body_write(w, "a", s),
+                name=name)
         if mode in ("w", "rw"):
             window.replace_body("")
-            return _RawWriteSession("w", window.append, name=name)
+            return _RawWriteSession(
+                "w", lambda s, w=window: self._body_write(w, "w", s),
+                name=name)
         raise Invalid(f"bad open mode '{mode}'", path=name, op="open")
+
+    def _body_write(self, window: Window, mode: str, s: str) -> None:
+        import zlib
+        self._trace("fs-body", window.id, mode, len(s),
+                    f"{zlib.crc32(s.encode()) & 0xffffffff:08x}")
+        window.append(s)
 
     def _ctl_session(self, window: Window, mode: str) -> SynthSession:
         name = f"{window.id}/ctl"
@@ -120,7 +142,14 @@ class HelpFS:
                             write_fn=lambda line: self._apply(window, line),
                             name=name)
 
+    def _bodyapp(self, window: Window, s: str) -> None:
+        import zlib
+        self._trace("fs-bodyapp", window.id, len(s),
+                    f"{zlib.crc32(s.encode()) & 0xffffffff:08x}")
+        window.append(s)
+
     def _apply(self, window: Window, line: str) -> None:
+        self._trace("fs-ctl", window.id, line.rstrip("\n"))
         try:
             apply_ctl(self.help, window, line)
         except CtlError as exc:

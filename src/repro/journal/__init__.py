@@ -1,0 +1,64 @@
+"""The deterministic session journal (write-ahead event log).
+
+The paper's ``help`` is driven entirely by one serialized stream of
+mouse/keyboard events plus file-server requests, which makes a session
+a pure function of its input log.  This package records that log:
+
+- :mod:`repro.journal.record` — the line-oriented record format:
+  versioned header, monotonic sequence numbers, per-record CRC32
+  checksums, and the token codec that keeps multi-line text on one
+  journal line;
+- :mod:`repro.journal.log` — :class:`Journal`, the append-only
+  write-ahead log with explicit flush (fsync-analogue) points and the
+  ``journal.append.*`` / ``journal.fsync.*`` counter family;
+- :mod:`repro.journal.recorder` — :class:`SessionRecorder`, which
+  tees every input event, command execution, and fs mutation of a
+  :class:`~repro.core.help.Help` session into a journal *before*
+  applying it, and :func:`replay`, which drives a fresh session from
+  the recorded records;
+- :mod:`repro.journal.recovery` — crash recovery: scan a truncated or
+  torn journal, restore the last snapshot (:mod:`repro.core.dump`),
+  and replay the intact suffix.
+
+Quickstart::
+
+    from repro import build_system
+    from repro.journal import Journal, attach, replay, scan_text
+
+    system = build_system()
+    journal = Journal.create(system.ns, '/usr/rob/help.journal')
+    attach(system.help, journal, ns=system.ns)
+    ...drive the session...
+
+    text = system.ns.read('/usr/rob/help.journal')
+    fresh = build_system()
+    attach(fresh.help, Journal())          # shadow journal: divergence trace
+    replay(fresh.help, scan_text(text).records)
+"""
+
+from repro.journal.log import Journal, NamespaceSink
+from repro.journal.record import (
+    FORMAT,
+    APPLY_KINDS,
+    MARK_KINDS,
+    BadChecksum,
+    BadRecord,
+    JournalError,
+    Record,
+    ScanResult,
+    dec,
+    enc,
+    parse_line,
+    scan_text,
+)
+from repro.journal.recorder import ReplayError, SessionRecorder, attach, replay
+from repro.journal.recovery import RecoveryReport, recover
+
+__all__ = [
+    "FORMAT", "APPLY_KINDS", "MARK_KINDS",
+    "Journal", "NamespaceSink", "Record", "ScanResult",
+    "JournalError", "BadRecord", "BadChecksum", "ReplayError",
+    "SessionRecorder", "RecoveryReport",
+    "attach", "replay", "recover", "scan_text", "parse_line",
+    "enc", "dec",
+]

@@ -1,0 +1,144 @@
+"""The write-ahead log: append-only records with explicit flush points.
+
+A :class:`Journal` owns the monotonic sequence counter and a pending
+buffer; :meth:`Journal.flush` is the fsync analogue that makes the
+buffered records durable in one sink write.  The recorder flushes a
+new input record *before* applying it (the write-ahead guarantee: a
+crash mid-application never loses the record of what was being
+applied) and flushes accumulated trace records after.
+
+A journal without a sink is a **shadow journal**: records accumulate
+in memory only.  Replay uses one to regenerate the trace stream for
+divergence comparison without perturbing the durable-append ledger —
+``journal.append.records`` counts durable appends alone, so a clean
+record/replay round trip balances appended == replayed.
+
+Counters: ``journal.append.records`` and ``journal.append.<class>``
+(input/trace/mark) per durable append, ``journal.shadow.records`` per
+shadow append, ``journal.fsync.count`` / ``journal.fsync.records`` /
+``journal.fsync.bytes`` per flush, ``journal.compact.count`` per
+snapshot+truncate compaction and ``journal.compact.dropped`` for the
+durable records each compaction made unreachable — so the full ledger
+balances as ``append.records == replay.records + compact.dropped``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.journal.record import FORMAT, MARK_KINDS, Record, make_record
+from repro.metrics.counter import incr, observe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fs.namespace import Namespace
+
+
+class NamespaceSink:
+    """Durability through the namespace: the journal is just a file."""
+
+    def __init__(self, ns: "Namespace", path: str) -> None:
+        self.ns = ns
+        self.path = path
+
+    def create(self) -> None:
+        """Write a fresh journal file holding only the header."""
+        self.ns.write(self.path, FORMAT + "\n")
+
+    def append(self, text: str) -> None:
+        self.ns.append(self.path, text)
+
+    def truncate(self, text: str) -> None:
+        """Replace the whole file (compaction)."""
+        self.ns.write(self.path, text)
+
+
+class Journal:
+    """An append-only, checksummed, sequence-numbered event log."""
+
+    def __init__(self, sink: NamespaceSink | None = None) -> None:
+        self.sink = sink
+        self.seq = 0
+        self.records: list[Record] = []   # everything appended, in order
+        self.pending: list[Record] = []   # appended but not yet flushed
+        self._durable = 0                 # records currently in the sink
+
+    @classmethod
+    def create(cls, ns: "Namespace", path: str) -> "Journal":
+        """A durable journal at *path*, header written immediately."""
+        sink = NamespaceSink(ns, path)
+        sink.create()
+        return cls(sink)
+
+    # -- appending --------------------------------------------------------
+
+    def append(self, kind: str, fields: tuple | list) -> Record:
+        """Append one record (buffered until the next flush)."""
+        self.seq += 1
+        record = make_record(self.seq, kind, fields)
+        self.records.append(record)
+        if self.sink is None:
+            incr("journal.shadow.records")
+            return record
+        self.pending.append(record)
+        incr("journal.append.records")
+        incr(f"journal.append.{_klass(kind)}")
+        return record
+
+    # -- durability -------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write the pending records to the sink in one append.
+
+        Returns the number of records made durable.  The explicit
+        flush point is the journal's fsync analogue; callers place it
+        before applying an input (write-ahead) and after the derived
+        traces of that input have accumulated.
+        """
+        if self.sink is None or not self.pending:
+            return 0
+        text = "".join(record.line() + "\n" for record in self.pending)
+        count = len(self.pending)
+        start = time.perf_counter()
+        self.sink.append(text)
+        observe("journal.flush_us", (time.perf_counter() - start) * 1e6)
+        self.pending.clear()
+        self._durable += count
+        incr("journal.fsync.count")
+        incr("journal.fsync.records", count)
+        incr("journal.fsync.bytes", len(text))
+        return count
+
+    def compact(self, keep: list[Record]) -> None:
+        """Truncate the sink down to the header plus *keep*.
+
+        *keep* is the snapshot record group that re-founds the journal;
+        sequence numbering continues monotonically across compactions,
+        so later records still name a unique position in the session.
+        Records appended before the snapshot — durable or still
+        pending — become unreachable and are counted as
+        ``journal.compact.dropped``: that is the point, the snapshot
+        subsumes them.
+        """
+        first = keep[0].seq if keep else self.seq + 1
+        durable_keep = sum(1 for r in keep if r not in self.pending)
+        stale = sum(1 for r in self.pending
+                    if r not in keep and r.seq < first)
+        self.pending = [r for r in self.pending
+                        if r not in keep and r.seq > first]
+        if self.sink is None:
+            return
+        text = FORMAT + "\n" + "".join(r.line() + "\n" for r in keep)
+        self.sink.truncate(text)
+        incr("journal.compact.count")
+        incr("journal.compact.dropped",
+             max(self._durable - durable_keep, 0) + stale)
+        self._durable = len(keep)
+
+
+def _klass(kind: str) -> str:
+    if kind.startswith("+"):
+        return "trace"
+    if kind in MARK_KINDS:
+        return "mark"
+    return "input"

@@ -1,0 +1,225 @@
+"""The journal record format: one checksummed line per event.
+
+A journal is a plain text file (it can itself be opened in a help
+window), line-oriented so a torn tail never corrupts the records
+before it::
+
+    help-journal 1
+    1 89ab12cd genesis 160 60 2 10
+    2 0f3e77a1 exec 3 body headers
+    3 5c01b2e9 +run headers
+    ...
+
+Each record line is ``<seq> <crc> <kind> [payload]``:
+
+- ``seq`` — decimal sequence number, strictly increasing across the
+  whole journal (compaction keeps numbering, so a recovered session
+  can name "the first divergent sequence number" unambiguously);
+- ``crc`` — eight hex digits: CRC32 of ``"<seq> <kind> <payload>"``
+  (UTF-8), the per-record integrity check that detects torn or
+  bit-rotted records;
+- ``kind`` — what happened.  Three classes:
+
+  * **input** kinds (:data:`APPLY_KINDS`) are the session's free
+    variables — mouse, keyboard, programmatic API calls — and are
+    re-applied on replay;
+  * **trace** kinds carry a ``+`` prefix and record *derived* work
+    (command executions, fs mutations, nested window operations):
+    replay skips them, divergence checking compares them;
+  * **mark** kinds (:data:`MARK_KINDS`) are journal bookkeeping:
+    ``genesis`` (the world the journal starts from), ``snapshot``
+    (an inline :mod:`repro.core.dump`), ``wids`` (window id map for
+    the snapshot) and ``state`` (selection/snarf/mouse not covered
+    by the dump format);
+
+- ``payload`` — space-separated tokens, each encoded by :func:`enc`
+  so embedded spaces, tabs and newlines stay on one line.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+FORMAT = "help-journal 1"
+
+# Input kinds: the replayable surface of repro.core.help.Help.
+APPLY_KINDS = frozenset({
+    "mouse-press", "mouse-drag", "mouse-release", "mouse-move",
+    "type", "resize",
+    "exec", "builtin", "select",
+    "open", "newwin", "close", "scroll", "replace-body",
+})
+
+# Journal bookkeeping: consumed by recovery, never replayed as input.
+MARK_KINDS = frozenset({"genesis", "snapshot", "wids", "state"})
+
+
+class JournalError(Exception):
+    """A malformed journal."""
+
+
+class BadRecord(JournalError):
+    """A structurally unparseable record line."""
+
+
+class BadChecksum(JournalError):
+    """A record whose CRC does not match its content."""
+
+
+# -- token codec --------------------------------------------------------------
+
+_EMPTY = "\\e"
+
+
+def enc(s: str) -> str:
+    """Encode one payload token: whitespace-free, '' representable."""
+    if s == "":
+        return _EMPTY
+    return (s.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace("\t", "\\t").replace("\r", "\\r").replace(" ", "\\s"))
+
+
+def dec(s: str) -> str:
+    """Decode a token produced by :func:`enc`."""
+    if s == _EMPTY:
+        return ""
+    out: list[str] = []
+    i = 0
+    while i < len(s):
+        ch = s[i]
+        if ch == "\\" and i + 1 < len(s):
+            nxt = s[i + 1]
+            out.append({"n": "\n", "t": "\t", "r": "\r",
+                        "s": " ", "\\": "\\"}.get(nxt, nxt))
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+# -- records ------------------------------------------------------------------
+
+def checksum(seq: int, kind: str, payload: str) -> str:
+    """Eight hex digits of CRC32 over the record's content."""
+    return f"{zlib.crc32(f'{seq} {kind} {payload}'.encode()) & 0xffffffff:08x}"
+
+
+@dataclass(frozen=True)
+class Record:
+    """One journal record: sequence number, kind, encoded payload."""
+
+    seq: int
+    kind: str
+    payload: str = ""
+
+    @property
+    def derived(self) -> bool:
+        """True for trace records (never re-applied on replay)."""
+        return self.kind.startswith("+")
+
+    @property
+    def applies(self) -> bool:
+        """True for input records replay must re-apply."""
+        return self.kind in APPLY_KINDS
+
+    def fields(self) -> list[str]:
+        """The decoded payload tokens."""
+        if not self.payload:
+            return []
+        return [dec(tok) for tok in self.payload.split(" ")]
+
+    def line(self) -> str:
+        """The serialized record line (no trailing newline)."""
+        crc = checksum(self.seq, self.kind, self.payload)
+        if self.payload:
+            return f"{self.seq} {crc} {self.kind} {self.payload}"
+        return f"{self.seq} {crc} {self.kind}"
+
+
+def make_record(seq: int, kind: str, fields: tuple | list) -> Record:
+    """Build a record, encoding each field as one payload token."""
+    payload = " ".join(enc(str(f)) for f in fields)
+    return Record(seq, kind, payload)
+
+
+def parse_line(line: str) -> Record:
+    """Parse one record line, verifying its checksum.
+
+    Raises :class:`BadRecord` for structural damage and
+    :class:`BadChecksum` when the line parses but the CRC disagrees —
+    the difference matters to recovery, which treats both as the torn
+    tail but reports them distinctly.
+    """
+    parts = line.split(" ", 3)
+    if len(parts) < 3:
+        raise BadRecord(f"short record line {line!r}")
+    seq_s, crc, kind = parts[0], parts[1], parts[2]
+    payload = parts[3] if len(parts) > 3 else ""
+    if not seq_s.isdigit():
+        raise BadRecord(f"bad sequence number in {line!r}")
+    seq = int(seq_s)
+    if checksum(seq, kind, payload) != crc:
+        raise BadChecksum(f"checksum mismatch at seq {seq}")
+    return Record(seq, kind, payload)
+
+
+# -- scanning -----------------------------------------------------------------
+
+@dataclass
+class ScanResult:
+    """The intact prefix of a journal plus what was lost after it."""
+
+    records: list[Record] = field(default_factory=list)
+    dropped: int = 0          # lines after the first damaged one
+    torn: bool = False        # True when any line failed to verify
+    problems: list[str] = field(default_factory=list)
+
+
+def scan_text(text: str) -> ScanResult:
+    """Parse journal *text*, keeping the longest intact prefix.
+
+    The first structurally bad line, checksum failure, or sequence
+    regression ends the intact prefix: everything from there on is the
+    torn tail and is counted, not parsed (a crash mid-append can leave
+    any suffix).  Each verified record bumps ``journal.replay.records``
+    and each checksum failure bumps ``journal.checksum.failed``, so a
+    clean replay's ledger shows appended == replayed and zero failures.
+    """
+    from repro.metrics.counter import incr
+
+    result = ScanResult()
+    lines = text.split("\n")
+    if not lines or lines[0] != FORMAT:
+        result.torn = True
+        result.problems.append("missing or wrong journal header")
+        result.dropped = len([ln for ln in lines if ln])
+        return result
+    last_seq = 0
+    for index, line in enumerate(lines[1:], start=2):
+        if line == "":
+            continue  # blank line (the trailing newline's artifact)
+        try:
+            record = parse_line(line)
+        except BadChecksum as exc:
+            incr("journal.checksum.failed")
+            result.problems.append(f"line {index}: {exc}")
+            result.torn = True
+        except BadRecord as exc:
+            result.problems.append(f"line {index}: {exc}")
+            result.torn = True
+        else:
+            if record.seq <= last_seq:
+                result.problems.append(
+                    f"line {index}: sequence {record.seq} after {last_seq}")
+                result.torn = True
+            else:
+                last_seq = record.seq
+                result.records.append(record)
+                incr("journal.replay.records")
+                continue
+        # fell through: this line and everything after it is the tail
+        result.dropped = len([ln for ln in lines[index - 1:] if ln])
+        break
+    return result

@@ -83,6 +83,8 @@ class Interp:
             from repro.shell.commands import DEFAULT_COMMANDS
             commands = dict(DEFAULT_COMMANDS)
         self.commands = commands
+        # journal hook: called with (argv, cwd) for every simple command
+        self.trace: Callable[[list[str], str], None] | None = None
 
     # -- entry points ---------------------------------------------------------
 
@@ -122,6 +124,7 @@ class Interp:
         child = Interp(self.ns, self.cwd, self.commands)
         child.vars = {name: list(value) for name, value in self.vars.items()}
         child.funcs = dict(self.funcs)
+        child.trace = self.trace
         return child
 
     def set_args(self, name: str, args: list[str]) -> None:
@@ -395,6 +398,8 @@ class Interp:
     # -- command dispatch -----------------------------------------------------
 
     def _dispatch(self, argv: list[str], io: IO) -> int:
+        if self.trace is not None:
+            self.trace(argv, self.cwd)
         name, args = argv[0], argv[1:]
         fn = self.funcs.get(name)
         if fn is not None:

@@ -21,7 +21,12 @@ Checks applied:
 - ``fs.fault.injected`` is zero — fault plans belong to the fault
   matrix tests, never to benchmarks;
 - the wire transport really ran: at least ``MIN_SESSIONS`` sessions
-  attached and per-op latency histograms were recorded.
+  attached and per-op latency histograms were recorded;
+- the journal ledger balances: every record the replay benches
+  appended durably was either scanned back or dropped by an accounted
+  compaction (``journal.append.records == journal.replay.records +
+  journal.compact.dropped``) and the clean path verified every
+  checksum (``journal.checksum.failed == 0``).
 
 Exit 0 when the ledger balances, 1 on any violation, 2 on usage
 errors or an unreadable report.
@@ -76,6 +81,25 @@ def audit(report: dict) -> list[str]:
         stats = wire.get(side) or {}
         if not any(entry.get("count", 0) for entry in stats.values()):
             problems.append(f"no wire latency samples recorded ({side})")
+
+    appended = counters.get("journal.append.records")
+    if appended is not None:
+        # the journal bench ran: its ledger must balance exactly
+        replayed = counters.get("journal.replay.records", 0)
+        dropped = counters.get("journal.compact.dropped", 0)
+        if appended != replayed + dropped:
+            problems.append(
+                f"journal ledger imbalance: journal.append.records="
+                f"{appended} != journal.replay.records={replayed} "
+                f"+ journal.compact.dropped={dropped}")
+        failed = counters.get("journal.checksum.failed", 0)
+        if failed:
+            problems.append(
+                f"checksum failures on the clean path: "
+                f"journal.checksum.failed={failed}")
+        if not counters.get("journal.replay.applied", 0):
+            problems.append("journal bench recorded but never applied "
+                            "a record on replay")
     return problems
 
 

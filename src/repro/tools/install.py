@@ -248,6 +248,9 @@ class System:
     def shell(self, cwd: str = "/") -> Interp:
         """A fresh interactive shell on the shared namespace."""
         interp = Interp(self.ns, cwd=cwd, commands=self.commands)
+        recorder = getattr(self.help, "journal", None)
+        if recorder is not None:
+            interp.trace = recorder.shell_trace
         interp.set("user", [self.user])
         interp.set("home", [f"/usr/{self.user}"])
         interp.set("service", ["terminal"])
@@ -312,6 +315,10 @@ def build_system(width: int = 100, height: int = 40,
     commands["adb"] = cmd_adb(procs)
     commands["ps"] = cmd_ps(procs)
 
+    # filled in once help exists; the runner closes over it so shells
+    # it spawns inherit the session's journal trace hook
+    state: dict = {}
+
     def local_runner(cmdline: str, directory: str,
                      env: dict[str, str]) -> CommandResult:
         interp = Interp(ns, cwd=directory, commands=commands)
@@ -320,6 +327,9 @@ def build_system(width: int = 100, height: int = 40,
         interp.set("cppflags", [])
         for key, value in env.items():
             interp.set(key, [value])
+        recorder = getattr(state.get("help"), "journal", None)
+        if recorder is not None:
+            interp.trace = recorder.shell_trace
         result = interp.run(cmdline)
         return CommandResult(result.status, result.stdout, result.stderr)
 
@@ -339,6 +349,7 @@ def build_system(width: int = 100, height: int = 40,
             return deferred["conn"](cmdline, directory, env)
 
     help_app = Help(ns, width, height, runner=runner)
+    state["help"] = help_app
     commands.update(make_help_commands(help_app))
     helpfs = HelpFS(help_app)
     helpfs.mount(ns)

@@ -122,7 +122,7 @@ def fig12_mk(system: System) -> None:
     cbr_stf = h.window_by_name("/help/cbr/stf")
     original = exec_w.body.string()
     for _ in range(2):
-        exec_w.replace_body(original)
+        h.replace_body(exec_w, original)
         for w in list(h.windows.values()):
             if w.name() == f"{SRC_DIR}/mk":
                 h.close_window(w)

@@ -1,0 +1,64 @@
+"""Property tests: dump/load is lossless for any session content.
+
+The journal's snapshot records carry an inline :mod:`repro.core.dump`,
+so crash recovery is only as faithful as the dump round trip — these
+properties pin that down over adversarial bodies and tags (newlines,
+backslashes, the dump format's own keywords).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import build_system
+from repro.core.dump import dump, load
+
+# Adversarial but line-representable text: every byte class the dump
+# format must escape or frame, including its own keywords at line
+# starts ("window ", "tag ", "body ") and counted-block confusers.
+bodies = st.text(
+    alphabet=st.sampled_from(list("ab \\\nwindowtagbody-012")),
+    max_size=80)
+tags = st.text(
+    alphabet=st.sampled_from(list("ab \\windowtagbody-012 |")),
+    max_size=40)
+
+
+def window_texts(help_app):
+    return sorted((w.name(), w.body.string(), w.dirty)
+                  for w in help_app.windows.values())
+
+
+class TestDumpRoundTrip:
+    @given(st.lists(bodies, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_dirty_bodies_survive(self, texts):
+        system = build_system(width=120, height=40)
+        h = system.help
+        for i, text in enumerate(texts):
+            w = h.new_window(f"/tmp/w{i}", text)
+            w.dirty = True
+        before = window_texts(h)
+        load(h, dump(h))
+        assert window_texts(h) == before
+
+    @given(st.lists(st.tuples(bodies, tags), min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_dump_load_dump_is_a_fixed_point(self, windows):
+        system = build_system(width=120, height=40)
+        h = system.help
+        for i, (body, tag_suffix) in enumerate(windows):
+            w = h.new_window(f"/tmp/w{i}", body)
+            w.tag.set_string(w.tag.string() + tag_suffix)
+            w.dirty = True
+        first = dump(h)
+        load(h, first)
+        assert dump(h) == first
+
+    @given(bodies)
+    @settings(max_examples=40, deadline=None)
+    def test_unnamed_window_body_survives(self, body):
+        system = build_system(width=120, height=40)
+        h = system.help
+        h.new_window("", body)
+        before = window_texts(h)
+        load(h, dump(h))
+        assert window_texts(h) == before

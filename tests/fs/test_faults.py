@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fs import VFS, Namespace
-from repro.fs.errors import IOFault, Permission
+from repro.fs.errors import Crashed, IOFault, Permission
 from repro.fs.faults import Fault, FaultPlan, wrap
 from repro.metrics.counter import counter, reset_counters
 
@@ -102,6 +102,73 @@ class TestFaultRules:
         with pytest.raises(IOFault):
             ns.open("/data/a")
         assert plan.fired == [1]
+
+
+class TestCrashFaults:
+    def test_crashing_write_tears_and_raises(self):
+        ns, plan = faulted_ns(Fault(op="write", path="/data/a", crash=True))
+        handle = ns.open("/data/a", "w")
+        with pytest.raises(Crashed, match="crashed"):
+            handle.write("0123456789")
+        handle.close()
+        ns.unmount("/data")
+        assert ns.read("/data/a") == "01234"  # half landed, torn
+
+    def test_short_controls_the_torn_length(self):
+        ns, _ = faulted_ns(
+            Fault(op="write", path="/data/a", crash=True, short=3))
+        handle = ns.open("/data/a", "w")
+        with pytest.raises(Crashed):
+            handle.write("0123456789")
+        ns.unmount("/data")
+        assert ns.read("/data/a") == "012"
+
+    def test_dead_plan_refuses_every_later_op(self):
+        ns, plan = faulted_ns(Fault(op="write", path="/data/a", crash=True))
+        handle = ns.open("/data/a", "w")
+        with pytest.raises(Crashed):
+            handle.write("x")
+        assert plan.dead
+        with pytest.raises(Crashed):
+            ns.open("/data/sub/b")  # any path, any op: the process died
+        with pytest.raises(Crashed):
+            handle.write("again")
+
+    def test_close_of_a_dead_process_is_a_noop(self):
+        # raising from close would mask the original crash when the
+        # handle is closed by a with-block's __exit__
+        ns, _ = faulted_ns(Fault(op="write", path="/data/a", crash=True))
+        with pytest.raises(Crashed) as err:
+            with ns.open("/data/a", "w") as handle:
+                handle.write("x")
+        assert err.value.op == "write"  # the crash, not a close error
+
+    def test_crash_on_read_raises_without_data(self):
+        ns, _ = faulted_ns(Fault(op="read", path="/data/a", crash=True))
+        handle = ns.open("/data/a")
+        with pytest.raises(Crashed):
+            handle.read()
+
+    def test_reset_revives_the_process(self):
+        ns, plan = faulted_ns(Fault(op="write", path="/data/a", crash=True))
+        with pytest.raises(Crashed):
+            ns.open("/data/a", "w").write("x")
+        plan.reset()
+        handle = ns.open("/data/a", "w")
+        with pytest.raises(Crashed):  # the schedule replays: crash at 1
+            handle.write("x")
+
+    def test_crash_counts_as_injection(self):
+        reset_counters("fs.fault.")
+        ns, plan = faulted_ns(Fault(op="write", path="/data/a", crash=True))
+        with pytest.raises(Crashed):
+            ns.open("/data/a", "w").write("x")
+        assert plan.injected == 1
+        assert counter("fs.fault.injected") == 1
+        # post-crash refusals are the dead process, not new injections
+        with pytest.raises(Crashed):
+            ns.open("/data/a")
+        assert counter("fs.fault.injected") == 1
 
 
 class TestWrappedTree:

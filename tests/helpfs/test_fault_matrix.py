@@ -113,6 +113,61 @@ class TestFaultMatrix:
         assert system.help.running
 
 
+class TestCrashMatrix:
+    def test_crash_mid_write_to_body_surfaces_and_unmount_recovers(self):
+        system, plan = faulted_system(
+            Fault(op="write", path=f"{MOUNT}/*/body", crash=True))
+        w = system.help.new_window("/tmp/x", "before\n")
+        shell = system.shell("/usr/rob")
+        result = shell.run(f"echo replacement > {MOUNT}/{w.id}/body")
+        assert plan.fired == [1]
+        assert result.status != 0
+        assert "[crashed]" in result.stderr
+        # the dead server answers nothing until the mount is replaced
+        assert shell.run(f"cat {MOUNT}/index").status != 0
+        system.ns.unmount(MOUNT)
+        system.ns.mount(system.helpfs.root, MOUNT)
+        assert shell.run(f"cat {MOUNT}/index").status == 0
+        assert system.help.running
+
+    def test_crash_is_the_whole_process_not_one_file(self):
+        system, plan = faulted_system(
+            Fault(op="read", path=f"{MOUNT}/index", crash=True))
+        shell = system.shell("/usr/rob")
+        assert shell.run(f"cat {MOUNT}/index").status != 0
+        # a different file on the same (dead) server also refuses
+        w = next(iter(system.help.windows.values()))
+        result = shell.run(f"cat {MOUNT}/{w.id}/body")
+        assert result.status != 0
+        assert "[crashed]" in result.stderr
+        assert plan.injected == 1  # one crash; the rest is deadness
+
+    def test_journal_crash_recovery_through_the_matrix(self):
+        """The replaycheck scenario as a tier-2 test: tear the journal
+        mid-append, then recover byte-identically from the torn file."""
+        from repro.journal import Journal, attach
+        from repro.journal.recovery import recover
+
+        system = build_system(width=100, height=40)
+        journal = Journal.create(system.ns, "/usr/rob/help.journal")
+        attach(system.help, journal, ns=system.ns, snapshot_every=2)
+        h = system.help
+        h.execute_text(h.window_by_name("/help/mail/stf"), "headers")
+        pre_crash = render_screen(h, full=True)
+        plan = FaultPlan(Fault(op="write", path="*/help.journal",
+                               crash=True))
+        system.ns.mount(wrap(system.ns.walk("/usr/rob"), plan,
+                             base="/usr/rob"), "/usr/rob")
+        from repro.fs.errors import Crashed
+        with pytest.raises(Crashed):
+            h.type_text("lost input")
+        system.ns.unmount("/usr/rob")
+        fresh = build_system(width=100, height=40)
+        report = recover(fresh.help, system.ns.read("/usr/rob/help.journal"))
+        assert report.torn
+        assert render_screen(fresh.help, full=True) == pre_crash
+
+
 class TestCountersMatchSchedule:
     def test_injection_and_error_counters_reconcile(self):
         reset_counters("fs.error.")

@@ -63,6 +63,45 @@ class TestAudit:
             "report has no counters section — not a benchmark run?"]
 
 
+class TestJournalLedger:
+    def with_journal(self, appended=100, replayed=90, dropped=10,
+                     failed=0, applied=12):
+        report = clean_report()
+        report["counters"].update({
+            "journal.append.records": appended,
+            "journal.replay.records": replayed,
+            "journal.compact.dropped": dropped,
+            "journal.checksum.failed": failed,
+            "journal.replay.applied": applied,
+        })
+        return report
+
+    def test_balanced_ledger_passes(self):
+        assert benchgate.audit(self.with_journal()) == []
+
+    def test_no_journal_counters_is_not_audited(self):
+        assert benchgate.audit(clean_report()) == []
+
+    def test_imbalance_is_flagged(self):
+        problems = benchgate.audit(self.with_journal(replayed=89))
+        assert any("journal ledger imbalance" in p for p in problems)
+
+    def test_compaction_drops_are_part_of_the_balance(self):
+        assert benchgate.audit(self.with_journal(
+            appended=100, replayed=100, dropped=0)) == []
+        problems = benchgate.audit(self.with_journal(
+            appended=100, replayed=100, dropped=10))
+        assert any("imbalance" in p for p in problems)
+
+    def test_checksum_failures_are_flagged(self):
+        problems = benchgate.audit(self.with_journal(failed=2))
+        assert any("journal.checksum.failed=2" in p for p in problems)
+
+    def test_replay_that_never_applied_is_flagged(self):
+        problems = benchgate.audit(self.with_journal(applied=0))
+        assert any("never applied" in p for p in problems)
+
+
 class TestCli:
     def test_main_ok(self, tmp_path, capsys):
         path = tmp_path / "BENCH_perf.json"

@@ -21,11 +21,7 @@ import re
 import pytest
 
 from repro import build_system, render_screen
-from repro.metrics.counter import (
-    counters,
-    histograms,
-    reset_counters,
-)
+from repro.metrics.counter import MetricsRegistry, set_default_registry
 
 ARTIFACTS = pathlib.Path(__file__).resolve().parent.parent / "bench_artifacts"
 
@@ -45,10 +41,15 @@ SEED_BASELINE_US = {
 # per-group counter deltas, accumulated across the whole session
 _counter_groups: dict[str, dict[str, int]] = {}
 
-# session-wide totals: each test runs against zeroed counters (so
+# session-wide totals: each test runs against a fresh registry (so
 # benches are isolated from each other), and its deltas are folded in
 # here for the end-of-session report
 _counter_total: dict[str, int] = {}
+
+# histograms accumulate across the whole bench session — the latency
+# reports want every sample — so each bench's registry is merged into
+# this one at teardown
+_session_metrics = MetricsRegistry("bench-session")
 
 
 def _groups_of(nodeid: str) -> list[str]:
@@ -69,27 +70,31 @@ def _groups_of(nodeid: str) -> list[str]:
 
 @pytest.fixture(autouse=True)
 def _track_perf_counters(request):
-    """Isolate each bench's counters, then fold them into the session.
+    """Isolate each bench's metrics, then fold them into the session.
 
-    Every test starts from zeroed counters (a bench asserting on
-    ``fs.open``/``fs.close`` balance can't be poisoned by an earlier
-    bench's traffic) and its activity is accumulated into both its
-    bench group and the session total that ``BENCH_perf.json``
-    reports.  Histograms are left to accumulate across the session:
-    the wire latency report wants every sample, and no bench asserts
-    on histogram state.
+    Every test runs against its own fresh :class:`MetricsRegistry`
+    installed as the default (a bench asserting on ``fs.open`` /
+    ``fs.close`` balance can't be poisoned by an earlier bench's
+    traffic) and its activity is accumulated into both its bench group
+    and the session total that ``BENCH_perf.json`` reports.  The whole
+    registry — histograms included, since the latency reports want
+    every sample — is merged into the session accumulator afterwards.
     """
-    reset_counters()
+    registry = MetricsRegistry(request.node.nodeid)
+    previous = set_default_registry(registry)
     yield
-    after = counters()
+    set_default_registry(previous)
+    after = registry.counters()
     groups = _groups_of(request.node.nodeid) + ["__total__"]
     for group in groups:
         acc = (_counter_total if group == "__total__"
                else _counter_groups.setdefault(group, {}))
+        # zero-valued counters are kept: an explicit zero is a verdict
+        # (host.sessions.bleed=0 means the isolation audit ran and
+        # found nothing), and benchgate gates on its presence
         for key, value in after.items():
-            if value:
-                acc[key] = acc.get(key, 0) + value
-    reset_counters()
+            acc[key] = acc.get(key, 0) + value
+    _session_metrics.merge(registry)
 
 
 def _rate(stats: dict[str, int]) -> float | None:
@@ -100,7 +105,7 @@ def _rate(stats: dict[str, int]) -> float | None:
 
 def _histogram_report(prefix: str) -> dict[str, dict[str, float]]:
     return {name: {k: round(v, 3) for k, v in stats.items()}
-            for name, stats in histograms(prefix).items()}
+            for name, stats in _session_metrics.histograms(prefix).items()}
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -141,6 +146,11 @@ def pytest_sessionfinish(session, exitstatus):
         "journal": {
             "replay_latency_us": _histogram_report("replay."),
             "journal_us": _histogram_report("journal."),
+        },
+        "sessions": {
+            "session_us": _histogram_report("session."),
+            "ledger": {key: value for key, value in sorted(total.items())
+                       if key.startswith("host.")},
         },
     }
     ARTIFACTS.mkdir(exist_ok=True)

@@ -58,9 +58,18 @@ def _opt(value) -> str:
 class Help:
     """One running help session."""
 
-    def __init__(self, ns: Namespace, width: int = 100, height: int = 40,
-                 ncolumns: int = 2, runner: Runner | None = None,
-                 tools_dir: str = "/help") -> None:
+    def __init__(self, ns: Namespace | None = None, width: int = 100,
+                 height: int = 40, ncolumns: int = 2,
+                 runner: Runner | None = None,
+                 tools_dir: str = "/help", context=None) -> None:
+        # context is a repro.session.SessionContext; a session-scoped
+        # Help takes its namespace (and metrics ledger) from it, a
+        # bare Help still accepts the namespace positionally.
+        if ns is None:
+            if context is None:
+                raise TypeError("Help needs a namespace or a context")
+            ns = context.ns
+        self.context = context
         self.ns = ns
         self.screen = Screen(width, height, ncolumns)
         self.windows: dict[int, Window] = {}
@@ -73,8 +82,17 @@ class Help:
         self.mouse = Point(0, 0)
         self.executor = Executor(self, runner)
         self.stats = InteractionStats()
-        # a repro.journal.recorder.SessionRecorder, installed by attach()
-        self.journal = None
+        # a repro.journal.recorder.SessionRecorder, installed by
+        # attach() (or carried in by the session context)
+        self.journal = None if context is None else context.recorder
+
+    @property
+    def metrics(self):
+        """This session's ledger (the process default when unscoped)."""
+        if self.context is not None:
+            return self.context.metrics
+        from repro.metrics.counter import current_registry
+        return current_registry()
 
     def _record(self, kind: str, *fields):
         """The journal tee around one mutating entry point.

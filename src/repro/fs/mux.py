@@ -34,6 +34,7 @@ import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 
 from repro.fs import wire
 from repro.fs.errors import (
@@ -47,7 +48,7 @@ from repro.fs.errors import (
     NotFound,
 )
 from repro.fs.vfs import Clock, Dir, File, FileHandle, Node, basename, join, split_path
-from repro.metrics.counter import incr, observe
+from repro.metrics.counter import incr, observe, use_registry
 
 _RECV_SIZE = 1 << 16
 
@@ -202,27 +203,44 @@ class _FidState:
 
 
 class _Connection:
-    """One client connection: fid table, dispatch, reply serialization."""
+    """One client connection: fid table, dispatch, reply serialization.
+
+    With a session factory on the server, the connection also owns one
+    **hosted session** — created at attach, torn down with the
+    connection — and binds that session's metrics registry around all
+    work done on its behalf, so N connections keep N separate ledgers.
+    """
 
     def __init__(self, server: "WireServer", channel) -> None:
         self.server = server
         self.channel = channel
         self.fids: dict[int, _FidState] = {}
         self.inflight = 0
+        self.session = None  # set at attach by the session factory
         self._lock = threading.Lock()
         self._send_lock = threading.Lock()
+
+    def _bind(self):
+        """The metrics binding for work on this connection's behalf."""
+        registry = None
+        if self.session is not None:
+            registry = getattr(self.session, "metrics", None)
+        if registry is None:
+            registry = self.server.metrics
+        return nullcontext() if registry is None else use_registry(registry)
 
     def serve(self) -> None:
         reader = FrameReader(self.channel, bytes_counter="wire.bytes.in")
         try:
             while True:
-                try:
-                    msg = reader.next_frame()
-                except (Invalid, IOFault):
-                    break  # protocol error: drop the connection
-                if msg is None:
-                    break
-                self._dispatch(msg)
+                with self._bind():
+                    try:
+                        msg = reader.next_frame()
+                    except (Invalid, IOFault):
+                        break  # protocol error: drop the connection
+                    if msg is None:
+                        break
+                    self._dispatch(msg)
         finally:
             self._teardown()
 
@@ -239,23 +257,33 @@ class _Connection:
                 return
             self.inflight += 1
         incr("mux.inflight")
+        if (isinstance(msg, wire.Tattach)
+                and self.server.session_factory is not None):
+            # build the hosted session synchronously: self.session must
+            # be installed before the serve loop reads the next frame,
+            # or early RPCs would race into the wrong ledger
+            self._serve_one(msg)
+            return
         self.server._executor.submit(self._serve_one, msg)
 
     def _serve_one(self, msg: wire.Message) -> None:
-        start = time.perf_counter()
-        try:
-            reply = self._handle(msg)
-        except FsError as exc:
-            reply = wire.Rerror.from_exc(msg.tag, exc)
-        except Exception as exc:  # a server bug must not kill the loop
-            reply = wire.Rerror.from_exc(msg.tag, exc)
-        finally:
-            observe(f"wire.rpc.{msg.op}",
-                    (time.perf_counter() - start) * 1e6)
-            with self._lock:
-                self.inflight -= 1
-            incr("mux.inflight", -1)
-        self._reply(reply)
+        # executor threads don't inherit the serve loop's context;
+        # re-bind the session's registry here
+        with self._bind():
+            start = time.perf_counter()
+            try:
+                reply = self._handle(msg)
+            except FsError as exc:
+                reply = wire.Rerror.from_exc(msg.tag, exc)
+            except Exception as exc:  # a server bug must not kill the loop
+                reply = wire.Rerror.from_exc(msg.tag, exc)
+            finally:
+                observe(f"wire.rpc.{msg.op}",
+                        (time.perf_counter() - start) * 1e6)
+                with self._lock:
+                    self.inflight -= 1
+                incr("mux.inflight", -1)
+            self._reply(reply)
 
     def _reply(self, reply: wire.Message) -> None:
         frame = wire.encode(reply)
@@ -269,7 +297,12 @@ class _Connection:
     # -- op handlers --------------------------------------------------------
 
     def _handle(self, msg: wire.Message) -> wire.Message:
+        # a hosted session serializes on its own lock, so one slow
+        # session never stalls its neighbours; bare trees use the
+        # server-wide lock as before
         lock = self.server._oplock
+        if self.session is not None:
+            lock = getattr(self.session, "oplock", None) or lock
         if isinstance(msg, wire.Tattach):
             return self._attach(msg)
         if isinstance(msg, wire.Twalk):
@@ -301,7 +334,12 @@ class _Connection:
         return state
 
     def _attach(self, msg: wire.Tattach) -> wire.Message:
-        root = self.server.root
+        if self.server.session_factory is not None and self.session is None:
+            # the factory is responsible for binding the new session's
+            # own registry around whatever it builds
+            self.session = self.server.session_factory(msg.uname, msg.aname)
+        root = (self.server.root if self.session is None
+                else self.session.root)
         with self._lock:
             self.fids[msg.fid] = _FidState(root, "/")
         return wire.Rattach(tag=msg.tag, is_dir=root.is_dir,
@@ -386,12 +424,21 @@ class _Connection:
     def _teardown(self) -> None:
         with self._lock:
             fids, self.fids = self.fids, {}
-        for state in fids.values():
-            if state.session is not None:
+        with self._bind():
+            for state in fids.values():
+                if state.session is not None:
+                    try:
+                        state.session.close()
+                    except Exception:
+                        pass  # the connection is gone; best-effort cleanup
+        session, self.session = self.session, None
+        if session is not None:
+            close = getattr(session, "close", None)
+            if close is not None:
                 try:
-                    state.session.close()
+                    close()
                 except Exception:
-                    pass  # the connection is gone; best-effort cleanup
+                    pass  # teardown is best-effort; the peer is gone
         self.channel.close()
 
 
@@ -411,16 +458,27 @@ class WireServer:
     fault schedules from PR 2 apply unchanged to remote service.
     """
 
-    def __init__(self, root: Node, *, max_outstanding: int = 64,
+    def __init__(self, root: Node | None = None, *, max_outstanding: int = 64,
                  workers: int = 4, serialize: bool = True,
                  plan=None, base: str = "/",
-                 clock: Clock | None = None) -> None:
-        if plan is not None:
+                 clock: Clock | None = None,
+                 metrics=None, session_factory=None) -> None:
+        if root is None and session_factory is None:
+            raise TypeError("WireServer needs a root or a session factory")
+        if plan is not None and root is not None:
             from repro.fs.faults import wrap
             root = wrap(root, plan, base=base)
         self.root = root
         self.max_outstanding = max_outstanding
         self.clock = clock
+        # metrics: the registry connection work reports into when no
+        # hosted session is bound (None: whatever is active).
+        # session_factory: called with (uname, aname) at attach to
+        # build a per-connection hosted session — an object with a
+        # ``root`` node, and optionally ``metrics`` (its private
+        # ledger), ``oplock`` (its serializer) and ``close()``.
+        self.metrics = metrics
+        self.session_factory = session_factory
         self._oplock = threading.Lock() if serialize else _NullLock()
         self._executor = ThreadPoolExecutor(max_workers=workers)
         self._lock = threading.Lock()

@@ -31,8 +31,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class HelpFS:
     """Serves a :class:`~repro.core.help.Help` instance as a file tree."""
 
-    def __init__(self, help_app: "Help") -> None:
+    def __init__(self, help_app: "Help", context=None) -> None:
         self.help = help_app
+        # a repro.session.SessionContext: which session this server
+        # belongs to (defaults to its Help's)
+        self.context = context if context is not None \
+            else getattr(help_app, "context", None)
         self.root = SynthDir("help",
                              list_fn=self._list_root,
                              lookup_fn=self._lookup_root)

@@ -28,7 +28,7 @@ import time
 from typing import TYPE_CHECKING
 
 from repro.journal.record import FORMAT, MARK_KINDS, Record, make_record
-from repro.metrics.counter import incr, observe
+from repro.metrics.counter import MetricsRegistry, current_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fs.namespace import Namespace
@@ -56,19 +56,25 @@ class NamespaceSink:
 class Journal:
     """An append-only, checksummed, sequence-numbered event log."""
 
-    def __init__(self, sink: NamespaceSink | None = None) -> None:
+    def __init__(self, sink: NamespaceSink | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.sink = sink
+        self.metrics = metrics            # None: the active registry
         self.seq = 0
         self.records: list[Record] = []   # everything appended, in order
         self.pending: list[Record] = []   # appended but not yet flushed
         self._durable = 0                 # records currently in the sink
 
     @classmethod
-    def create(cls, ns: "Namespace", path: str) -> "Journal":
+    def create(cls, ns: "Namespace", path: str,
+               metrics: MetricsRegistry | None = None) -> "Journal":
         """A durable journal at *path*, header written immediately."""
         sink = NamespaceSink(ns, path)
         sink.create()
-        return cls(sink)
+        return cls(sink, metrics=metrics)
+
+    def _ledger(self) -> MetricsRegistry:
+        return self.metrics if self.metrics is not None else current_registry()
 
     # -- appending --------------------------------------------------------
 
@@ -77,12 +83,13 @@ class Journal:
         self.seq += 1
         record = make_record(self.seq, kind, fields)
         self.records.append(record)
+        ledger = self._ledger()
         if self.sink is None:
-            incr("journal.shadow.records")
+            ledger.incr("journal.shadow.records")
             return record
         self.pending.append(record)
-        incr("journal.append.records")
-        incr(f"journal.append.{_klass(kind)}")
+        ledger.incr("journal.append.records")
+        ledger.incr(f"journal.append.{_klass(kind)}")
         return record
 
     # -- durability -------------------------------------------------------
@@ -99,14 +106,16 @@ class Journal:
             return 0
         text = "".join(record.line() + "\n" for record in self.pending)
         count = len(self.pending)
+        ledger = self._ledger()
         start = time.perf_counter()
         self.sink.append(text)
-        observe("journal.flush_us", (time.perf_counter() - start) * 1e6)
+        ledger.observe("journal.flush_us",
+                       (time.perf_counter() - start) * 1e6)
         self.pending.clear()
         self._durable += count
-        incr("journal.fsync.count")
-        incr("journal.fsync.records", count)
-        incr("journal.fsync.bytes", len(text))
+        ledger.incr("journal.fsync.count")
+        ledger.incr("journal.fsync.records", count)
+        ledger.incr("journal.fsync.bytes", len(text))
         return count
 
     def compact(self, keep: list[Record]) -> None:
@@ -130,9 +139,10 @@ class Journal:
             return
         text = FORMAT + "\n" + "".join(r.line() + "\n" for r in keep)
         self.sink.truncate(text)
-        incr("journal.compact.count")
-        incr("journal.compact.dropped",
-             max(self._durable - durable_keep, 0) + stale)
+        ledger = self._ledger()
+        ledger.incr("journal.compact.count")
+        ledger.incr("journal.compact.dropped",
+                    max(self._durable - durable_keep, 0) + stale)
         self._durable = len(keep)
 
 

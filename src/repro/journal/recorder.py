@@ -160,7 +160,7 @@ class SessionRecorder:
         finally:
             self._busy = False
         self._since_snapshot = 0
-        incr("journal.snapshot.count")
+        self.journal._ledger().incr("journal.snapshot.count")
 
     def _state_fields(self) -> tuple:
         h = self.help
@@ -187,18 +187,28 @@ class SessionRecorder:
 def attach(help_app: "Help", journal: Journal,
            ns: "Namespace | None" = None,
            snapshot_every: int | None = None,
-           trace_screens: bool = False) -> SessionRecorder:
+           trace_screens: bool = False,
+           context=None) -> SessionRecorder:
     """Install a recorder on *help_app* (and optionally its namespace).
 
     Records everything from this moment on; the ``genesis`` record
     pins the screen geometry and window-id counter so replay can check
     it is rebuilding the same world.  With *ns*, namespace mutations
-    (write-opens, mkdir, remove) are teed as ``+fs`` traces too.
+    (write-opens, mkdir, remove) are teed as ``+fs`` traces too.  With
+    a :class:`~repro.session.SessionContext`, the journal and recorder
+    are registered on it (and the journal adopts its metrics ledger).
     """
     recorder = SessionRecorder(help_app, journal,
                                snapshot_every=snapshot_every,
                                trace_screens=trace_screens)
     help_app.journal = recorder
+    if context is not None:
+        if journal.metrics is None:
+            journal.metrics = context.metrics
+        context.journal = journal
+        context.recorder = recorder
+        if ns is None:
+            ns = context.ns
     if ns is not None:
         ns.on_mutation = recorder.fs_trace
     recorder.genesis()

@@ -4,53 +4,92 @@
 :class:`repro.core.help.Help` instance and updated by its event layer;
 integration tests assert the paper's numbers against it.
 
-The module also hosts the process-wide **performance counters** the
-incremental display pipeline reports into: layout cache hits/misses,
-cells repainted, full versus damage-tracked renders.  They make the
-pipeline's claimed speedups observable — benchmarks read them out into
-``bench_artifacts/BENCH_perf.json`` instead of asserting "it's faster"
-blind.  Counting is a dict bump per event, cheap enough for hot paths.
+The module also hosts the **performance counters** the incremental
+display pipeline, the file servers, the wire transport and the journal
+report into.  Since the session-scoped refactor they live in a
+:class:`MetricsRegistry` — a thread-safe object holding counters and
+bounded latency histograms — rather than in module globals, so one
+process can run many isolated ``help`` sessions (see
+:mod:`repro.serve`) without their ledgers bleeding into each other.
+
+Call sites did not have to change: the module-level :func:`incr` /
+:func:`observe` / :func:`counter` functions still exist, but they are
+a shim that delegates to the **active** registry — the one installed
+for the current execution context with :func:`use_registry` (a
+``contextvars`` binding, so each session-host worker routes to its own
+session's registry), falling back to the process-wide default that
+:func:`set_default_registry` swaps (a fresh registry per test).
 """
 
 from __future__ import annotations
 
+import contextvars
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-# -- performance counters ---------------------------------------------------
+# -- bounded latency reservoirs ----------------------------------------------
 
-_perf_counters: dict[str, int] = {}
-
-
-def incr(name: str, n: int = 1) -> None:
-    """Add *n* to the named performance counter."""
-    _perf_counters[name] = _perf_counters.get(name, 0) + n
-
-
-def counter(name: str) -> int:
-    """Current value of the named counter (0 if never bumped)."""
-    return _perf_counters.get(name, 0)
+# Per-histogram sample cap.  Exact count/sum/min/max are always kept;
+# beyond the cap the sample list is decimated (every other sample
+# dropped, stride doubled), a deterministic systematic sample that
+# keeps quantiles stable while bounding a long-running host's memory.
+RESERVOIR_CAP = 2048
 
 
-def counters(prefix: str = "") -> dict[str, int]:
-    """A snapshot of all counters whose name starts with *prefix*."""
-    return {k: v for k, v in _perf_counters.items() if k.startswith(prefix)}
+class Reservoir:
+    """One histogram: exact moments plus a capped, decimated sample."""
 
+    __slots__ = ("count", "total", "minimum", "maximum", "samples",
+                 "stride", "_pending")
 
-def reset_counters(prefix: str = "") -> None:
-    """Zero the counters starting with *prefix* ('' resets everything)."""
-    for key in list(_perf_counters):
-        if key.startswith(prefix):
-            del _perf_counters[key]
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.samples: list[float] = []
+        self.stride = 1        # keep every stride-th observation
+        self._pending = 0      # observations since the last kept one
 
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self._pending += 1
+        if self._pending < self.stride:
+            return
+        self._pending = 0
+        self.samples.append(value)
+        if len(self.samples) >= RESERVOIR_CAP:
+            # decimate: keep every other sample, double the stride
+            del self.samples[1::2]
+            self.stride *= 2
 
-# -- latency histograms ------------------------------------------------------
+    def fold(self, other: "Reservoir") -> None:
+        """Absorb *other* (a closed session's ledger roll-up)."""
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.samples.extend(other.samples)
+        while len(self.samples) >= RESERVOIR_CAP:
+            del self.samples[1::2]
+            self.stride *= 2
 
-_histograms: dict[str, list[float]] = {}
-
-
-def observe(name: str, value: float) -> None:
-    """Record one sample (e.g. a latency in microseconds) under *name*."""
-    _histograms.setdefault(name, []).append(value)
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.total / self.count,
+            "p50": percentile(self.samples, 0.50),
+            "p95": percentile(self.samples, 0.95),
+            "p99": percentile(self.samples, 0.99),
+        }
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -67,51 +106,221 @@ def percentile(samples: list[float], q: float) -> float:
     return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
 
-def histogram(name: str) -> dict[str, float] | None:
-    """Summary stats of the named histogram, or None if never observed.
+# -- the registry ------------------------------------------------------------
 
-    Keys: ``count``, ``min``, ``max``, ``mean``, ``p50``, ``p95``,
-    ``p99`` — the shape benchmark reports and the wire layer's
-    ``wire.rpc.<op>`` latency tracking need.
+
+class MetricsRegistry:
+    """One session's (or one process's) counters and histograms.
+
+    Every mutation takes the registry lock: ``incr`` is a
+    read-modify-write, and under the wire layer's worker pool two RPCs
+    bump the same counter concurrently — unlocked, increments are lost
+    and the benchgate ledger stops balancing.  The lock is uncontended
+    in the single-session case and held for nanoseconds, so the hot
+    paths (a dict bump per event) stay cheap.
     """
-    samples = _histograms.get(name)
-    if not samples:
-        return None
-    return {
-        "count": len(samples),
-        "min": min(samples),
-        "max": max(samples),
-        "mean": sum(samples) / len(samples),
-        "p50": percentile(samples, 0.50),
-        "p95": percentile(samples, 0.95),
-        "p99": percentile(samples, 0.99),
-    }
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._reservoirs: dict[str, Reservoir] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry {self.name!r}>"
+
+    # -- counters ---------------------------------------------------------
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add *n* to the named performance counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        """Current value of the named counter (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """A snapshot of all counters whose name starts with *prefix*."""
+        with self._lock:
+            return {k: v for k, v in self._counters.items()
+                    if k.startswith(prefix)}
+
+    def reset_counters(self, prefix: str = "") -> None:
+        """Zero the counters starting with *prefix* ('' resets everything)."""
+        with self._lock:
+            for key in list(self._counters):
+                if key.startswith(prefix):
+                    del self._counters[key]
+
+    def hit_rate(self, kind: str = "layout.cache") -> float | None:
+        """Hit rate of a hit/miss counter pair, or None if never exercised."""
+        hits = self.counter(f"{kind}_hit")
+        misses = self.counter(f"{kind}_miss")
+        total = hits + misses
+        return hits / total if total else None
+
+    # -- histograms -------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample (e.g. a latency in microseconds) under *name*."""
+        with self._lock:
+            reservoir = self._reservoirs.get(name)
+            if reservoir is None:
+                reservoir = self._reservoirs[name] = Reservoir()
+            reservoir.add(value)
+
+    def histogram(self, name: str) -> dict[str, float] | None:
+        """Summary stats of the named histogram, or None if never observed.
+
+        Keys: ``count``, ``min``, ``max``, ``p50``, ``p95``, ``p99`` —
+        the shape benchmark reports and the wire layer's
+        ``wire.rpc.<op>`` latency tracking need.  ``count``, ``min``,
+        ``max`` and ``mean`` are exact however many samples were
+        observed; the quantiles come from the bounded reservoir.
+        """
+        with self._lock:
+            reservoir = self._reservoirs.get(name)
+            if reservoir is None or not reservoir.count:
+                return None
+            return reservoir.summary()
+
+    def histograms(self, prefix: str = "") -> dict[str, dict[str, float]]:
+        """Summaries of every histogram whose name starts with *prefix*."""
+        out: dict[str, dict[str, float]] = {}
+        with self._lock:
+            for name in sorted(self._reservoirs):
+                if name.startswith(prefix):
+                    reservoir = self._reservoirs[name]
+                    if reservoir.count:
+                        out[name] = reservoir.summary()
+        return out
+
+    def reset_histograms(self, prefix: str = "") -> None:
+        """Drop the histograms starting with *prefix* ('' drops everything)."""
+        with self._lock:
+            for key in list(self._reservoirs):
+                if key.startswith(prefix):
+                    del self._reservoirs[key]
+
+    # -- ledger roll-up ---------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s counters and histograms into this registry.
+
+        The session host uses this at teardown: a closed session's
+        private ledger is rolled up into the host's, so a benchmark
+        run's ``BENCH_perf.json`` still carries the complete
+        ``fs.open == fs.close`` balance across every session hosted.
+        """
+        with other._lock:
+            counters = dict(other._counters)
+            reservoirs = list(other._reservoirs.items())
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, theirs in reservoirs:
+                mine = self._reservoirs.get(name)
+                if mine is None:
+                    mine = self._reservoirs[name] = Reservoir()
+                mine.fold(theirs)
+
+    def activate(self):
+        """Bind this registry as the active one for the calling context."""
+        return use_registry(self)
+
+
+# -- the default-registry shim ------------------------------------------------
+
+_default_registry = MetricsRegistry("process")
+
+# The active registry for the current execution context.  Worker
+# threads start with an empty context, so they see the default unless
+# the code serving a session binds that session's registry explicitly
+# (repro.fs.mux binds per RPC; repro.serve binds around session work).
+_active: contextvars.ContextVar[MetricsRegistry | None] = \
+    contextvars.ContextVar("repro_metrics_registry", default=None)
+
+
+def current_registry() -> MetricsRegistry:
+    """The registry module-level calls route to, right now."""
+    active = _active.get()
+    return _default_registry if active is None else active
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide fallback registry."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default; returns the previous one.
+
+    The test suites use this for isolation: a fresh registry per test,
+    the previous one restored afterwards — no module globals mutated.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Route this context's metric calls to *registry* while active."""
+    token = _active.set(registry)
+    try:
+        yield registry
+    finally:
+        _active.reset(token)
+
+
+# Module-level API, signature-compatible with the pre-registry world:
+# every call resolves the active registry at call time.
+
+def incr(name: str, n: int = 1) -> None:
+    """Add *n* to the named counter in the active registry."""
+    current_registry().incr(name, n)
+
+
+def counter(name: str) -> int:
+    """Current value of the named counter (0 if never bumped)."""
+    return current_registry().counter(name)
+
+
+def counters(prefix: str = "") -> dict[str, int]:
+    """A snapshot of all counters whose name starts with *prefix*."""
+    return current_registry().counters(prefix)
+
+
+def reset_counters(prefix: str = "") -> None:
+    """Zero the counters starting with *prefix* ('' resets everything)."""
+    current_registry().reset_counters(prefix)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram sample in the active registry."""
+    current_registry().observe(name, value)
+
+
+def histogram(name: str) -> dict[str, float] | None:
+    """Summary stats of the named histogram, or None if never observed."""
+    return current_registry().histogram(name)
 
 
 def histograms(prefix: str = "") -> dict[str, dict[str, float]]:
     """Summaries of every histogram whose name starts with *prefix*."""
-    out: dict[str, dict[str, float]] = {}
-    for name in sorted(_histograms):
-        if name.startswith(prefix):
-            stats = histogram(name)
-            if stats is not None:
-                out[name] = stats
-    return out
+    return current_registry().histograms(prefix)
 
 
 def reset_histograms(prefix: str = "") -> None:
     """Drop the histograms starting with *prefix* ('' drops everything)."""
-    for key in list(_histograms):
-        if key.startswith(prefix):
-            del _histograms[key]
+    current_registry().reset_histograms(prefix)
 
 
 def hit_rate(kind: str = "layout.cache") -> float | None:
     """Hit rate of a hit/miss counter pair, or None if never exercised."""
-    hits = counter(f"{kind}_hit")
-    misses = counter(f"{kind}_miss")
-    total = hits + misses
-    return hits / total if total else None
+    return current_registry().hit_rate(kind)
 
 
 @dataclass

@@ -1,0 +1,22 @@
+"""The session host: N isolated help sessions in one process.
+
+See :mod:`repro.serve.host` for the architecture; the short version::
+
+    from repro.fs.mux import MuxClient
+    from repro.serve import SessionHost
+
+    host = SessionHost(width=160, height=60)
+    addr = host.listen()                    # or host.pipe() in-memory
+    client = MuxClient(dial(*addr), aname="alice")
+    # the attached tree: id, screen, input, journal, metrics,
+    # mnt/help/..., srv/sessions
+"""
+
+from repro.serve.host import (
+    HostedSession,
+    SESSION_PREFIXES,
+    SessionHost,
+    input_line,
+)
+
+__all__ = ["SessionHost", "HostedSession", "SESSION_PREFIXES", "input_line"]

@@ -1,0 +1,360 @@
+"""Hosting N concurrent help sessions in one process.
+
+The paper's ``help`` serves one user; the ROADMAP's north star serves
+many.  :class:`SessionHost` is the step between: it accepts mux
+connections (in-memory pipes or TCP) on a shared
+:class:`~repro.fs.mux.WireServer`, and builds one fully isolated world
+per attach — its own namespace, its own :class:`~repro.core.help.Help`
+with a private :class:`~repro.metrics.MetricsRegistry` ledger, its own
+write-ahead journal — wrapped in a :class:`HostedSession` whose file
+tree is what the connection sees::
+
+    id          the session's name
+    screen      read: the rendered screen (golden-comparable)
+    input       write: one journal input record per line, applied live
+    journal     read: the session's record kinds, in order
+    metrics     read: the session's counter ledger, sorted
+    mnt/help/   the session's own /mnt/help window server
+    srv/sessions  host-level control: list, stat <id>, evict <id>
+
+The ``input`` grammar is PR 4's journal record payload — ``<kind>
+<token>...`` with each token encoded by :func:`repro.journal.record.enc`
+— so anything a journal can replay, a remote client can drive.
+
+Isolation is structural: the wire layer binds each connection's
+session registry around every RPC it serves, each session serializes
+on its own lock, and a dropped connection tears its session down.  The
+host keeps its own private ledger (``host.sessions.*``); because no
+session work is ever done under the host's registry, :meth:`audit` can
+assert that the host ledger holds **zero** session-scoped counters —
+any nonzero value is cross-session bleed by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.render import render_screen
+from repro.fs.errors import Busy, Closed, Invalid, NotFound
+from repro.fs.mux import WireServer, channel_pair
+from repro.fs.server import SynthDir, SynthFile, SynthSession
+from repro.journal.log import Journal
+from repro.journal.record import APPLY_KINDS, Record, enc
+from repro.journal.recorder import apply_record, attach
+from repro.metrics.counter import MetricsRegistry, current_registry
+
+JOURNAL_PATH = "/tmp/session.journal"
+
+# Counter prefixes that only session work produces.  The host audit
+# asserts its own ledger holds none of them: the wire layer binds each
+# session's registry around that session's RPCs, so a single increment
+# under one of these prefixes landing in the host ledger means some
+# session's work escaped its binding — bleed.
+SESSION_PREFIXES = ("fs.", "journal.", "layout.", "render.", "replay.",
+                    "session.", "frame.", "text.")
+
+
+def input_line(kind: str, fields: tuple | list) -> str:
+    """Serialize one record for a session's ``input`` file."""
+    if kind not in APPLY_KINDS:
+        raise ValueError(f"{kind!r} is not an input record kind")
+    tokens = " ".join(enc(str(f)) for f in fields)
+    return f"{kind} {tokens}\n" if tokens else f"{kind}\n"
+
+
+class HostedSession:
+    """One attached session: a private world served as a file tree."""
+
+    def __init__(self, host: "SessionHost", session_id: str,
+                 uname: str) -> None:
+        self.host = host
+        self.id = session_id
+        self.uname = uname
+        self.metrics = MetricsRegistry(f"session:{session_id}")
+        self.oplock = threading.RLock()
+        self.closed = False
+        # Everything the world's construction touches — fs traffic,
+        # layout caching, the journal's genesis — belongs to this
+        # session's ledger, not to whoever called attach.
+        with self.metrics.activate():
+            self.system = host._build(session_id, uname, self.metrics)
+            self.journal = None
+            self.recorder = None
+            if host.record:
+                self.journal = Journal.create(self.system.ns, JOURNAL_PATH,
+                                              metrics=self.metrics)
+                self.recorder = attach(self.system.help, self.journal,
+                                       context=self.system.context)
+        self.root = self._build_root()
+        # a per-session fault schedule wraps only this session's tree
+        self.fault_plan = (host.plan_for(session_id)
+                           if host.plan_for is not None else None)
+        if self.fault_plan is not None:
+            from repro.fs.faults import wrap
+            self.system.context.fault_plan = self.fault_plan
+            self.root = wrap(self.root, self.fault_plan, base="/")
+
+    # -- the served tree --------------------------------------------------
+
+    def _build_root(self) -> SynthDir:
+        mnt = SynthDir("mnt", list_fn=lambda: [self.system.helpfs.root])
+        srv = SynthDir("srv", list_fn=lambda: [self.host.control_file()])
+        files = [
+            SynthFile("id", read_fn=self._read_id),
+            SynthFile("screen", read_fn=self._read_screen),
+            SynthFile("input", write_fn=self._input_line),
+            SynthFile("journal", read_fn=self._read_journal),
+            SynthFile("metrics", read_fn=self._read_metrics),
+            mnt, srv,
+        ]
+        return SynthDir(self.id, list_fn=lambda: list(files))
+
+    def _check(self, op: str) -> None:
+        if self.closed:
+            raise Closed(f"session {self.id} is gone",
+                         path=f"session/{self.id}", op=op)
+
+    def _read_id(self) -> str:
+        self._check("read")
+        return f"{self.id}\n"
+
+    def _read_screen(self) -> str:
+        self._check("read")
+        return render_screen(self.system.help)
+
+    def _read_journal(self) -> str:
+        self._check("read")
+        if self.journal is None:
+            return ""
+        return "".join(r.kind + "\n" for r in self.journal.records)
+
+    def _read_metrics(self) -> str:
+        self._check("read")
+        return "".join(f"{name} {value}\n" for name, value
+                       in sorted(self.metrics.counters().items()))
+
+    def _input_line(self, line: str) -> None:
+        """Apply one ``<kind> <token>...`` record to the live session."""
+        self._check("write")
+        parts = line.rstrip("\n").split(" ")
+        kind = parts[0]
+        if kind not in APPLY_KINDS:
+            raise Invalid(f"unknown input kind {kind!r}",
+                          path=f"session/{self.id}/input", op="write")
+        record = Record(0, kind, " ".join(parts[1:]))
+        start = time.perf_counter()
+        apply_record(self.system.help, record)
+        self.metrics.observe("session.apply_us",
+                             (time.perf_counter() - start) * 1e6)
+        self.metrics.incr("session.input.applied")
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Retire the session: idempotent, ledger handed to the host."""
+        if self.closed:
+            return
+        self.closed = True
+        if self.recorder is not None:
+            with self.metrics.activate():
+                self.recorder._flush()
+        self.host._retire(self)
+
+
+class SessionHost:
+    """N isolated help sessions behind one wire server."""
+
+    def __init__(self, *, width: int = 100, height: int = 40,
+                 record: bool = True, extra_tools: bool = False,
+                 metrics: MetricsRegistry | None = None,
+                 plan_for=None,
+                 max_outstanding: int = 64, workers: int = 4) -> None:
+        self.width = width
+        self.height = height
+        self.record = record
+        self.extra_tools = extra_tools
+        # plan_for(session_id) -> FaultPlan | None: a deterministic
+        # fault schedule for that one session's served tree
+        self.plan_for = plan_for
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry("host")
+        self.sessions: dict[str, HostedSession] = {}
+        self._retired: list[tuple[str, MetricsRegistry]] = []
+        self._lock = threading.Lock()
+        self._next = 1
+        self.server = WireServer(metrics=self.metrics,
+                                 session_factory=self._make_session,
+                                 max_outstanding=max_outstanding,
+                                 workers=workers)
+
+    # -- accepting connections --------------------------------------------
+
+    def listen(self, host: str = "127.0.0.1",
+               port: int = 0) -> tuple[str, int]:
+        """Accept TCP attaches; returns the bound (host, port)."""
+        return self.server.listen(host, port)
+
+    def pipe(self, max_chunk: int | None = None):
+        """An in-memory attach: returns the client end of a fresh pipe."""
+        client_end, server_end = channel_pair(max_chunk)
+        self.server.serve(server_end)
+        return client_end
+
+    # -- session lifecycle ------------------------------------------------
+
+    def _build(self, session_id: str, uname: str,
+               metrics: MetricsRegistry):
+        from repro.tools.install import build_system
+        return build_system(width=self.width, height=self.height,
+                            user=uname or "rob",
+                            extra_tools=self.extra_tools,
+                            session_id=session_id, metrics=metrics)
+
+    def _make_session(self, uname: str, aname: str) -> HostedSession:
+        with self._lock:
+            session_id = aname or f"s{self._next}"
+            self._next += 1
+            if session_id in self.sessions:
+                raise Busy(f"session {session_id!r} already attached",
+                           path=f"session/{session_id}", op="attach")
+            # reserve the name before the (slow) world build
+            self.sessions[session_id] = None  # type: ignore[assignment]
+        try:
+            session = HostedSession(self, session_id, uname)
+        except BaseException:
+            with self._lock:
+                self.sessions.pop(session_id, None)
+            raise
+        with self._lock:
+            self.sessions[session_id] = session
+        self.metrics.incr("host.sessions.opened")
+        return session
+
+    def _retire(self, session: HostedSession) -> None:
+        with self._lock:
+            self.sessions.pop(session.id, None)
+            self._retired.append((session.id, session.metrics))
+        self.metrics.incr("host.sessions.closed")
+
+    def evict(self, session_id: str) -> None:
+        """Force one session out; its connection sees ``Closed``."""
+        with self._lock:
+            session = self.sessions.get(session_id)
+        if session is None:
+            raise NotFound(path=f"session/{session_id}", op="evict")
+        self.metrics.incr("host.sessions.evicted")
+        session.close()
+
+    def close(self) -> None:
+        """Stop serving: drop every connection, retire every session."""
+        self.server.close()
+        with self._lock:
+            live = list(self.sessions.values())
+        for session in live:
+            if session is not None:
+                session.close()
+
+    def __enter__(self) -> "SessionHost":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- the /srv/sessions control file -----------------------------------
+
+    def control_file(self) -> SynthFile:
+        return SynthFile("sessions", open_fn=self._control_session)
+
+    def _control_session(self, mode: str) -> SynthSession:
+        focus: dict[str, str | None] = {"id": None}
+
+        def read_fn() -> str:
+            if focus["id"] is not None:
+                return self._stat_text(focus["id"])
+            return self._list_text()
+
+        def write_fn(line: str) -> None:
+            words = line.split()
+            if len(words) == 2 and words[0] == "stat":
+                with self._lock:
+                    known = words[1] in self.sessions
+                if not known:
+                    raise NotFound(path=f"session/{words[1]}", op="stat")
+                focus["id"] = words[1]
+            elif len(words) == 2 and words[0] == "evict":
+                self.evict(words[1])
+            else:
+                raise Invalid(f"bad control message {line.strip()!r}",
+                              path="srv/sessions", op="write")
+
+        return SynthSession(mode, read_fn, write_fn, name="srv/sessions")
+
+    def _list_text(self) -> str:
+        with self._lock:
+            live = sorted((s for s in self.sessions.values()
+                           if s is not None), key=lambda s: s.id)
+        return "".join(
+            f"{s.id}\t{s.uname}\twindows={len(s.system.help.windows)}"
+            f"\trecords={0 if s.journal is None else s.journal.seq}\n"
+            for s in live)
+
+    def _stat_text(self, session_id: str) -> str:
+        with self._lock:
+            session = self.sessions.get(session_id)
+        if session is None:
+            return f"id {session_id}\nstate gone\n"
+        h = session.system.help
+        return (f"id {session.id}\nuser {session.uname}\nstate live\n"
+                f"windows {len(h.windows)}\n"
+                f"records {0 if session.journal is None else session.journal.seq}\n"
+                f"screen {h.screen.rect.width}x{h.screen.rect.height}\n")
+
+    # -- the ledger -------------------------------------------------------
+
+    def audit(self) -> list[str]:
+        """Check the host ledger; returns problems (empty = clean).
+
+        Balances sessions opened against closed + live, and asserts the
+        host's own registry carries **no** session-scoped counters —
+        session work always runs under the session's registry, so any
+        such counter here is cross-session bleed.  The bleed total is
+        recorded as ``host.sessions.bleed`` (0 when clean) so the bench
+        ledger always carries an explicit verdict.
+        """
+        problems: list[str] = []
+        opened = self.metrics.counter("host.sessions.opened")
+        closed = self.metrics.counter("host.sessions.closed")
+        with self._lock:
+            live = sum(1 for s in self.sessions.values() if s is not None)
+        if opened != closed + live:
+            problems.append(f"session ledger unbalanced: opened {opened} "
+                            f"!= closed {closed} + live {live}")
+        leaked = 0
+        for prefix in SESSION_PREFIXES:
+            for name, value in sorted(self.metrics.counters(prefix).items()):
+                problems.append(f"session counter {name}={value} leaked "
+                                f"into the host ledger")
+                leaked += abs(value)
+        self.metrics.incr("host.sessions.bleed", leaked)
+        return problems
+
+    def drain(self, into: MetricsRegistry | None = None) -> MetricsRegistry:
+        """Fold every ledger (host, retired, live) into *into*.
+
+        Benches call this after closing their connections so the
+        process-default registry — and therefore ``BENCH_perf.json`` —
+        carries the complete cross-session ledger (``fs.open ==
+        fs.close`` across every session hosted, ``host.sessions.*``
+        balance) for :mod:`repro.tools.benchgate` to audit.
+        """
+        target = into if into is not None else current_registry()
+        target.merge(self.metrics)
+        with self._lock:
+            retired = list(self._retired)
+            live = [s for s in self.sessions.values() if s is not None]
+        for _sid, registry in retired:
+            target.merge(registry)
+        for session in live:
+            target.merge(session.metrics)
+        return target

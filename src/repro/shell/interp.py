@@ -74,9 +74,13 @@ class Interp:
     """One shell execution context."""
 
     def __init__(self, ns: Namespace, cwd: str = "/",
-                 commands: dict[str, Command] | None = None) -> None:
+                 commands: dict[str, Command] | None = None,
+                 context=None) -> None:
         self.ns = ns
         self.cwd = cwd
+        # a repro.session.SessionContext: which session's world this
+        # shell mutates (inherited by subshells)
+        self.context = context
         self.vars: dict[str, list[str]] = {"status": ["0"], "path": ["/bin"]}
         self.funcs: dict[str, ast.Block] = {}
         if commands is None:
@@ -121,7 +125,8 @@ class Interp:
 
     def subshell(self) -> "Interp":
         """A child interpreter: copied variables, shared world."""
-        child = Interp(self.ns, self.cwd, self.commands)
+        child = Interp(self.ns, self.cwd, self.commands,
+                       context=self.context)
         child.vars = {name: list(value) for name, value in self.vars.items()}
         child.funcs = dict(self.funcs)
         child.trace = self.trace

@@ -26,7 +26,11 @@ Checks applied:
   appended durably was either scanned back or dropped by an accounted
   compaction (``journal.append.records == journal.replay.records +
   journal.compact.dropped``) and the clean path verified every
-  checksum (``journal.checksum.failed == 0``).
+  checksum (``journal.checksum.failed == 0``);
+- the session-host ledger balances: every hosted session opened was
+  closed, the host audit ran (``host.sessions.bleed`` recorded) and
+  found zero cross-session counter bleed, and per-record apply
+  latencies reached the report's ``sessions`` section.
 
 Exit 0 when the ledger balances, 1 on any violation, 2 on usage
 errors or an unreadable report.
@@ -100,6 +104,28 @@ def audit(report: dict) -> list[str]:
         if not counters.get("journal.replay.applied", 0):
             problems.append("journal bench recorded but never applied "
                             "a record on replay")
+
+    hosted = counters.get("host.sessions.opened")
+    if hosted is not None:
+        # the session-host bench ran: its ledger must balance exactly
+        retired = counters.get("host.sessions.closed", 0)
+        if hosted != retired:
+            problems.append(
+                f"hosted-session leak: host.sessions.opened={hosted} "
+                f"!= host.sessions.closed={retired}")
+        if "host.sessions.bleed" not in counters:
+            problems.append("session host ran but was never audited "
+                            "(no host.sessions.bleed verdict)")
+        elif counters["host.sessions.bleed"]:
+            problems.append(
+                f"cross-session counter bleed: host.sessions.bleed="
+                f"{counters['host.sessions.bleed']}")
+        section = report.get("sessions") or {}
+        apply_us = section.get("session_us") or {}
+        if not any(entry.get("count", 0) for entry in apply_us.values()):
+            problems.append(
+                "no session apply-latency samples recorded (sessions "
+                "section empty)")
     return problems
 
 

@@ -20,6 +20,7 @@ from repro.helpfs import HelpFS
 from repro.mail import Mailbox, cmd_mbox, sample_mailbox
 from repro.mk import cmd_imk, cmd_mk, cmd_vc, cmd_vl
 from repro.proc import ProcessTable, cmd_adb, cmd_ps, paper_crash
+from repro.session import SessionContext
 from repro.shell import Interp
 from repro.shell.commands import DEFAULT_COMMANDS
 from repro.cbrowse.tools import CBROWSE_COMMANDS
@@ -244,10 +245,12 @@ class System:
     mailbox: Mailbox
     commands: dict
     user: str = "rob"
+    context: SessionContext | None = None
 
     def shell(self, cwd: str = "/") -> Interp:
         """A fresh interactive shell on the shared namespace."""
-        interp = Interp(self.ns, cwd=cwd, commands=self.commands)
+        interp = Interp(self.ns, cwd=cwd, commands=self.commands,
+                        context=self.context)
         recorder = getattr(self.help, "journal", None)
         if recorder is not None:
             interp.trace = recorder.shell_trace
@@ -260,7 +263,9 @@ class System:
 
 def build_system(width: int = 100, height: int = 40,
                  user: str = "rob", boot: bool = True,
-                 remote: bool = False, extra_tools: bool = False) -> System:
+                 remote: bool = False, extra_tools: bool = False,
+                 session_id: str = "local",
+                 metrics=None) -> System:
     """Create the full simulated machine and boot help on it.
 
     With ``remote=True``, external commands run on a simulated CPU
@@ -268,9 +273,20 @@ def build_system(width: int = 100, height: int = 40,
     the multi-machine arrangement the paper's Discussion sketches.
     With ``extra_tools=True``, the extension tools (the rc browser in
     ``/help/rcb``) load at boot alongside the paper's four.
+
+    The world gets a :class:`~repro.session.SessionContext` named
+    *session_id*; pass *metrics* (a
+    :class:`~repro.metrics.MetricsRegistry`) to give the session a
+    private ledger — by default it reports into whatever registry is
+    active for the calling context, so standalone use is unchanged.
     """
+    from repro.metrics.counter import current_registry
+
     vfs = VFS()
     ns = Namespace(vfs)
+    context = SessionContext(
+        session_id=session_id, ns=ns,
+        metrics=metrics if metrics is not None else current_registry())
     for directory in ("/bin/help", "/tmp", "/mnt", "/lib", "/sys/include",
                       f"/usr/{user}/lib", f"/usr/{user}/tmp",
                       f"/usr/{user}/bin/rc",
@@ -321,7 +337,8 @@ def build_system(width: int = 100, height: int = 40,
 
     def local_runner(cmdline: str, directory: str,
                      env: dict[str, str]) -> CommandResult:
-        interp = Interp(ns, cwd=directory, commands=commands)
+        interp = Interp(ns, cwd=directory, commands=commands,
+                        context=context)
         interp.set("user", [user])
         interp.set("home", [f"/usr/{user}"])
         interp.set("cppflags", [])
@@ -348,12 +365,13 @@ def build_system(width: int = 100, height: int = 40,
                     server.dial(ns, commands, user))
             return deferred["conn"](cmdline, directory, env)
 
-    help_app = Help(ns, width, height, runner=runner)
+    help_app = Help(ns, width, height, runner=runner, context=context)
     state["help"] = help_app
     commands.update(make_help_commands(help_app))
-    helpfs = HelpFS(help_app)
+    helpfs = HelpFS(help_app, context=context)
     helpfs.mount(ns)
     if boot:
         help_app.boot()
     return System(ns=ns, help=help_app, helpfs=helpfs, procs=procs,
-                  mailbox=mailbox, commands=commands, user=user)
+                  mailbox=mailbox, commands=commands, user=user,
+                  context=context)

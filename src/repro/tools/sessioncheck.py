@@ -1,0 +1,243 @@
+"""Prove session hosting is invisible AND isolated: K sessions, one host.
+
+PR 3's servecheck proved one session is byte-identical across the
+wire; this check proves **N concurrent sessions in one process** are
+each byte-identical *and* fully isolated from one another:
+
+1. each Figures 5-12 scenario is recorded once locally into a shadow
+   journal (PR 4's recorder), yielding the stream of input records
+   that reproduces it;
+2. a :class:`~repro.serve.SessionHost` hosts the sessions; a **solo**
+   pass drives every figure through one connection at a time,
+   pinning the per-session baseline — rendered screen (compared
+   byte-for-byte against the pinned goldens), journal kind sequence,
+   and counter ledger;
+3. K workers then drive all the figures **concurrently**, each in its
+   own hosted session, and every session's screen, journal and ledger
+   must equal the solo baseline exactly — any cross-session counter
+   bleed, journal cross-talk or screen corruption is a diff;
+4. the host's own ledger is audited: sessions opened == closed, and
+   zero session-scoped counters in the host registry.
+
+Runs over both transports (in-memory pipes with forced short reads,
+and real TCP sockets) unless narrowed::
+
+    python -m repro.tools.sessioncheck [--sessions K] [--pipe | --tcp]
+
+Exit 0 when every session matches, 1 on any divergence, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import threading
+
+from repro.core.render import render_screen
+from repro.fs.mux import MuxClient, dial, mount_remote
+from repro.fs.namespace import Namespace
+from repro.fs.vfs import VFS
+from repro.journal.log import Journal
+from repro.journal.recorder import attach
+from repro.serve import SessionHost
+from repro.tools.install import build_system
+from repro.tools.servecheck import FIGURES
+
+WIDTH, HEIGHT = 160, 60
+GOLDENS = pathlib.Path(__file__).resolve().parents[3] / "tests" / "goldens"
+
+# Ledger entries whose values depend on connection identity (the
+# attach name's length changes frame sizes) or are transient gauges;
+# everything else must match the solo baseline exactly.
+_UNSTABLE = ("wire.bytes.",)
+_GAUGES = {"mux.inflight"}
+
+
+def record_figures() -> dict[str, dict]:
+    """Record each figure locally: its input records and final screen."""
+    scripts: dict[str, dict] = {}
+    for name, scenario, _uses_wire in FIGURES:
+        system = build_system(width=WIDTH, height=HEIGHT)
+        journal = Journal()  # shadow: records in memory only
+        attach(system.help, journal)
+        scenario(system)
+        lines = "".join(
+            f"{r.kind} {r.payload}\n" if r.payload else f"{r.kind}\n"
+            for r in journal.records if r.applies)
+        scripts[name] = {"input": lines,
+                         "screen": render_screen(system.help)}
+    return scripts
+
+
+def _ledger_of(metrics_text: str) -> dict[str, int]:
+    ledger: dict[str, int] = {}
+    for line in metrics_text.splitlines():
+        name, _, value = line.rpartition(" ")
+        if name.startswith(_UNSTABLE) or name in _GAUGES:
+            continue
+        ledger[name] = int(value)
+    return ledger
+
+
+def drive_session(host: SessionHost, transport: str, addr, name: str,
+                  script: dict) -> dict:
+    """One hosted session: attach, apply the records, collect the state.
+
+    Reads happen in a fixed order ending with the ledger, so every
+    run's ledger covers exactly the same preceding traffic and the
+    solo/concurrent comparison is exact.
+    """
+    if transport == "tcp":
+        channel = dial(*addr)
+    else:
+        channel = host.pipe(max_chunk=13)
+    client = MuxClient(channel, aname=name)
+    try:
+        ns = Namespace(VFS())
+        ns.mkdir("/s", parents=True)
+        ns.mount(mount_remote(client), "/s")
+        ns.append("/s/input", script["input"])
+        return {"screen": ns.read("/s/screen"),
+                "journal": ns.read("/s/journal"),
+                "ledger": _ledger_of(ns.read("/s/metrics"))}
+    finally:
+        client.close()
+
+
+def _compare(name: str, got: dict, baseline: dict,
+             golden: str) -> list[str]:
+    problems: list[str] = []
+    if got["screen"] != golden:
+        line = _first_divergent_line(golden, got["screen"])
+        problems.append(f"{name}: screen differs from golden "
+                        f"(first at line {line})")
+    if got["journal"] != baseline["journal"]:
+        problems.append(f"{name}: journal kind sequence diverged from "
+                        f"the solo baseline")
+    if got["ledger"] != baseline["ledger"]:
+        diffs = [key for key in sorted(set(got["ledger"])
+                                       | set(baseline["ledger"]))
+                 if got["ledger"].get(key) != baseline["ledger"].get(key)]
+        shown = ", ".join(
+            f"{key}={baseline['ledger'].get(key, 0)}->"
+            f"{got['ledger'].get(key, 0)}" for key in diffs[:4])
+        problems.append(f"{name}: counter bleed — {len(diffs)} ledger "
+                        f"entries differ from the solo baseline ({shown})")
+    return problems
+
+
+def _first_divergent_line(want: str, got: str) -> int:
+    for i, (a, b) in enumerate(zip(want.splitlines(), got.splitlines()),
+                               start=1):
+        if a != b:
+            return i
+    return min(want.count("\n"), got.count("\n")) + 1
+
+
+def check_transport(transport: str, sessions: int,
+                    scripts: dict[str, dict]) -> list[str]:
+    """Solo baseline, then K concurrent workers, then the host audit."""
+    problems: list[str] = []
+    goldens: dict[str, str] = {}
+    for name in scripts:
+        path = GOLDENS / f"{name}.txt"
+        if not path.exists():
+            return [f"{transport}: no golden at {path}"]
+        goldens[name] = path.read_text()
+
+    host = SessionHost(width=WIDTH, height=HEIGHT,
+                       workers=max(4, sessions))
+    addr = host.listen() if transport == "tcp" else None
+    try:
+        # -- solo: one session per figure, nothing else running ----------
+        baselines: dict[str, dict] = {}
+        for name, script in scripts.items():
+            try:
+                baselines[name] = drive_session(
+                    host, transport, addr, f"{name}.solo", script)
+            except Exception as exc:  # noqa: BLE001 - the crash IS the finding
+                return [f"{transport}/{name}: solo session failed: {exc!r}"]
+            problems += _compare(f"{transport}/{name}.solo",
+                                 baselines[name], baselines[name],
+                                 goldens[name])
+        if problems:
+            return problems  # a broken baseline makes the rest noise
+
+        # -- concurrent: K workers, all figures each --------------------
+        start = threading.Barrier(sessions)
+        failures: list[str] = []
+        lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            start.wait()
+            for name, script in scripts.items():
+                label = f"{transport}/{name}.w{index}"
+                try:
+                    got = drive_session(host, transport, addr,
+                                        f"{name}.w{index}", script)
+                except Exception as exc:  # noqa: BLE001
+                    with lock:
+                        failures.append(f"{label}: session failed: {exc!r}")
+                    continue
+                found = _compare(label, got, baselines[name], goldens[name])
+                with lock:
+                    failures.extend(found)
+
+        threads = [threading.Thread(target=worker, args=(i,),
+                                    name=f"sessioncheck-w{i}")
+                   for i in range(sessions)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        problems += failures
+    finally:
+        host.close()
+
+    problems += [f"{transport}: {p}" for p in host.audit()]
+    opened = host.metrics.counter("host.sessions.opened")
+    closed = host.metrics.counter("host.sessions.closed")
+    want = (sessions + 1) * len(scripts)
+    if opened != want or closed != want:
+        problems.append(f"{transport}: expected {want} sessions opened "
+                        f"and closed, saw opened={opened} closed={closed}")
+    return problems
+
+
+def run(sessions: int, transports: list[str]) -> list[str]:
+    scripts = record_figures()
+    problems: list[str] = []
+    for transport in transports:
+        problems += check_transport(transport, sessions, scripts)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    sessions = 4
+    transports = ["pipe", "tcp"]
+    while args:
+        arg = args.pop(0)
+        if arg == "--sessions" and args and args[0].isdigit():
+            sessions = int(args.pop(0))
+        elif arg == "--pipe":
+            transports = ["pipe"]
+        elif arg == "--tcp":
+            transports = ["tcp"]
+        else:
+            print("usage: sessioncheck [--sessions K] [--pipe | --tcp]",
+                  file=sys.stderr)
+            return 2
+    problems = run(sessions, transports)
+    for problem in problems:
+        print(f"sessioncheck: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"sessioncheck: Figures 5-12 byte-identical and fully "
+              f"isolated across {sessions} concurrent sessions over "
+              f"{' and '.join(transports)}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

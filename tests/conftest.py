@@ -1,38 +1,25 @@
 """Test isolation for the metrics substrate.
 
-Counters and histograms in :mod:`repro.metrics` are process-global by
-design — the production code shouldn't thread a registry through every
-layer just so tests can observe it.  The cost is cross-test bleed:
-a test asserting ``fs.open == fs.close`` would otherwise inherit every
-earlier test's traffic, and its own leaks would poison later tests.
+Counters and histograms in :mod:`repro.metrics` live in a
+:class:`~repro.metrics.MetricsRegistry`; code that doesn't carry an
+explicit registry handle routes through the process-wide default.
+Without isolation that default would bleed across tests: a test
+asserting ``fs.open == fs.close`` would inherit every earlier test's
+traffic, and its own leaks would poison later tests.
 
-This fixture gives each test a zeroed metrics world.  Tests that want
-to assert on totals can do so with absolute values; the previous
-state is snapshotted and restored afterwards so a bare ``pytest
+This fixture gives each test its own fresh registry as the default —
+no module globals are touched, and the previous registry (with
+whatever it accumulated) is restored afterwards, so a bare ``pytest
 tests/x.py::one_test`` observes the same counters as a full run.
 """
 
-import importlib
-
 import pytest
 
-from repro.metrics.counter import reset_counters, reset_histograms
-
-# ``repro.metrics`` re-exports the counter() *function* under the same
-# name as the submodule, so attribute-style imports resolve to it;
-# go through sys.modules for the module itself.
-_counter_mod = importlib.import_module("repro.metrics.counter")
+from repro.metrics.counter import MetricsRegistry, set_default_registry
 
 
 @pytest.fixture(autouse=True)
 def _fresh_metrics():
-    saved_counters = dict(_counter_mod._perf_counters)
-    saved_histograms = {k: list(v)
-                        for k, v in _counter_mod._histograms.items()}
-    reset_counters()
-    reset_histograms()
+    previous = set_default_registry(MetricsRegistry("test"))
     yield
-    reset_counters()
-    reset_histograms()
-    _counter_mod._perf_counters.update(saved_counters)
-    _counter_mod._histograms.update(saved_histograms)
+    set_default_registry(previous)

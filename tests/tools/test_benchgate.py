@@ -102,6 +102,47 @@ class TestJournalLedger:
         assert any("never applied" in p for p in problems)
 
 
+class TestHostLedger:
+    def with_host(self, opened=12, closed=12, bleed=0, samples=72,
+                  audited=True):
+        report = clean_report()
+        report["counters"].update({
+            "host.sessions.opened": opened,
+            "host.sessions.closed": closed,
+        })
+        if audited:
+            report["counters"]["host.sessions.bleed"] = bleed
+        report["sessions"] = {
+            "session_us": {"session.apply_us": {"count": samples,
+                                                "p50": 120.0}},
+            "ledger": {k: v for k, v in report["counters"].items()
+                       if k.startswith("host.")},
+        }
+        return report
+
+    def test_balanced_host_ledger_passes(self):
+        assert benchgate.audit(self.with_host()) == []
+
+    def test_no_host_counters_is_not_audited(self):
+        assert benchgate.audit(clean_report()) == []
+
+    def test_hosted_session_leak_is_flagged(self):
+        problems = benchgate.audit(self.with_host(closed=11))
+        assert any("hosted-session leak" in p for p in problems)
+
+    def test_bleed_is_flagged(self):
+        problems = benchgate.audit(self.with_host(bleed=3))
+        assert any("host.sessions.bleed=3" in p for p in problems)
+
+    def test_missing_audit_verdict_is_flagged(self):
+        problems = benchgate.audit(self.with_host(audited=False))
+        assert any("never audited" in p for p in problems)
+
+    def test_empty_sessions_section_is_flagged(self):
+        problems = benchgate.audit(self.with_host(samples=0))
+        assert any("apply-latency" in p for p in problems)
+
+
 class TestCli:
     def test_main_ok(self, tmp_path, capsys):
         path = tmp_path / "BENCH_perf.json"

@@ -117,7 +117,12 @@ def pytest_sessionfinish(session, exitstatus):
     # point: the gate (repro.tools.benchgate) audits it for leaked
     # sessions and error traffic on the clean path.
     ops = {}
+    shards_extra: dict = {}
     for bench in bench_session.benchmarks:
+        if bench.name.startswith("test_perf_shards"):
+            # the sharded-host bench carries its ledger in extra_info
+            # even on counters-only runs (no median recorded)
+            shards_extra = dict(getattr(bench, "extra_info", None) or {})
         median = bench.get("median")
         if median is None:
             continue
@@ -151,6 +156,15 @@ def pytest_sessionfinish(session, exitstatus):
             "session_us": _histogram_report("session."),
             "ledger": {key: value for key, value in sorted(total.items())
                        if key.startswith("host.")},
+        },
+        "shards": {
+            "shard_count": shards_extra.get("shards"),
+            "per_shard": shards_extra.get("per_shard"),
+            "aggregate_rpcs_per_sec": shards_extra.get("rpcs_per_sec"),
+            "vs_single_server": shards_extra.get("vs_single_server"),
+            "meets_100k_floor": shards_extra.get("meets_100k_floor"),
+            "ledger": {key: value for key, value in sorted(total.items())
+                       if key.startswith("router.")},
         },
     }
     ARTIFACTS.mkdir(exist_ok=True)

@@ -45,6 +45,9 @@ class Column:
     def __init__(self, rect: Rect) -> None:
         self.rect = rect
         self.windows: list[Window] = []
+        # row-keyed spatial index (tab order, row -> window, extents),
+        # rebuilt only when the fingerprint of window geometry changes
+        self._spatial_cache: tuple | None = None
 
     # -- geometry -----------------------------------------------------------
 
@@ -63,14 +66,43 @@ class Column:
         return sorted((w for w in self.windows if not w.hidden),
                       key=lambda w: w.y)
 
+    def _spatial(self) -> tuple:
+        """The hit-testing index: ``(fingerprint, order, rows, rects)``.
+
+        ``order`` is every window sorted by tag row, ``rows`` buckets
+        each column row to the visible window occupying it, ``rects``
+        maps window identity to its screen extent.  The fingerprint —
+        the column rect plus each window's (identity, row, hidden) —
+        makes the cache self-invalidating: any placement, move, hide or
+        resize produces a different fingerprint, so hit testing is O(1)
+        per query without hooks in the mutators.
+        """
+        fingerprint = (self.rect.x0, self.rect.x1, self.rect.y0,
+                       self.rect.y1,
+                       tuple((id(w), w.y, w.hidden) for w in self.windows))
+        cached = self._spatial_cache
+        if cached is not None and cached[0] == fingerprint:
+            return cached
+        order = sorted(self.windows, key=lambda w: w.y)
+        vis = [w for w in order if not w.hidden]
+        rects: dict[int, Rect] = {}
+        rows: list[Window | None] = [None] * max(0, self.rect.height)
+        y0 = self.rect.y0
+        for i, window in enumerate(vis):
+            bottom = vis[i + 1].y if i + 1 < len(vis) else self.rect.y1
+            rects[id(window)] = Rect(self.body_x0, window.y,
+                                     self.rect.x1, bottom)
+            for y in range(window.y, bottom):
+                rows[y - y0] = window
+        cached = (fingerprint, order, rows, rects)
+        self._spatial_cache = cached
+        return cached
+
     def win_rect(self, window: Window) -> Rect | None:
         """The screen extent of *window*, or None if hidden."""
-        if window.hidden or window not in self.windows:
+        if window.hidden:
             return None
-        vis = self.visible()
-        idx = vis.index(window)
-        bottom = vis[idx + 1].y if idx + 1 < len(vis) else self.rect.y1
-        return Rect(self.body_x0, window.y, self.rect.x1, bottom)
+        return self._spatial()[3].get(id(window))
 
     def body_frame(self, window: Window) -> Frame | None:
         """A Frame sized for *window*'s body area (below the tag row)."""
@@ -192,20 +224,20 @@ class Column:
 
     def tab_order(self) -> list[Window]:
         """Windows in tab order: top to bottom, hidden ones in place."""
-        return sorted(self.windows, key=lambda w: w.y)
+        return list(self._spatial()[1])
 
     def tab_at(self, y: int) -> Window | None:
         """The window whose tab square sits at screen row *y*."""
         index = y - self.rect.y0
-        order = self.tab_order()
+        order = self._spatial()[1]
         if 0 <= index < len(order):
             return order[index]
         return None
 
     def window_at(self, y: int) -> Window | None:
         """The visible window occupying screen row *y*."""
-        for window in self.visible():
-            rect = self.win_rect(window)
-            if rect is not None and rect.y0 <= y < rect.y1:
-                return window
+        rows = self._spatial()[2]
+        index = y - self.rect.y0
+        if 0 <= index < len(rows):
+            return rows[index]
         return None

@@ -142,16 +142,27 @@ class GapBuffer:
 
     def insert(self, pos: int, s: str) -> None:
         """Insert *s* so that its first character lands at offset *pos*."""
-        if not 0 <= pos <= len(self):
-            raise IndexError(f"insert at {pos} outside 0..{len(self)}")
+        n = len(self._buf) - (self._gap_end - self._gap_start)
+        if not 0 <= pos <= n:
+            raise IndexError(f"insert at {pos} outside 0..{n}")
         if not s:
             return
         self._text_cache = None
         self._version += 1
-        self._move_gap(pos)
-        self._grow(len(s))
-        self._buf[self._gap_start:self._gap_start + len(s)] = list(s)
-        self._gap_start += len(s)
+        if pos != self._gap_start:
+            self._move_gap(pos)
+        k = len(s)
+        if self._gap_end - self._gap_start < k:
+            self._grow(k)
+        if k == 1:
+            # the keystroke path: no list(s) allocation, no slice assign
+            self._buf[self._gap_start] = s
+            self._gap_start += 1
+            if s == "\n" and self._nl_before is not None:
+                self._nl_before.append(pos)
+            return
+        self._buf[self._gap_start:self._gap_start + k] = list(s)
+        self._gap_start += k
         # inserted newlines land before the gap; existing entries are
         # unaffected (before-gap offsets < pos, after-gap distances from
         # the end are invariant under an insert at the gap)
@@ -163,21 +174,29 @@ class GapBuffer:
 
     def delete(self, start: int, end: int) -> str:
         """Remove and return the characters in ``start..end``."""
-        if not 0 <= start <= end <= len(self):
-            raise IndexError(f"delete {start}..{end} outside 0..{len(self)}")
-        if start != end:
-            self._text_cache = None
-            self._version += 1
-        self._move_gap(start)
+        n = len(self._buf) - (self._gap_end - self._gap_start)
+        if not 0 <= start <= end <= n:
+            raise IndexError(f"delete {start}..{end} outside 0..{n}")
+        if start == end:
+            return ""
+        self._text_cache = None
+        self._version += 1
+        if start != self._gap_start:
+            self._move_gap(start)
         # the doomed span sits just after the gap: its newlines hold the
         # largest distances-from-end on the after list
         if self._nl_before is not None:
-            cut = len(self) - end
+            cut = n - end
             after = self._nl_after
             while after and after[-1] > cut:
                 after.pop()
-        removed = "".join(self._buf[self._gap_end:self._gap_end + (end - start)])
-        self._gap_end += end - start
+        count = end - start
+        gap_end = self._gap_end
+        if count == 1:
+            removed = self._buf[gap_end]
+        else:
+            removed = "".join(self._buf[gap_end:gap_end + count])
+        self._gap_end = gap_end + count
         return removed
 
     def slice(self, start: int, end: int) -> str:
@@ -239,8 +258,16 @@ class Mark:
 
     def _adjust_delete(self, start: int, end: int) -> None:
         n = end - start
-        self.q0 = self.q0 - n if self.q0 >= end else min(self.q0, start)
-        self.q1 = self.q1 - n if self.q1 >= end else min(self.q1, start)
+        q0 = self.q0
+        if q0 >= end:
+            self.q0 = q0 - n
+        elif q0 > start:
+            self.q0 = start
+        q1 = self.q1
+        if q1 >= end:
+            self.q1 = q1 - n
+        elif q1 > start:
+            self.q1 = start
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Mark({self.q0}, {self.q1})"
@@ -355,10 +382,15 @@ class Text:
         if self._open_group is not None:
             self._open_group.append(op)
         else:
-            self._undo.append([op])
+            # a lone op is stored bare: wrapping it in a one-element
+            # list would add a GC-tracked container per keystroke, and
+            # the undo log is the fastest-growing allocation in an
+            # editing session
+            self._undo.append(op)
 
-    def _apply_inverse(self, ops: list[tuple[str, int, str]],
-                       ) -> list[tuple[str, int, str]]:
+    def _apply_inverse(self, ops) -> list[tuple[str, int, str]]:
+        if type(ops) is tuple:
+            ops = [ops]
         inverse: list[tuple[str, int, str]] = []
         for kind, pos, s in reversed(ops):
             if kind == "ins":

@@ -30,9 +30,11 @@ records round-trip histograms (``mux.rpc.<op>``).
 
 from __future__ import annotations
 
+import selectors
 import socket
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 
@@ -52,17 +54,37 @@ from repro.metrics.counter import incr, observe, use_registry
 
 _RECV_SIZE = 1 << 16
 
+# Per-connection write-queue watermarks: above _HIGH_WATER queued
+# output the reactor stops reading that connection (the client gets
+# TCP backpressure instead of an unbounded server-side queue); reads
+# resume once the queue drains below _LOW_WATER.
+_HIGH_WATER = 1 << 20
+_LOW_WATER = 1 << 18
+
 
 # -- transports --------------------------------------------------------------
 
 
 class _Buffer:
-    """One direction of an in-memory pipe: a byte queue with blocking."""
+    """One direction of an in-memory pipe: a byte queue with blocking.
+
+    A ``notify`` hook makes the buffer reactor-friendly: whoever owns
+    the reading end can register a callback fired after every put (and
+    on close), and drain with :meth:`get_nowait` instead of blocking.
+    """
 
     def __init__(self) -> None:
         self._data = bytearray()
         self._closed = False
         self._cond = threading.Condition()
+        self._notify = None
+
+    def set_notify(self, fn) -> None:
+        with self._cond:
+            self._notify = fn
+            fire = bool(self._data) or self._closed
+        if fire and fn is not None:
+            fn()
 
     def put(self, data: bytes) -> None:
         with self._cond:
@@ -70,6 +92,9 @@ class _Buffer:
                 raise Closed("pipe closed", path="<pipe>", op="write")
             self._data.extend(data)
             self._cond.notify_all()
+            notify = self._notify
+        if notify is not None:
+            notify()
 
     def get(self, n: int) -> bytes:
         with self._cond:
@@ -81,10 +106,22 @@ class _Buffer:
             del self._data[:n]
             return out
 
+    def get_nowait(self, n: int) -> bytes | None:
+        """Up to *n* buffered bytes; b"" at EOF; None when empty but open."""
+        with self._cond:
+            if self._data:
+                out = bytes(self._data[:n])
+                del self._data[:n]
+                return out
+            return b"" if self._closed else None
+
     def close(self) -> None:
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+            notify = self._notify
+        if notify is not None:
+            notify()
 
 
 class PipeChannel:
@@ -112,6 +149,16 @@ class PipeChannel:
         if self.max_chunk is not None:
             n = min(n, self.max_chunk)
         return self._rx.get(n)
+
+    def try_recv(self, n: int = _RECV_SIZE) -> bytes | None:
+        """Non-blocking receive: None = nothing buffered, b"" = EOF."""
+        if self.max_chunk is not None:
+            n = min(n, self.max_chunk)
+        return self._rx.get_nowait(n)
+
+    def set_notify(self, fn) -> None:
+        """Fire *fn* whenever bytes (or EOF) become available to recv."""
+        self._rx.set_notify(fn)
 
     def close(self) -> None:
         self._rx.close()
@@ -144,6 +191,31 @@ class SocketChannel:
         except OSError:
             return b""
 
+    def try_recv(self, n: int = _RECV_SIZE) -> bytes | None:
+        """Non-blocking receive: None = would block, b"" = EOF/error."""
+        try:
+            return self._sock.recv(n)
+        except (BlockingIOError, InterruptedError):
+            return None
+        except OSError:
+            return b""
+
+    def try_send(self, data) -> int:
+        """Non-blocking send: bytes the kernel accepted (0 = try later)."""
+        try:
+            return self._sock.send(data)
+        except (BlockingIOError, InterruptedError):
+            return 0
+        except OSError as exc:
+            raise Closed(f"socket send failed: {exc}",
+                         path="<socket>", op="write") from exc
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def setblocking(self, flag: bool) -> None:
+        self._sock.setblocking(flag)
+
     def close(self) -> None:
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
@@ -158,11 +230,16 @@ def dial(host: str, port: int) -> SocketChannel:
 
 
 class FrameReader:
-    """Reassemble wire frames from a byte stream of arbitrary chunks."""
+    """Reassemble wire frames from a byte stream of arbitrary chunks.
+
+    Frames decode zero-copy out of one growing receive buffer (a
+    ``memoryview`` over a ``bytearray``); consumed bytes are compacted
+    in place instead of re-slicing the remainder per frame.
+    """
 
     def __init__(self, channel, bytes_counter: str | None = None) -> None:
         self._channel = channel
-        self._buf = b""
+        self._buf = bytearray()
         self._bytes_counter = bytes_counter
 
     def next_frame(self) -> wire.Message | None:
@@ -172,23 +249,168 @@ class FrameReader:
         and :class:`~repro.fs.errors.IOFault` if the stream ends in the
         middle of a frame.
         """
+        buf = self._buf
         while True:
-            msg, rest = wire.decode(self._buf)
-            if msg is not None:
-                self._buf = self._buf[rest:]
-                return msg
+            if buf:
+                view = memoryview(buf)
+                try:
+                    msg, rest = wire.decode(view)
+                finally:
+                    view.release()
+                if msg is not None:
+                    del buf[:rest]
+                    return msg
             chunk = self._channel.recv(_RECV_SIZE)
             if not chunk:
-                if self._buf:
+                if buf:
                     raise IOFault("connection closed mid-frame",
                                   path="<wire>", op="read")
                 return None
             if self._bytes_counter:
                 incr(self._bytes_counter, len(chunk))
-            self._buf += chunk
+            buf += chunk
 
 
 # -- server ------------------------------------------------------------------
+
+
+class _Reactor:
+    """One thread, one selector: owns every server-side channel.
+
+    Sockets (connections and listeners) register with the selector
+    directly; in-memory pipes integrate through :meth:`mark_ready`,
+    fired by the pipe's notify hook, so both transport kinds are
+    driven by the same loop.  Other threads hand work to the loop with
+    :meth:`submit`; a socketpair waker interrupts ``select``.
+    """
+
+    def __init__(self, name: str = "wire-reactor") -> None:
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+        self._lock = threading.Lock()
+        self._commands: deque = deque()
+        self._ready: set = set()
+        self._pending_wake = False
+        self._running = True
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=name)
+        self._thread.start()
+
+    # -- cross-thread entry points (any thread) --------------------------
+
+    def on_thread(self) -> bool:
+        return threading.current_thread() is self._thread
+
+    def submit(self, fn) -> None:
+        """Run *fn* on the reactor thread, soon."""
+        with self._lock:
+            self._commands.append(fn)
+        self._wake()
+
+    def mark_ready(self, conn) -> None:
+        """A pipe connection has bytes (or EOF) waiting."""
+        with self._lock:
+            self._ready.add(conn)
+        self._wake()
+
+    def stop(self) -> None:
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+        self._wake()
+        if not self.on_thread():
+            self._thread.join(timeout=5)
+
+    def _wake(self) -> None:
+        with self._lock:
+            if self._pending_wake:
+                return
+            self._pending_wake = True
+        try:
+            self._wake_w.send(b"\0")
+        except OSError:
+            pass  # reactor already gone
+
+    # -- selector registry (reactor thread only) -------------------------
+
+    def register(self, fileobj, events: int, callback) -> None:
+        self._selector.register(fileobj, events, callback)
+
+    def modify(self, fileobj, events: int, callback) -> None:
+        self._selector.modify(fileobj, events, callback)
+
+    def unregister(self, fileobj) -> None:
+        self._selector.unregister(fileobj)
+
+    # -- the loop ---------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            while True:
+                with self._lock:
+                    if not self._running:
+                        break
+                events = self._selector.select()
+                for key, mask in events:
+                    if key.data is None:  # the waker
+                        try:
+                            while self._wake_r.recv(4096):
+                                pass
+                        except OSError:
+                            pass
+                        with self._lock:
+                            self._pending_wake = False
+                        continue
+                    try:
+                        key.data(mask)
+                    except Exception:
+                        pass  # one connection must not stop the loop
+                while True:
+                    with self._lock:
+                        if not self._commands:
+                            break
+                        fn = self._commands.popleft()
+                    try:
+                        fn()
+                    except Exception:
+                        pass
+                while True:
+                    with self._lock:
+                        if not self._ready:
+                            break
+                        ready, self._ready = self._ready, set()
+                    for conn in ready:
+                        try:
+                            conn.on_pipe_ready()
+                        except Exception:
+                            pass
+        finally:
+            try:
+                self._selector.close()
+            except Exception:
+                pass
+            self._wake_r.close()
+            self._wake_w.close()
+
+
+class _ConnHandle:
+    """What :meth:`WireServer.serve` returns: joinable, like the
+    per-connection thread it replaced, signalled at teardown."""
+
+    __slots__ = ("_conn",)
+
+    def __init__(self, conn: "_Connection") -> None:
+        self._conn = conn
+
+    def join(self, timeout: float | None = None) -> None:
+        self._conn._done.wait(timeout)
+
+    def is_alive(self) -> bool:
+        return not self._conn._done.is_set()
 
 
 class _FidState:
@@ -203,22 +425,48 @@ class _FidState:
 
 
 class _Connection:
-    """One client connection: fid table, dispatch, reply serialization.
+    """One client connection on the reactor: incremental zero-copy
+    parse, per-connection write queue, worker-pool dispatch.
+
+    The reactor thread feeds bytes into ``_rbuf`` and decodes frames
+    straight out of it through a ``memoryview`` (one compaction per
+    burst, no per-frame copies); handlers run on the server's worker
+    pool — or inline on the reactor when the pool is disabled
+    (``workers=0``) — and their replies queue on the connection,
+    flushed by the reactor with writable-event pacing.  A queue past
+    ``_HIGH_WATER`` pauses reading (the client sees transport
+    backpressure); draining past ``_LOW_WATER`` resumes it.
 
     With a session factory on the server, the connection also owns one
     **hosted session** — created at attach, torn down with the
     connection — and binds that session's metrics registry around all
     work done on its behalf, so N connections keep N separate ledgers.
+    Parsing pauses while an attach is being served, so no later frame
+    can race into the wrong ledger.
     """
 
-    def __init__(self, server: "WireServer", channel) -> None:
+    def __init__(self, server: "WireServer", channel,
+                 initial: bytes = b"") -> None:
         self.server = server
         self.channel = channel
+        self.reactor = server._reactor
         self.fids: dict[int, _FidState] = {}
         self.inflight = 0
         self.session = None  # set at attach by the session factory
-        self._lock = threading.Lock()
-        self._send_lock = threading.Lock()
+        self.closed = False
+        self._lock = threading.Lock()       # fids + inflight
+        self._wlock = threading.Lock()      # write queue
+        self._wbuf: deque = deque()
+        self._wsize = 0
+        self._flush_scheduled = False
+        self._rbuf = bytearray(initial)
+        self._paused_attach = False
+        self._paused_write = False
+        self._is_socket = hasattr(channel, "fileno")
+        self._events = 0                    # current selector mask
+        self._eof = False
+        self._torn = False
+        self._done = threading.Event()
 
     def _bind(self):
         """The metrics binding for work on this connection's behalf."""
@@ -229,70 +477,272 @@ class _Connection:
             registry = self.server.metrics
         return nullcontext() if registry is None else use_registry(registry)
 
-    def serve(self) -> None:
-        reader = FrameReader(self.channel, bytes_counter="wire.bytes.in")
-        try:
-            while True:
-                with self._bind():
-                    try:
-                        msg = reader.next_frame()
-                    except (Invalid, IOFault):
-                        break  # protocol error: drop the connection
-                    if msg is None:
-                        break
-                    self._dispatch(msg)
-        finally:
-            self._teardown()
+    # -- reactor-side input path (reactor thread only) --------------------
 
-    def _dispatch(self, msg: wire.Message) -> None:
+    def _start(self) -> None:
+        if self._torn:
+            return
+        if self._is_socket:
+            self.channel.setblocking(False)
+            self._update_events()
+        else:
+            self.channel.set_notify(self._notify_pipe)
+        if self._rbuf:
+            # bytes a router peeked on our behalf still count as input
+            with self._bind():
+                incr("wire.bytes.in", len(self._rbuf))
+            self._process()
+
+    def _notify_pipe(self) -> None:  # any thread (the pipe's writer)
+        self.reactor.mark_ready(self)
+
+    def on_pipe_ready(self) -> None:
+        if not self._torn:
+            self._on_readable()
+
+    def _on_io(self, mask: int) -> None:
+        if mask & selectors.EVENT_WRITE:
+            self._flush_writes()
+        if mask & selectors.EVENT_READ and not self._torn:
+            self._on_readable()
+
+    def _on_readable(self) -> None:
+        if self._torn or self._paused_write:
+            return
+        got = 0
+        while True:
+            chunk = self.channel.try_recv(_RECV_SIZE)
+            if chunk is None:
+                break  # drained
+            if not chunk:
+                self._eof = True
+                break
+            self._rbuf += chunk
+            got += len(chunk)
+            if got >= _RECV_SIZE * 8:
+                # bound one burst; re-arm so the rest is not stranded
+                if not self._is_socket:
+                    self.reactor.mark_ready(self)
+                break
+        if got:
+            with self._bind():
+                incr("wire.bytes.in", got)
+        self._process()
+
+    def _process(self) -> None:
+        """Decode and dispatch every complete frame buffered so far."""
+        while not self._torn and not self._paused_attach:
+            buf = self._rbuf
+            if not buf:
+                break
+            pos = 0
+            stop = False
+            error = False
+            view = memoryview(buf)
+            try:
+                with self._bind():
+                    while True:
+                        try:
+                            msg, nxt = wire.decode(view, pos)
+                        except Invalid:
+                            error = True  # protocol garbage: drop the conn
+                            break
+                        if msg is None:
+                            break
+                        pos = nxt
+                        if self._dispatch(msg):
+                            stop = True
+                            break
+                        if (self._is_socket and not self._paused_write
+                                and self._wsize >= _HIGH_WATER):
+                            # the peer is not reading its replies: stop
+                            # parsing (and reading) until the queue drains
+                            self._paused_write = True
+                            incr("wire.backpressure.paused")
+                            stop = True
+                            break
+            finally:
+                view.release()
+            if pos:
+                del buf[:pos]
+            if error:
+                self._start_teardown()
+                return
+            if not stop or self._paused_attach or self._paused_write:
+                break
+            # an inline attach swapped the session: loop to re-bind
+        self._flush_writes()
+        if self._eof and not self._paused_attach and not self._torn:
+            self._start_teardown()
+
+    def _dispatch(self, msg: wire.Message) -> bool:
+        """Queue *msg* for service; True = stop parsing this burst."""
         incr(f"wire.rpc.{msg.op}")
         with self._lock:
-            if self.inflight >= self.server.max_outstanding:
-                # backpressure: the client has too many requests in
-                # flight; refuse this one instead of queueing unbounded
-                err = wire.Rerror.from_exc(
-                    msg.tag, Busy("server busy: too many outstanding "
-                                  "requests", path="<wire>", op=msg.op))
-                self._reply(err)
-                return
-            self.inflight += 1
+            busy = self.inflight >= self.server.max_outstanding
+            if not busy:
+                self.inflight += 1
+        if busy:
+            # backpressure: the client has too many requests in
+            # flight; refuse this one instead of queueing unbounded
+            err = wire.Rerror.from_exc(
+                msg.tag, Busy("server busy: too many outstanding "
+                              "requests", path="<wire>", op=msg.op))
+            self._reply(err)
+            return False
         incr("mux.inflight")
-        if (isinstance(msg, wire.Tattach)
-                and self.server.session_factory is not None):
-            # build the hosted session synchronously: self.session must
-            # be installed before the serve loop reads the next frame,
-            # or early RPCs would race into the wrong ledger
+        executor = self.server._executor
+        if executor is None:
+            # inline mode: RPCs run on the reactor itself — the fast
+            # path for trees that never block
+            before = self.session
             self._serve_one(msg)
-            return
-        self.server._executor.submit(self._serve_one, msg)
+            return self.session is not before
+        if (msg.type == wire.Tattach.type
+                and self.server.session_factory is not None):
+            # the hosted session must be installed before any later
+            # frame is served; pause parsing until the attach lands
+            self._paused_attach = True
+            executor.submit(self._serve_one, msg, True)
+            return True
+        executor.submit(self._serve_one, msg)
+        return False
 
-    def _serve_one(self, msg: wire.Message) -> None:
-        # executor threads don't inherit the serve loop's context;
-        # re-bind the session's registry here
+    def _resume_attach(self) -> None:  # reactor thread
+        self._paused_attach = False
+        if not self._torn:
+            self._process()
+
+    # -- service (worker pool, or the reactor when inline) ----------------
+
+    def _serve_one(self, msg: wire.Message, resume: bool = False) -> None:
+        # executor threads don't inherit the reactor's context;
+        # re-bind the session's registry here.  Inline on the reactor
+        # the burst loop in _process is already bound, so the context
+        # dance would be pure overhead on the hot path.
+        if self.server._executor is None:
+            self._serve_bound(msg)
+            return
         with self._bind():
-            start = time.perf_counter()
-            try:
-                reply = self._handle(msg)
-            except FsError as exc:
-                reply = wire.Rerror.from_exc(msg.tag, exc)
-            except Exception as exc:  # a server bug must not kill the loop
-                reply = wire.Rerror.from_exc(msg.tag, exc)
-            finally:
-                observe(f"wire.rpc.{msg.op}",
-                        (time.perf_counter() - start) * 1e6)
-                with self._lock:
-                    self.inflight -= 1
-                incr("mux.inflight", -1)
-            self._reply(reply)
+            self._serve_bound(msg)
+        if resume:
+            self.reactor.submit(self._resume_attach)
+
+    def _serve_bound(self, msg: wire.Message) -> None:
+        start = time.perf_counter()
+        try:
+            reply = self._handle(msg)
+        except FsError as exc:
+            reply = wire.Rerror.from_exc(msg.tag, exc)
+        except Exception as exc:  # a server bug must not kill the loop
+            reply = wire.Rerror.from_exc(msg.tag, exc)
+        finally:
+            observe(f"wire.rpc.{msg.op}",
+                    (time.perf_counter() - start) * 1e6)
+            with self._lock:
+                self.inflight -= 1
+            incr("mux.inflight", -1)
+        self._reply(reply)
+
+    # -- reply path -------------------------------------------------------
 
     def _reply(self, reply: wire.Message) -> None:
         frame = wire.encode(reply)
+        if self._send_frame(frame):
+            incr("wire.bytes.out", len(frame))
+
+    def _send_frame(self, frame: bytes) -> bool:  # any thread
+        with self._wlock:
+            if self.closed:
+                return False  # peer went away; nothing to tell it
+            self._wbuf.append(frame)
+            self._wsize += len(frame)
+            scheduled = self._flush_scheduled
+            self._flush_scheduled = True
+        if not scheduled and not self.reactor.on_thread():
+            # on the reactor, the burst loop flushes once at the end;
+            # pool threads must wake it
+            self.reactor.submit(self._flush_writes)
+        return True
+
+    def _flush_writes(self) -> None:  # reactor thread only
+        if self._torn:
+            return
+        while True:
+            with self._wlock:
+                self._flush_scheduled = False
+                if not self._wbuf:
+                    data = None
+                else:
+                    # coalesce small replies into one transport write
+                    data = self._wbuf.popleft()
+                    if self._wbuf and len(data) < _RECV_SIZE:
+                        parts = [data]
+                        size = len(data)
+                        while self._wbuf and size < _RECV_SIZE * 4:
+                            nxt = self._wbuf.popleft()
+                            parts.append(nxt)
+                            size += len(nxt)
+                        data = b"".join(parts)
+            if data is None:
+                break
+            if self._is_socket:
+                try:
+                    sent = self.channel.try_send(data)
+                except Closed:
+                    self._start_teardown()
+                    return
+                with self._wlock:
+                    self._wsize -= sent
+                if sent < len(data):
+                    with self._wlock:
+                        self._wbuf.appendleft(bytes(data[sent:]))
+                    break  # kernel buffer full: wait for EVENT_WRITE
+            else:
+                try:
+                    self.channel.send(data)
+                except (Closed, OSError):
+                    self._start_teardown()
+                    return
+                with self._wlock:
+                    self._wsize -= len(data)
+        if (self._is_socket and not self._paused_write
+                and self._wsize >= _HIGH_WATER):
+            # worker replies outran the peer between its reads; the
+            # dispatch-time check in _process never sees that, so the
+            # write path must trip the pause itself
+            self._paused_write = True
+            with self._bind():
+                incr("wire.backpressure.paused")
+        self._update_events()
+        if self._paused_write and self._wsize <= _LOW_WATER:
+            self._paused_write = False
+            with self._bind():
+                incr("wire.backpressure.resumed")
+            self._update_events()
+            self.reactor.submit(self._process)
+
+    def _update_events(self) -> None:  # reactor thread only
+        if not self._is_socket or self._torn:
+            return
+        mask = 0
+        if not self._paused_write and not self._eof:
+            mask |= selectors.EVENT_READ
+        with self._wlock:
+            if self._wbuf:
+                mask |= selectors.EVENT_WRITE
+        if mask == self._events:
+            return
         try:
-            with self._send_lock:
-                self.channel.send(frame)
-        except (Closed, OSError):
-            return  # peer went away; nothing to tell it
-        incr("wire.bytes.out", len(frame))
+            if self._events == 0:
+                self.reactor.register(self.channel, mask, self._on_io)
+            elif mask == 0:
+                self.reactor.unregister(self.channel)
+            else:
+                self.reactor.modify(self.channel, mask, self._on_io)
+        except (KeyError, ValueError, OSError):
+            return
+        self._events = mask
 
     # -- op handlers --------------------------------------------------------
 
@@ -421,29 +871,54 @@ class _Connection:
                         for child in node.entries()]
         return wire.Rstat(tag=msg.tag, stat=stat, children=children)
 
+    def _start_teardown(self) -> None:  # reactor thread only
+        if self._torn:
+            return
+        self._torn = True
+        with self._wlock:
+            self.closed = True
+        if self._is_socket and self._events:
+            try:
+                self.reactor.unregister(self.channel)
+            except (KeyError, ValueError, OSError):
+                pass
+            self._events = 0
+        self._teardown()
+
     def _teardown(self) -> None:
-        with self._lock:
-            fids, self.fids = self.fids, {}
-        with self._bind():
-            for state in fids.values():
-                if state.session is not None:
+        try:
+            with self._lock:
+                fids, self.fids = self.fids, {}
+            with self._bind():
+                for state in fids.values():
+                    if state.session is not None:
+                        try:
+                            state.session.close()
+                        except Exception:
+                            pass  # connection is gone; best-effort cleanup
+            session, self.session = self.session, None
+            if session is not None:
+                close = getattr(session, "close", None)
+                if close is not None:
                     try:
-                        state.session.close()
+                        close()
                     except Exception:
-                        pass  # the connection is gone; best-effort cleanup
-        session, self.session = self.session, None
-        if session is not None:
-            close = getattr(session, "close", None)
-            if close is not None:
-                try:
-                    close()
-                except Exception:
-                    pass  # teardown is best-effort; the peer is gone
-        self.channel.close()
+                        pass  # teardown is best-effort; the peer is gone
+            self.channel.close()
+        finally:
+            self._done.set()
 
 
 class WireServer:
     """Serve a node tree to any number of connections over any channel.
+
+    The server side is a non-blocking event loop: one :class:`_Reactor`
+    thread owns every socket and pipe, parses frames zero-copy out of
+    per-connection receive buffers, and enforces write-queue
+    backpressure.  Handlers that touch session or tree state run on a
+    small worker pool (``workers``); with ``workers=0`` they run inline
+    on the reactor — the fastest path, for trees whose handlers never
+    block.
 
     ``serialize=True`` (the default) runs node operations one at a
     time under a server-wide lock: the trees we serve (``help``'s
@@ -480,25 +955,28 @@ class WireServer:
         self.metrics = metrics
         self.session_factory = session_factory
         self._oplock = threading.Lock() if serialize else _NullLock()
-        self._executor = ThreadPoolExecutor(max_workers=workers)
+        self._executor = (ThreadPoolExecutor(max_workers=workers)
+                          if workers else None)
+        self._reactor = _Reactor()
         self._lock = threading.Lock()
         self._conns: list[_Connection] = []
-        self._threads: list[threading.Thread] = []
         self._sockets: list[socket.socket] = []
         self._closed = False
 
-    def serve(self, channel) -> threading.Thread:
-        """Serve one connection on *channel* in a background thread."""
-        conn = _Connection(self, channel)
-        thread = threading.Thread(target=conn.serve, daemon=True,
-                                  name="wire-conn")
+    def serve(self, channel, initial: bytes = b"") -> _ConnHandle:
+        """Adopt *channel* onto the reactor; returns a joinable handle.
+
+        *initial* seeds the connection's receive buffer with bytes
+        something upstream (a shard router peeking the attach frame)
+        already read on the connection's behalf.
+        """
+        conn = _Connection(self, channel, initial)
         with self._lock:
             if self._closed:
                 raise Closed("server closed", path="<wire>", op="attach")
             self._conns.append(conn)
-            self._threads.append(thread)
-        thread.start()
-        return thread
+        self._reactor.submit(conn._start)
+        return _ConnHandle(conn)
 
     def listen(self, host: str = "127.0.0.1",
                port: int = 0) -> tuple[str, int]:
@@ -510,20 +988,22 @@ class WireServer:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind((host, port))
-        sock.listen()
+        sock.listen(128)
+        sock.setblocking(False)
         with self._lock:
             self._sockets.append(sock)
-        thread = threading.Thread(target=self._accept_loop, args=(sock,),
-                                  daemon=True, name="wire-accept")
-        with self._lock:
-            self._threads.append(thread)
-        thread.start()
+        self._reactor.submit(
+            lambda: self._reactor.register(
+                sock, selectors.EVENT_READ,
+                lambda mask: self._accept_ready(sock)))
         return sock.getsockname()[:2]
 
-    def _accept_loop(self, sock: socket.socket) -> None:
+    def _accept_ready(self, sock: socket.socket) -> None:  # reactor thread
         while True:
             try:
                 client, _addr = sock.accept()
+            except (BlockingIOError, InterruptedError):
+                return
             except OSError:
                 return  # listener closed
             try:
@@ -540,14 +1020,23 @@ class WireServer:
             self._closed = True
             sockets, self._sockets = self._sockets, []
             conns, self._conns = self._conns, []
-            threads, self._threads = self._threads, []
-        for sock in sockets:
-            sock.close()
+
+        def shutdown() -> None:
+            for sock in sockets:
+                try:
+                    self._reactor.unregister(sock)
+                except (KeyError, ValueError, OSError):
+                    pass
+                sock.close()
+            for conn in conns:
+                conn._start_teardown()
+
+        self._reactor.submit(shutdown)
         for conn in conns:
-            conn.channel.close()
-        for thread in threads:
-            thread.join(timeout=5)
-        self._executor.shutdown(wait=False)
+            conn._done.wait(timeout=5)
+        self._reactor.stop()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
 
     def __enter__(self) -> "WireServer":
         return self

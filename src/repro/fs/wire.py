@@ -50,6 +50,14 @@ SEQUENTIAL = -1
 
 _HEADER = struct.Struct("<IBH")  # size, type, tag
 
+#: Bytes in the fixed frame header (size + type + tag).
+HEADER_SIZE = _HEADER.size
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+_I64 = struct.Struct("<q")
+
 _KIND_TO_ERROR = {cls.kind: cls for cls in TAXONOMY}
 
 
@@ -67,40 +75,57 @@ def _pack_data(s: str) -> bytes:
 
 
 class _Cursor:
-    """A bounds-checked reader over one frame's payload."""
+    """A bounds-checked reader over one frame's payload.
 
-    def __init__(self, buf: bytes, pos: int, end: int) -> None:
+    Works over any bytes-like buffer — ``bytes``, ``bytearray`` or a
+    ``memoryview`` into a transport's receive buffer — without copying:
+    integers unpack in place via ``unpack_from`` and strings decode
+    straight from a slice of the underlying buffer, so a frame costs no
+    intermediate ``bytes`` objects beyond its decoded field values.
+    """
+
+    __slots__ = ("buf", "pos", "end")
+
+    def __init__(self, buf, pos: int, end: int) -> None:
         self.buf = buf
         self.pos = pos
         self.end = end
 
-    def take(self, n: int) -> bytes:
-        if self.pos + n > self.end:
+    def _advance(self, n: int) -> int:
+        pos = self.pos
+        if pos + n > self.end:
             raise Invalid("truncated message payload", path="?", op="decode")
-        out = self.buf[self.pos:self.pos + n]
-        self.pos += n
-        return out
+        self.pos = pos + n
+        return pos
+
+    def take(self, n: int) -> bytes:
+        pos = self._advance(n)
+        return bytes(self.buf[pos:pos + n])
 
     def u8(self) -> int:
-        return self.take(1)[0]
+        return self.buf[self._advance(1)]
 
     def u16(self) -> int:
-        return struct.unpack("<H", self.take(2))[0]
+        return _U16.unpack_from(self.buf, self._advance(2))[0]
 
     def u32(self) -> int:
-        return struct.unpack("<I", self.take(4))[0]
+        return _U32.unpack_from(self.buf, self._advance(4))[0]
 
     def i32(self) -> int:
-        return struct.unpack("<i", self.take(4))[0]
+        return _I32.unpack_from(self.buf, self._advance(4))[0]
 
     def i64(self) -> int:
-        return struct.unpack("<q", self.take(8))[0]
+        return _I64.unpack_from(self.buf, self._advance(8))[0]
 
     def string(self) -> str:
-        return self.take(self.u16()).decode("utf-8")
+        n = self.u16()
+        pos = self._advance(n)
+        return str(self.buf[pos:pos + n], "utf-8")
 
     def data(self) -> str:
-        return self.take(self.u32()).decode("utf-8")
+        n = self.u32()
+        pos = self._advance(n)
+        return str(self.buf[pos:pos + n], "utf-8")
 
 
 @dataclass
@@ -428,8 +453,26 @@ def encode(msg: Message) -> bytes:
     return _HEADER.pack(size, msg.type, msg.tag) + payload
 
 
-def decode(buf: bytes, start: int = 0) -> tuple[Message | None, int]:
+def header(buf, start: int = 0) -> tuple[int, int, int] | None:
+    """Peek the ``(size, type, tag)`` of the frame at *start*.
+
+    Returns None when fewer than :data:`HEADER_SIZE` bytes are
+    available.  No validation — use :func:`decode` for that — but cheap
+    enough for routers and pipelined clients to scan frame boundaries
+    without materializing messages.
+    """
+    if len(buf) - start < HEADER_SIZE:
+        return None
+    return _HEADER.unpack_from(buf, start)
+
+
+def decode(buf, start: int = 0) -> tuple[Message | None, int]:
     """Decode one frame from *buf* at *start*.
+
+    *buf* may be ``bytes``, ``bytearray`` or a ``memoryview``; passing
+    a view over the transport's receive buffer decodes the frame
+    zero-copy (field values are materialized, the frame itself is
+    never re-sliced into an intermediate ``bytes``).
 
     Returns ``(message, next_start)``; ``(None, start)`` when the
     buffer holds only a partial frame (read more and retry).  Raises
@@ -461,7 +504,8 @@ def decode(buf: bytes, start: int = 0) -> tuple[Message | None, int]:
     return msg, end
 
 
-__all__ = ["MAX_MESSAGE", "SEQUENTIAL", "Message", "StatEntry",
-           "Tattach", "Rattach", "Twalk", "Rwalk", "Topen", "Ropen",
-           "Tread", "Rread", "Twrite", "Rwrite", "Tclunk", "Rclunk",
-           "Tstat", "Rstat", "Rerror", "MESSAGES", "encode", "decode"]
+__all__ = ["MAX_MESSAGE", "SEQUENTIAL", "HEADER_SIZE", "Message",
+           "StatEntry", "Tattach", "Rattach", "Twalk", "Rwalk", "Topen",
+           "Ropen", "Tread", "Rread", "Twrite", "Rwrite", "Tclunk",
+           "Rclunk", "Tstat", "Rstat", "Rerror", "MESSAGES", "encode",
+           "decode", "header"]

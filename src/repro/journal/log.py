@@ -64,6 +64,10 @@ class Journal:
         self.records: list[Record] = []   # everything appended, in order
         self.pending: list[Record] = []   # appended but not yet flushed
         self._durable = 0                 # records currently in the sink
+        # per-class counts of the pending batch: appends buffer their
+        # ledger bookkeeping too, folded in at the next flush point so
+        # a burst of appends costs one counter update per class
+        self._pending_counts: dict[str, int] = {}
 
     @classmethod
     def create(cls, ns: "Namespace", path: str,
@@ -79,18 +83,35 @@ class Journal:
     # -- appending --------------------------------------------------------
 
     def append(self, kind: str, fields: tuple | list) -> Record:
-        """Append one record (buffered until the next flush)."""
+        """Append one record (buffered, bookkeeping and all, until the
+        next flush point — the record itself is final immediately)."""
         self.seq += 1
         record = make_record(self.seq, kind, fields)
         self.records.append(record)
-        ledger = self._ledger()
         if self.sink is None:
-            ledger.incr("journal.shadow.records")
+            self._ledger().incr("journal.shadow.records")
             return record
         self.pending.append(record)
-        ledger.incr("journal.append.records")
-        ledger.incr(f"journal.append.{_klass(kind)}")
+        counts = self._pending_counts
+        klass = _klass(kind)
+        counts[klass] = counts.get(klass, 0) + 1
         return record
+
+    def _fold_append_counts(self, ledger: MetricsRegistry) -> None:
+        """Land the buffered append bookkeeping on *ledger*.
+
+        Called at every flush point (flush and compact), so
+        ``journal.append.*`` reaches the same totals as per-append
+        increments would — including records a compaction discards
+        before they were ever flushed.
+        """
+        counts = self._pending_counts
+        if not counts:
+            return
+        ledger.incr("journal.append.records", sum(counts.values()))
+        for klass, n in counts.items():
+            ledger.incr(f"journal.append.{klass}", n)
+        counts.clear()
 
     # -- durability -------------------------------------------------------
 
@@ -107,6 +128,7 @@ class Journal:
         text = "".join(record.line() + "\n" for record in self.pending)
         count = len(self.pending)
         ledger = self._ledger()
+        self._fold_append_counts(ledger)
         start = time.perf_counter()
         self.sink.append(text)
         ledger.observe("journal.flush_us",
@@ -130,6 +152,10 @@ class Journal:
         subsumes them.
         """
         first = keep[0].seq if keep else self.seq + 1
+        if self.sink is not None:
+            # pending records are about to be discarded or rewritten:
+            # their buffered append bookkeeping must land first
+            self._fold_append_counts(self._ledger())
         durable_keep = sum(1 for r in keep if r not in self.pending)
         stale = sum(1 for r in self.pending
                     if r not in keep and r.seq < first)

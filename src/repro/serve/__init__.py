@@ -18,5 +18,7 @@ from repro.serve.host import (
     SessionHost,
     input_line,
 )
+from repro.serve.shards import ShardRouter
 
-__all__ = ["SessionHost", "HostedSession", "SESSION_PREFIXES", "input_line"]
+__all__ = ["SessionHost", "HostedSession", "SESSION_PREFIXES",
+           "ShardRouter", "input_line"]

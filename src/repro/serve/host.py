@@ -67,13 +67,16 @@ class HostedSession:
     """One attached session: a private world served as a file tree."""
 
     def __init__(self, host: "SessionHost", session_id: str,
-                 uname: str) -> None:
+                 uname: str, journal_text: str | None = None) -> None:
         self.host = host
         self.id = session_id
         self.uname = uname
         self.metrics = MetricsRegistry(f"session:{session_id}")
         self.oplock = threading.RLock()
         self.closed = False
+        # A parked session was adopted from a draining shard and waits
+        # for its owner to re-attach under the same name.
+        self.parked = False
         # Everything the world's construction touches — fs traffic,
         # layout caching, the journal's genesis — belongs to this
         # session's ledger, not to whoever called attach.
@@ -81,11 +84,26 @@ class HostedSession:
             self.system = host._build(session_id, uname, self.metrics)
             self.journal = None
             self.recorder = None
+            if journal_text is not None:
+                # Migration: rebuild the world from the source shard's
+                # journal (snapshot group + suffix, PR 4 recovery).
+                from repro.journal.recovery import recover
+                recover(self.system.help, journal_text)
             if host.record:
                 self.journal = Journal.create(self.system.ns, JOURNAL_PATH,
                                               metrics=self.metrics)
+                if journal_text is not None:
+                    from repro.journal.record import scan_text
+                    scanned = scan_text(journal_text).records
+                    if scanned:
+                        # sequence numbering survives the migration
+                        self.journal.seq = scanned[-1].seq
                 self.recorder = attach(self.system.help, self.journal,
                                        context=self.system.context)
+                if journal_text is not None:
+                    # re-found the journal on a snapshot of the adopted
+                    # state; the next drain starts from here
+                    self.recorder.compact()
         self.root = self._build_root()
         # a per-session fault schedule wraps only this session's tree
         self.fault_plan = (host.plan_for(session_id)
@@ -168,7 +186,7 @@ class SessionHost:
     def __init__(self, *, width: int = 100, height: int = 40,
                  record: bool = True, extra_tools: bool = False,
                  metrics: MetricsRegistry | None = None,
-                 plan_for=None,
+                 plan_for=None, id_prefix: str = "s",
                  max_outstanding: int = 64, workers: int = 4) -> None:
         self.width = width
         self.height = height
@@ -177,6 +195,11 @@ class SessionHost:
         # plan_for(session_id) -> FaultPlan | None: a deterministic
         # fault schedule for that one session's served tree
         self.plan_for = plan_for
+        # anonymous attaches get ids f"{id_prefix}{n}"; a shard router
+        # gives each shard its own prefix so ids never collide
+        self.id_prefix = id_prefix
+        # a ShardRouter installs itself here to federate srv/sessions
+        self.directory: "SessionDirectory | None" = None
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry("host")
         self.sessions: dict[str, HostedSession] = {}
@@ -213,8 +236,14 @@ class SessionHost:
 
     def _make_session(self, uname: str, aname: str) -> HostedSession:
         with self._lock:
-            session_id = aname or f"s{self._next}"
+            session_id = aname or f"{self.id_prefix}{self._next}"
             self._next += 1
+            existing = self.sessions.get(session_id)
+            if existing is not None and existing.parked:
+                # a migrated session waiting for its owner: claim it
+                existing.parked = False
+                self.metrics.incr("host.sessions.claimed")
+                return existing
             if session_id in self.sessions:
                 raise Busy(f"session {session_id!r} already attached",
                            path=f"session/{session_id}", op="attach")
@@ -229,6 +258,35 @@ class SessionHost:
         with self._lock:
             self.sessions[session_id] = session
         self.metrics.incr("host.sessions.opened")
+        return session
+
+    def adopt(self, session_id: str, uname: str,
+              journal_text: str | None) -> HostedSession:
+        """Take over a session migrated from another shard.
+
+        Rebuilds the world from *journal_text* (the source shard's
+        snapshot + journal suffix) and parks the result: the next
+        Tattach naming *session_id* claims it instead of building a
+        fresh world, so the migration is invisible to the client apart
+        from the reconnect.
+        """
+        with self._lock:
+            if session_id in self.sessions:
+                raise Busy(f"session {session_id!r} already attached",
+                           path=f"session/{session_id}", op="adopt")
+            self.sessions[session_id] = None  # type: ignore[assignment]
+        try:
+            session = HostedSession(self, session_id, uname,
+                                    journal_text=journal_text)
+        except BaseException:
+            with self._lock:
+                self.sessions.pop(session_id, None)
+            raise
+        session.parked = True
+        with self._lock:
+            self.sessions[session_id] = session
+        self.metrics.incr("host.sessions.opened")
+        self.metrics.incr("host.sessions.adopted")
         return session
 
     def _retire(self, session: HostedSession) -> None:
@@ -268,27 +326,31 @@ class SessionHost:
 
     def _control_session(self, mode: str) -> SynthSession:
         focus: dict[str, str | None] = {"id": None}
+        # with a router installed, srv/sessions spans every shard
+        directory = self.directory if self.directory is not None else self
 
         def read_fn() -> str:
             if focus["id"] is not None:
-                return self._stat_text(focus["id"])
-            return self._list_text()
+                return directory._stat_text(focus["id"])
+            return directory._list_text()
 
         def write_fn(line: str) -> None:
             words = line.split()
             if len(words) == 2 and words[0] == "stat":
-                with self._lock:
-                    known = words[1] in self.sessions
-                if not known:
+                if not directory._knows(words[1]):
                     raise NotFound(path=f"session/{words[1]}", op="stat")
                 focus["id"] = words[1]
             elif len(words) == 2 and words[0] == "evict":
-                self.evict(words[1])
+                directory.evict(words[1])
             else:
                 raise Invalid(f"bad control message {line.strip()!r}",
                               path="srv/sessions", op="write")
 
         return SynthSession(mode, read_fn, write_fn, name="srv/sessions")
+
+    def _knows(self, session_id: str) -> bool:
+        with self._lock:
+            return session_id in self.sessions
 
     def _list_text(self) -> str:
         with self._lock:
@@ -311,6 +373,11 @@ class SessionHost:
                 f"screen {h.screen.rect.width}x{h.screen.rect.height}\n")
 
     # -- the ledger -------------------------------------------------------
+
+    def session_ledger(self) -> tuple[int, int]:
+        """(sessions opened, sessions closed) — same shape a router sums."""
+        return (self.metrics.counter("host.sessions.opened"),
+                self.metrics.counter("host.sessions.closed"))
 
     def audit(self) -> list[str]:
         """Check the host ledger; returns problems (empty = clean).

@@ -30,7 +30,14 @@ Checks applied:
 - the session-host ledger balances: every hosted session opened was
   closed, the host audit ran (``host.sessions.bleed`` recorded) and
   found zero cross-session counter bleed, and per-record apply
-  latencies reached the report's ``sessions`` section.
+  latencies reached the report's ``sessions`` section;
+- the shard-router ledger balances: at least ``MIN_SHARDS`` shards
+  ran, every shard's attaches were clunked (``per_shard`` in the
+  ``shards`` section), the router audit ran and found no session id
+  live on two shards (``router.sessions.dup`` recorded, zero), and no
+  attach was rejected on the clean path.  The 100k RPC/s aggregate
+  floor is advisory — single-core runners record it honestly in
+  ``extra_info`` (``meets_100k_floor``) without failing the gate.
 
 Exit 0 when the ledger balances, 1 on any violation, 2 on usage
 errors or an unreadable report.
@@ -47,6 +54,9 @@ DEFAULT_REPORT = (pathlib.Path(__file__).resolve().parents[3]
 
 # the acceptance floor for concurrent wire sessions in a bench run
 MIN_SESSIONS = 4
+
+# the acceptance floor for shards in the sharded-host bench
+MIN_SHARDS = 4
 
 
 def audit(report: dict) -> list[str]:
@@ -126,6 +136,36 @@ def audit(report: dict) -> list[str]:
             problems.append(
                 "no session apply-latency samples recorded (sessions "
                 "section empty)")
+
+    routed = counters.get("router.attach.routed")
+    if routed is not None:
+        # the sharded-host bench ran: its ledger must balance too
+        section = report.get("shards") or {}
+        per_shard = section.get("per_shard") or []
+        if len(per_shard) < MIN_SHARDS:
+            problems.append(
+                f"shard bench underpowered: {len(per_shard)} shard "
+                f"ledgers recorded, need >= {MIN_SHARDS}")
+        for entry in per_shard:
+            attached = entry.get("attached", 0)
+            clunked = entry.get("clunked", 0)
+            if attached != clunked:
+                problems.append(
+                    f"shard {entry.get('shard')} leaked sessions: "
+                    f"attached={attached} != clunked={clunked}")
+        if "router.sessions.dup" not in counters:
+            problems.append("shard router ran but was never audited "
+                            "(no router.sessions.dup verdict)")
+        elif counters["router.sessions.dup"]:
+            problems.append(
+                f"cross-shard bleed: router.sessions.dup="
+                f"{counters['router.sessions.dup']} session ids live "
+                f"on more than one shard")
+        rejected = counters.get("router.attach.rejected", 0)
+        if rejected:
+            problems.append(
+                f"router rejected attaches on the clean path: "
+                f"router.attach.rejected={rejected}")
     return problems
 
 

@@ -23,6 +23,13 @@ Runs over both transports (in-memory pipes with forced short reads,
 and real TCP sockets) unless narrowed::
 
     python -m repro.tools.sessioncheck [--sessions K] [--pipe | --tcp]
+                                       [--shards N]
+
+With ``--shards N`` the sessions are hosted by a
+:class:`~repro.serve.ShardRouter` over N independent shard hosts
+instead of a single :class:`~repro.serve.SessionHost` — the same
+byte-identity and isolation must hold when attaches are hashed across
+shards, or sharding is visible to clients.
 
 Exit 0 when every session matches, 1 on any divergence, 2 on usage
 errors.
@@ -40,7 +47,7 @@ from repro.fs.namespace import Namespace
 from repro.fs.vfs import VFS
 from repro.journal.log import Journal
 from repro.journal.recorder import attach
-from repro.serve import SessionHost
+from repro.serve import SessionHost, ShardRouter
 from repro.tools.install import build_system
 from repro.tools.servecheck import FIGURES
 
@@ -136,7 +143,8 @@ def _first_divergent_line(want: str, got: str) -> int:
 
 
 def check_transport(transport: str, sessions: int,
-                    scripts: dict[str, dict]) -> list[str]:
+                    scripts: dict[str, dict],
+                    shards: int = 0) -> list[str]:
     """Solo baseline, then K concurrent workers, then the host audit."""
     problems: list[str] = []
     goldens: dict[str, str] = {}
@@ -146,8 +154,12 @@ def check_transport(transport: str, sessions: int,
             return [f"{transport}: no golden at {path}"]
         goldens[name] = path.read_text()
 
-    host = SessionHost(width=WIDTH, height=HEIGHT,
-                       workers=max(4, sessions))
+    if shards:
+        host = ShardRouter(shards=shards, width=WIDTH, height=HEIGHT,
+                           workers=max(4, sessions))
+    else:
+        host = SessionHost(width=WIDTH, height=HEIGHT,
+                           workers=max(4, sessions))
     addr = host.listen() if transport == "tcp" else None
     try:
         # -- solo: one session per figure, nothing else running ----------
@@ -196,8 +208,7 @@ def check_transport(transport: str, sessions: int,
         host.close()
 
     problems += [f"{transport}: {p}" for p in host.audit()]
-    opened = host.metrics.counter("host.sessions.opened")
-    closed = host.metrics.counter("host.sessions.closed")
+    opened, closed = host.session_ledger()
     want = (sessions + 1) * len(scripts)
     if opened != want or closed != want:
         problems.append(f"{transport}: expected {want} sessions opened "
@@ -205,37 +216,43 @@ def check_transport(transport: str, sessions: int,
     return problems
 
 
-def run(sessions: int, transports: list[str]) -> list[str]:
+def run(sessions: int, transports: list[str],
+        shards: int = 0) -> list[str]:
     scripts = record_figures()
     problems: list[str] = []
     for transport in transports:
-        problems += check_transport(transport, sessions, scripts)
+        problems += check_transport(transport, sessions, scripts, shards)
     return problems
 
 
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     sessions = 4
+    shards = 0
     transports = ["pipe", "tcp"]
     while args:
         arg = args.pop(0)
         if arg == "--sessions" and args and args[0].isdigit():
             sessions = int(args.pop(0))
+        elif arg == "--shards" and args and args[0].isdigit():
+            shards = int(args.pop(0))
         elif arg == "--pipe":
             transports = ["pipe"]
         elif arg == "--tcp":
             transports = ["tcp"]
         else:
-            print("usage: sessioncheck [--sessions K] [--pipe | --tcp]",
-                  file=sys.stderr)
+            print("usage: sessioncheck [--sessions K] [--pipe | --tcp] "
+                  "[--shards N]", file=sys.stderr)
             return 2
-    problems = run(sessions, transports)
+    problems = run(sessions, transports, shards)
     for problem in problems:
         print(f"sessioncheck: {problem}", file=sys.stderr)
     if not problems:
+        hosting = (f"a {shards}-shard router" if shards
+                   else "one session host")
         print(f"sessioncheck: Figures 5-12 byte-identical and fully "
               f"isolated across {sessions} concurrent sessions over "
-              f"{' and '.join(transports)}")
+              f"{' and '.join(transports)} on {hosting}")
     return 1 if problems else 0
 
 

@@ -50,6 +50,10 @@ class TestDurableJournal:
         journal.append("type", ("x",))
         journal.append("+cmd", ("/tmp", "ls"))
         journal.append("genesis", ())
+        # append bookkeeping is buffered with the records and lands at
+        # the flush point, one counter update per class
+        assert counter("journal.append.records") == 0
+        journal.flush()
         assert counter("journal.append.records") == 3
         assert counter("journal.append.input") == 1
         assert counter("journal.append.trace") == 1

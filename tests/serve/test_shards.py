@@ -1,0 +1,183 @@
+"""Sharded hosting: attach routing, federation, live drain.
+
+The router's one promise is that sharding is invisible: a session
+behaves identically whichever shard serves it, ``srv/sessions`` spans
+every shard, and a drain — even one racing an in-flight write — moves
+the session without losing a record.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.fs.errors import Closed, NotFound
+from repro.fs.mux import MuxClient, mount_remote
+from repro.fs.namespace import Namespace
+from repro.fs.vfs import VFS
+from repro.serve import ShardRouter, input_line
+
+
+def _attach(router, aname):
+    client = MuxClient(router.pipe(), aname=aname)
+    ns = Namespace(VFS())
+    ns.mkdir("/s", parents=True)
+    ns.mount(mount_remote(client), "/s")
+    return client, ns
+
+
+def _newwin(tag, body):
+    return input_line("newwin", ("-", "-", "-", tag, body))
+
+
+def _two_names_on_different_shards(router):
+    """Two attach names the hash sends to different shards."""
+    first = "u0"
+    for i in range(1, 64):
+        if router.shard_for(f"u{i}") != router.shard_for(first):
+            return first, f"u{i}"
+    raise AssertionError("crc32 never split 64 names across shards")
+
+
+class TestPlacement:
+    def test_hash_is_deterministic_and_spreads(self):
+        with ShardRouter(shards=4) as router:
+            home = router.shard_for("alice")
+            assert all(router.shard_for("alice") == home
+                       for _ in range(8))
+            spread = {router.shard_for(f"user{i}") for i in range(64)}
+            assert spread == {0, 1, 2, 3}
+
+    def test_anonymous_attaches_round_robin(self):
+        with ShardRouter(shards=3) as router:
+            assert [router.shard_for("") for _ in range(6)] == \
+                [0, 1, 2, 0, 1, 2]
+
+    def test_draining_shard_is_excluded(self):
+        with ShardRouter(shards=3) as router:
+            home = router.shard_for("alice")
+            router.drain_shard(home)  # empty shard: nothing to migrate
+            assert router.shard_for("alice") != home
+            assert home not in {router.shard_for("") for _ in range(9)}
+
+
+class TestFederation:
+    def test_control_file_spans_shards(self):
+        router = ShardRouter(shards=2)
+        try:
+            a_name, b_name = _two_names_on_different_shards(router)
+            _a, a_ns = _attach(router, a_name)
+            b_client, b_ns = _attach(router, b_name)
+            # the listing read through either shard names both sessions
+            ids = [line.split("\t")[0]
+                   for line in a_ns.read("/s/srv/sessions").splitlines()]
+            assert sorted(ids) == sorted([a_name, b_name])
+            # stat reaches across shards and names the owner
+            session = router.hosts[0].control_file().open("rw")
+            session.write(f"stat {b_name}\n")
+            stat = session.read()
+            session.close()
+            assert f"id {b_name}\n" in stat
+            assert f"shard {router.shard_for(b_name)}\n" in stat
+            # evict reaches across shards too
+            a_ns.append("/s/srv/sessions", f"evict {b_name}\n")
+            with pytest.raises(Closed):
+                b_ns.read("/s/screen")
+            with pytest.raises(NotFound):
+                a_ns.append("/s/srv/sessions", f"evict {b_name}\n")
+        finally:
+            router.close()
+        assert router.audit() == []
+
+    def test_anonymous_ids_carry_the_shard_prefix(self):
+        router = ShardRouter(shards=2)
+        try:
+            _a, a_ns = _attach(router, "")
+            _b, b_ns = _attach(router, "")
+            a_id = a_ns.read("/s/id").strip()
+            b_id = b_ns.read("/s/id").strip()
+            assert a_id != b_id
+            assert a_id.startswith("sh") and b_id.startswith("sh")
+        finally:
+            router.close()
+
+
+class TestDrain:
+    def test_drain_migrates_screen_byte_identically(self):
+        router = ShardRouter(shards=2)
+        try:
+            _client, ns = _attach(router, "mover")
+            home = router.shard_for("mover")
+            ns.append("/s/input", _newwin("/tmp/note", "carried text\n"))
+            before = ns.read("/s/screen")
+            assert router.drain_shard(home) == ["mover"]
+            with pytest.raises(Closed):
+                ns.read("/s/screen")  # the old shard's session is gone
+            _client2, ns2 = _attach(router, "mover")
+            assert router.shard_for("mover") != home
+            assert ns2.read("/s/screen") == before
+        finally:
+            router.close()
+        assert router.audit() == []
+        opened, closed = router.session_ledger()
+        assert opened == closed
+        assert router.metrics.counter("router.sessions.migrated") == 1
+
+    def test_drain_during_in_flight_write_keeps_the_write(self, monkeypatch):
+        """Migration takes the session's oplock, so a write racing the
+        drain lands in the journal before the snapshot is taken — the
+        migrated session must show its effect."""
+        import repro.serve.host as host_mod
+        real = host_mod.apply_record
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated(help_obj, record):
+            started.set()
+            assert release.wait(5)
+            return real(help_obj, record)
+
+        monkeypatch.setattr(host_mod, "apply_record", gated)
+        router = ShardRouter(shards=2)
+        try:
+            _client, ns = _attach(router, "mover")
+            home = router.shard_for("mover")
+            result = {}
+
+            def write():
+                try:
+                    ns.append("/s/input",
+                              _newwin("/tmp/note", "survived the drain\n"))
+                    result["ok"] = True
+                except Closed as exc:
+                    # the reply can race the post-migration teardown;
+                    # the *write itself* already landed
+                    result["error"] = exc
+
+            writer = threading.Thread(target=write, daemon=True)
+            writer.start()
+            assert started.wait(5)
+            drained = {}
+            drainer = threading.Thread(
+                target=lambda: drained.update(ids=router.drain_shard(home)),
+                daemon=True)
+            drainer.start()
+            time.sleep(0.2)
+            # the drain is parked on the session's oplock: the in-flight
+            # write still owns it
+            assert "ids" not in drained
+            release.set()
+            writer.join(5)
+            drainer.join(5)
+            assert drained.get("ids") == ["mover"]
+            assert result, "writer never finished"
+            # reattach on the new shard: the racing write is there
+            _client2, ns2 = _attach(router, "mover")
+            screen = ns2.read("/s/screen")
+            assert "/tmp/note" in screen
+            assert "survived the drain" in screen
+        finally:
+            router.close()
+        assert router.audit() == []

@@ -143,6 +143,65 @@ class TestHostLedger:
         assert any("apply-latency" in p for p in problems)
 
 
+class TestShardLedger:
+    def with_shards(self, shards=4, leak_on=None, dup=0, rejected=0,
+                    audited=True):
+        report = clean_report()
+        report["counters"].update({
+            "router.attach.routed": shards,
+            "router.attach.rejected": rejected,
+        })
+        if audited:
+            report["counters"]["router.sessions.dup"] = dup
+        per_shard = []
+        for i in range(shards):
+            attached = 1
+            clunked = 0 if i == leak_on else 1
+            per_shard.append({"shard": i, "attached": attached,
+                              "clunked": clunked})
+        report["shards"] = {
+            "shard_count": shards,
+            "per_shard": per_shard,
+            "aggregate_rpcs_per_sec": 75_000.0,
+            "meets_100k_floor": False,
+            "ledger": {k: v for k, v in report["counters"].items()
+                       if k.startswith("router.")},
+        }
+        return report
+
+    def test_balanced_shard_ledger_passes(self):
+        assert benchgate.audit(self.with_shards()) == []
+
+    def test_no_router_counters_is_not_audited(self):
+        assert benchgate.audit(clean_report()) == []
+
+    def test_too_few_shards_is_flagged(self):
+        problems = benchgate.audit(self.with_shards(shards=2))
+        assert any("shard bench underpowered" in p for p in problems)
+
+    def test_per_shard_leak_is_flagged(self):
+        problems = benchgate.audit(self.with_shards(leak_on=1))
+        assert any("shard 1 leaked sessions" in p for p in problems)
+
+    def test_cross_shard_dup_is_flagged(self):
+        problems = benchgate.audit(self.with_shards(dup=1))
+        assert any("cross-shard bleed" in p for p in problems)
+
+    def test_missing_router_audit_verdict_is_flagged(self):
+        problems = benchgate.audit(self.with_shards(audited=False))
+        assert any("never audited" in p for p in problems)
+
+    def test_rejected_attaches_are_flagged(self):
+        problems = benchgate.audit(self.with_shards(rejected=2))
+        assert any("router.attach.rejected=2" in p for p in problems)
+
+    def test_missing_the_100k_floor_is_advisory_only(self):
+        # single-core runners record the floor honestly without failing
+        report = self.with_shards()
+        assert report["shards"]["meets_100k_floor"] is False
+        assert benchgate.audit(report) == []
+
+
 class TestCli:
     def test_main_ok(self, tmp_path, capsys):
         path = tmp_path / "BENCH_perf.json"

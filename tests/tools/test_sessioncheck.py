@@ -11,6 +11,12 @@ def test_concurrent_sessions_match_goldens_over_pipes():
     assert sessioncheck.run(2, ["pipe"]) == []
 
 
+def test_concurrent_sessions_match_goldens_across_shards():
+    """The same gate with attaches hashed over a 2-shard router: the
+    sharding must be invisible — screens, journals, ledgers identical."""
+    assert sessioncheck.run(2, ["pipe"], shards=2) == []
+
+
 def test_recorded_scripts_cover_every_figure():
     scripts = sessioncheck.record_figures()
     assert set(scripts) == {name for name, _, _ in FIGURES}

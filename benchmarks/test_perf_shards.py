@@ -61,7 +61,7 @@ def _count_frames(channel, buf: bytearray, want: int) -> None:
             buf += chunk
 
 
-def test_perf_shards_aggregate_throughput(benchmark):
+def test_perf_shards_aggregate_throughput(benchmark, report_extra):
     # workers=0: RPCs run inline on each shard's reactor — on shared
     # cores the thread handoff costs more than it buys.  record=False:
     # the benchgate append==replay+dropped invariant belongs to the
@@ -127,6 +127,10 @@ def test_perf_shards_aggregate_throughput(benchmark):
         assert opened == closed, f"shard {index} leaked sessions"
     router.drain()
 
+    # deposit the ledger with the conftest too: extra_info reaches the
+    # report only on timed runs, and the gate audits per_shard either way
+    report_extra("shards", shards=SHARDS, sessions=SHARDS,
+                 per_shard=per_shard)
     benchmark.extra_info["shards"] = SHARDS
     benchmark.extra_info["sessions"] = SHARDS
     benchmark.extra_info["per_shard"] = per_shard

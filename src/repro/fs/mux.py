@@ -898,10 +898,14 @@ class _Connection:
                             pass  # connection is gone; best-effort cleanup
             session, self.session = self.session, None
             if session is not None:
-                close = getattr(session, "close", None)
-                if close is not None:
+                # a hosted session distinguishes a dropped connection
+                # (detach: may hibernate the world instead of retiring
+                # it) from an outright close; plain sessions only close
+                release = (getattr(session, "detach", None)
+                           or getattr(session, "close", None))
+                if release is not None:
                     try:
-                        close()
+                        release()
                     except Exception:
                         pass  # teardown is best-effort; the peer is gone
             self.channel.close()

@@ -162,6 +162,23 @@ class SessionRecorder:
         self._since_snapshot = 0
         self.journal._ledger().incr("journal.snapshot.count")
 
+    def compact_to_text(self) -> str:
+        """Compact the live session and return its serialized journal.
+
+        The returned text — header, snapshot group, nothing else — is
+        the whole session in one string: feed it to
+        :func:`repro.journal.recovery.recover` on a freshly built world
+        and the screen comes back byte-identical.  This is the
+        serialization both shard migration and session hibernation
+        spool; it requires a durable journal (a shadow journal has no
+        sink to read back).
+        """
+        sink = self.journal.sink
+        if sink is None:
+            raise ValueError("cannot serialize a shadow journal")
+        self.compact()
+        return sink.ns.read(sink.path)
+
     def _state_fields(self) -> tuple:
         h = self.help
         if h.current is None:

@@ -21,6 +21,12 @@ A crashed session leaves a journal whose tail may be torn mid-record.
 With no snapshot group the whole intact prefix replays from the
 session's genesis.  Either way the recovered screen is byte-identical
 to the last screen the crashed session had fully applied.
+
+Crash recovery is one caller; the same path rehydrates sessions that
+left RAM on purpose — a shard migration's :meth:`~repro.serve.
+SessionHost.adopt` and a hibernation wake both feed :func:`recover`
+the text :meth:`~repro.journal.recorder.SessionRecorder.
+compact_to_text` produced (header + snapshot group, empty suffix).
 """
 
 from __future__ import annotations
@@ -143,4 +149,9 @@ def recover(help_app: "Help", text: str) -> RecoveryReport:
         report.snapshot_seq = snapshot.seq
         records = records[start:]
     report.applied = replay(help_app, records)
+    # the suffix length is part of the recovery ledger: a hibernation
+    # wake (compacted text, empty suffix) contributes zero here while
+    # a crash recovery contributes every replayed input, so the two
+    # uses of this path stay distinguishable in the counters
+    incr("journal.recover.replayed", report.applied)
     return report

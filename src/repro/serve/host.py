@@ -15,7 +15,8 @@ tree is what the connection sees::
     journal     read: the session's record kinds, in order
     metrics     read: the session's counter ledger, sorted
     mnt/help/   the session's own /mnt/help window server
-    srv/sessions  host-level control: list, stat <id>, evict <id>
+    srv/sessions  host-level control: list, stat <id>, evict <id>,
+                  hibernate <id>
 
 The ``input`` grammar is PR 4's journal record payload — ``<kind>
 <token>...`` with each token encoded by :func:`repro.journal.record.enc`
@@ -28,15 +29,33 @@ host keeps its own private ledger (``host.sessions.*``); because no
 session work is ever done under the host's registry, :meth:`audit` can
 assert that the host ledger holds **zero** session-scoped counters —
 any nonzero value is cross-session bleed by construction.
+
+**Hibernation** is the capacity story on top: give the host a memory
+budget (``max_live`` resident worlds) and idle sessions cost disk, not
+RAM.  :meth:`SessionHost.hibernate` flushes and compacts a session's
+journal (PR 4's snapshot+truncate) into one serialized text, spools it
+to a disk file, and tears the world down; the session survives as an
+entry in the ``hibernated`` table.  The next ``Tattach`` naming that
+session **wakes** it: the snapshot text rehydrates a fresh world
+through :func:`repro.journal.recovery.recover` (the same path shard
+migration uses), byte-identically, metered into the ``host.wake_us``
+histograms.  With a budget set, sessions past the least-recently-used
+line are hibernated to make room for new attaches, and a dropped
+connection hibernates its session instead of retiring it — a
+disconnected user becomes a nominal one, parked on disk.
 """
 
 from __future__ import annotations
 
+import pathlib
+import shutil
+import tempfile
 import threading
 import time
+from urllib.parse import quote
 
 from repro.core.render import render_screen
-from repro.fs.errors import Busy, Closed, Invalid, NotFound
+from repro.fs.errors import Busy, Closed, FsError, Invalid, IOFault, NotFound
 from repro.fs.mux import WireServer, channel_pair
 from repro.fs.server import SynthDir, SynthFile, SynthSession
 from repro.journal.log import Journal
@@ -44,7 +63,17 @@ from repro.journal.record import APPLY_KINDS, Record, enc
 from repro.journal.recorder import apply_record, attach
 from repro.metrics.counter import MetricsRegistry, current_registry
 
-JOURNAL_PATH = "/tmp/session.journal"
+
+def journal_path(session_id: str) -> str:
+    """The session's own journal file inside its namespace.
+
+    Per-session (not one shared ``/tmp/session.journal``) so two
+    sessions' hibernation snapshots can never collide on one
+    namespace-external name when their journal texts are spooled,
+    diffed, or carried between shards.
+    """
+    return f"/tmp/session.{session_id}.journal"
+
 
 # Counter prefixes that only session work produces.  The host audit
 # asserts its own ledger holds none of them: the wire layer binds each
@@ -77,6 +106,9 @@ class HostedSession:
         # A parked session was adopted from a draining shard and waits
         # for its owner to re-attach under the same name.
         self.parked = False
+        # LRU clock for the hibernation budget: the moment of the last
+        # applied input (or the build, until one arrives).
+        self.last_input = time.monotonic()
         # Everything the world's construction touches — fs traffic,
         # layout caching, the journal's genesis — belongs to this
         # session's ledger, not to whoever called attach.
@@ -85,12 +117,14 @@ class HostedSession:
             self.journal = None
             self.recorder = None
             if journal_text is not None:
-                # Migration: rebuild the world from the source shard's
-                # journal (snapshot group + suffix, PR 4 recovery).
+                # Migration or wake: rebuild the world from the
+                # serialized journal (snapshot group + suffix, PR 4
+                # recovery).
                 from repro.journal.recovery import recover
                 recover(self.system.help, journal_text)
             if host.record:
-                self.journal = Journal.create(self.system.ns, JOURNAL_PATH,
+                self.journal = Journal.create(self.system.ns,
+                                              journal_path(session_id),
                                               metrics=self.metrics)
                 if journal_text is not None:
                     from repro.journal.record import scan_text
@@ -102,7 +136,7 @@ class HostedSession:
                                        context=self.system.context)
                 if journal_text is not None:
                     # re-found the journal on a snapshot of the adopted
-                    # state; the next drain starts from here
+                    # state; the next drain or hibernate starts here
                     self.recorder.compact()
         self.root = self._build_root()
         # a per-session fault schedule wraps only this session's tree
@@ -163,21 +197,49 @@ class HostedSession:
         record = Record(0, kind, " ".join(parts[1:]))
         start = time.perf_counter()
         apply_record(self.system.help, record)
+        self.last_input = time.monotonic()
         self.metrics.observe("session.apply_us",
                              (time.perf_counter() - start) * 1e6)
         self.metrics.incr("session.input.applied")
 
     # -- lifecycle --------------------------------------------------------
 
-    def close(self) -> None:
-        """Retire the session: idempotent, ledger handed to the host."""
+    def close(self) -> bool:
+        """Retire the session; True when **this** call retired it.
+
+        Idempotent: a second close (an evict racing a connection drop,
+        a teardown after a hibernate) returns False and touches
+        nothing, so callers that keep a ledger — ``evict`` bumps
+        ``host.sessions.evicted`` — only count the close that
+        actually happened.
+        """
         if self.closed:
-            return
+            return False
         self.closed = True
         if self.recorder is not None:
             with self.metrics.activate():
                 self.recorder._flush()
         self.host._retire(self)
+        return True
+
+    def detach(self) -> None:
+        """The connection dropped: park the session or retire it.
+
+        With a hibernation budget on the host, a disconnect turns the
+        session nominal — compacted to disk, woken by the owner's next
+        attach.  Without one (or for an unjournalled world, or during
+        host shutdown) the drop retires the session as before.
+        """
+        if self.closed:
+            return
+        if (self.host.max_live is not None and self.recorder is not None
+                and not self.host._closing):
+            try:
+                self.host.hibernate(self.id)
+                return
+            except FsError:
+                pass  # raced an evict or a shutdown: fall through
+        self.close()
 
 
 class SessionHost:
@@ -187,7 +249,9 @@ class SessionHost:
                  record: bool = True, extra_tools: bool = False,
                  metrics: MetricsRegistry | None = None,
                  plan_for=None, id_prefix: str = "s",
-                 max_outstanding: int = 64, workers: int = 4) -> None:
+                 max_outstanding: int = 64, workers: int = 4,
+                 max_live: int | None = None,
+                 spool: str | pathlib.Path | None = None) -> None:
         self.width = width
         self.height = height
         self.record = record
@@ -200,10 +264,25 @@ class SessionHost:
         self.id_prefix = id_prefix
         # a ShardRouter installs itself here to federate srv/sessions
         self.directory: "SessionDirectory | None" = None
+        # the memory budget: at most max_live worlds resident; the
+        # least-recently-used sessions beyond it hibernate to disk
+        if max_live is not None and max_live < 1:
+            raise ValueError("max_live must be at least 1")
+        self.max_live = max_live
+        self._spool = pathlib.Path(spool) if spool is not None else None
+        self._spool_owned = False
+        # session id -> spool file holding its compacted journal text
+        self.hibernated: dict[str, pathlib.Path] = {}
+        self._hibernated_uname: dict[str, str] = {}
+        self.live_peak = 0
+        self._closing = False
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry("host")
         self.sessions: dict[str, HostedSession] = {}
-        self._retired: list[tuple[str, MetricsRegistry]] = []
+        # retired sessions' ledgers, folded as they retire — a list
+        # would grow without bound under a hibernation churn of
+        # thousands of nominal sessions
+        self._retired = MetricsRegistry("host:retired")
         self._lock = threading.Lock()
         self._next = 1
         self.server = WireServer(metrics=self.metrics,
@@ -240,23 +319,57 @@ class SessionHost:
             self._next += 1
             existing = self.sessions.get(session_id)
             if existing is not None and existing.parked:
-                # a migrated session waiting for its owner: claim it
+                # a migrated session waiting for its owner: claim it —
+                # the claimer's identity replaces the stale one and the
+                # LRU clock restarts, or the fresh claim would be the
+                # first hibernation victim
                 existing.parked = False
+                if uname:
+                    existing.uname = uname
+                existing.last_input = time.monotonic()
                 self.metrics.incr("host.sessions.claimed")
                 return existing
             if session_id in self.sessions:
                 raise Busy(f"session {session_id!r} already attached",
                            path=f"session/{session_id}", op="attach")
+            wake_path = self.hibernated.pop(session_id, None)
+            wake_uname = self._hibernated_uname.pop(session_id, None)
             # reserve the name before the (slow) world build
             self.sessions[session_id] = None  # type: ignore[assignment]
         try:
-            session = HostedSession(self, session_id, uname)
+            self._ensure_room(exclude=session_id)
+            start = time.perf_counter()
+            journal_text = None
+            if wake_path is not None:
+                try:
+                    journal_text = wake_path.read_text()
+                except OSError as exc:
+                    raise IOFault(f"hibernated snapshot unreadable: {exc}",
+                                  path=f"session/{session_id}",
+                                  op="attach") from exc
+            session = HostedSession(self, session_id, uname or wake_uname
+                                    or "", journal_text=journal_text)
         except BaseException:
             with self._lock:
                 self.sessions.pop(session_id, None)
+                if wake_path is not None:
+                    # the snapshot file is untouched: keep the session
+                    # nominal instead of losing it to a failed wake
+                    self.hibernated[session_id] = wake_path
+                    self._hibernated_uname[session_id] = wake_uname or ""
             raise
         with self._lock:
             self.sessions[session_id] = session
+            live = sum(1 for s in self.sessions.values() if s is not None)
+        self.live_peak = max(self.live_peak, live)
+        if wake_path is not None:
+            self.metrics.observe("host.wake_us",
+                                 (time.perf_counter() - start) * 1e6)
+            self.metrics.incr("host.sessions.woken")
+            try:
+                wake_path.unlink()
+            except OSError:
+                pass  # the table entry is gone; a stale file is litter
         self.metrics.incr("host.sessions.opened")
         return session
 
@@ -276,6 +389,7 @@ class SessionHost:
                            path=f"session/{session_id}", op="adopt")
             self.sessions[session_id] = None  # type: ignore[assignment]
         try:
+            self._ensure_room(exclude=session_id)
             session = HostedSession(self, session_id, uname,
                                     journal_text=journal_text)
         except BaseException:
@@ -285,33 +399,161 @@ class SessionHost:
         session.parked = True
         with self._lock:
             self.sessions[session_id] = session
+            live = sum(1 for s in self.sessions.values() if s is not None)
+        self.live_peak = max(self.live_peak, live)
         self.metrics.incr("host.sessions.opened")
         self.metrics.incr("host.sessions.adopted")
         return session
 
+    def adopt_hibernated(self, session_id: str, uname: str,
+                         journal_text: str) -> None:
+        """Take over another shard's **hibernated** session.
+
+        The snapshot text is re-spooled locally and the session joins
+        this host's ``hibernated`` table without ever being resident —
+        a drained shard's nominal users move as files, not worlds.
+        """
+        with self._lock:
+            if session_id in self.sessions or session_id in self.hibernated:
+                raise Busy(f"session {session_id!r} already here",
+                           path=f"session/{session_id}", op="adopt")
+        path = self._spool_path(session_id)
+        path.write_text(journal_text)
+        with self._lock:
+            self.hibernated[session_id] = path
+            self._hibernated_uname[session_id] = uname
+        self.metrics.incr("host.sessions.hib.in")
+
     def _retire(self, session: HostedSession) -> None:
         with self._lock:
             self.sessions.pop(session.id, None)
-            self._retired.append((session.id, session.metrics))
+            self._retired.merge(session.metrics)
         self.metrics.incr("host.sessions.closed")
 
     def evict(self, session_id: str) -> None:
-        """Force one session out; its connection sees ``Closed``."""
+        """Force one session out; its connection sees ``Closed``.
+
+        Evicting a hibernated session discards its disk snapshot.  The
+        ``host.sessions.evicted`` counter moves only when this call is
+        the one that retires the session — an evict racing a close (or
+        a second evict) must not inflate the ledger.
+        """
+        with self._lock:
+            session = self.sessions.get(session_id)
+            if session is None and session_id in self.hibernated:
+                path = self.hibernated.pop(session_id)
+                self._hibernated_uname.pop(session_id, None)
+                self.metrics.incr("host.sessions.discarded")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return
+        if session is None:
+            raise NotFound(path=f"session/{session_id}", op="evict")
+        if session.close():
+            self.metrics.incr("host.sessions.evicted")
+
+    # -- hibernation ------------------------------------------------------
+
+    def _spool_dir(self) -> pathlib.Path:
+        if self._spool is None:
+            self._spool = pathlib.Path(
+                tempfile.mkdtemp(prefix="repro-hibernate-"))
+            self._spool_owned = True
+        else:
+            self._spool.mkdir(parents=True, exist_ok=True)
+        return self._spool
+
+    def _spool_path(self, session_id: str) -> pathlib.Path:
+        return self._spool_dir() / (quote(session_id, safe="") + ".journal")
+
+    def hibernate(self, session_id: str) -> None:
+        """Park one live session on disk: compact, spool, tear down.
+
+        Under the session's oplock (an in-flight input finishes
+        first), the journal is flushed and compacted to a snapshot
+        group, the serialized text is written to the spool, and the
+        world is retired.  The session survives as a ``hibernated``
+        table entry; the next attach naming it wakes it
+        byte-identically.
+        """
         with self._lock:
             session = self.sessions.get(session_id)
         if session is None:
-            raise NotFound(path=f"session/{session_id}", op="evict")
-        self.metrics.incr("host.sessions.evicted")
-        session.close()
+            raise NotFound(path=f"session/{session_id}", op="hibernate")
+        if session.recorder is None:
+            raise Invalid("cannot hibernate an unjournalled session",
+                          path=f"session/{session_id}", op="hibernate")
+        with session.oplock:
+            if session.closed:
+                raise NotFound(path=f"session/{session_id}", op="hibernate")
+            with session.metrics.activate():
+                text = session.recorder.compact_to_text()
+            path = self._spool_path(session_id)
+            path.write_text(text)
+            with self._lock:
+                # registered before the retire pops the id, so there is
+                # no window where an attach rebuilds a fresh world
+                self.hibernated[session_id] = path
+                self._hibernated_uname[session_id] = session.uname
+            if not session.close():
+                # an evict slipped in between the closed check and
+                # here: honour it — the snapshot is already stale
+                with self._lock:
+                    self.hibernated.pop(session_id, None)
+                    self._hibernated_uname.pop(session_id, None)
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                raise NotFound(path=f"session/{session_id}",
+                               op="hibernate")
+        self.metrics.incr("host.sessions.hibernated")
+
+    def _ensure_room(self, exclude: str | None = None) -> None:
+        """Hibernate LRU sessions until the budget fits one more world.
+
+        Victims are picked by ``last_input`` (parked sessions, whose
+        clock never restarts, go first by construction).  A victim
+        without a journal cannot hibernate and is evicted instead —
+        the budget is a hard ceiling either way.
+        """
+        if self.max_live is None:
+            return
+        while True:
+            with self._lock:
+                total = len(self.sessions) + (1 if exclude
+                                              not in self.sessions else 0)
+                victims = [s for sid, s in self.sessions.items()
+                           if s is not None and sid != exclude]
+                if total <= self.max_live or not victims:
+                    return
+                victim = min(victims, key=lambda s: s.last_input)
+            try:
+                self.hibernate(victim.id)
+            except Invalid:
+                if victim.close():
+                    self.metrics.incr("host.sessions.evicted")
+            except NotFound:
+                pass  # raced a close; re-evaluate
 
     def close(self) -> None:
-        """Stop serving: drop every connection, retire every session."""
+        """Stop serving: drop every connection, retire every session.
+
+        The ``hibernated`` table is kept (a post-close audit balances
+        the wake ledger against it) but an owned spool directory is
+        removed from disk.
+        """
+        self._closing = True
         self.server.close()
         with self._lock:
             live = list(self.sessions.values())
         for session in live:
             if session is not None:
                 session.close()
+        if self._spool_owned and self._spool is not None:
+            shutil.rmtree(self._spool, ignore_errors=True)
 
     def __enter__(self) -> "SessionHost":
         return self
@@ -342,6 +584,8 @@ class SessionHost:
                 focus["id"] = words[1]
             elif len(words) == 2 and words[0] == "evict":
                 directory.evict(words[1])
+            elif len(words) == 2 and words[0] == "hibernate":
+                directory.hibernate(words[1])
             else:
                 raise Invalid(f"bad control message {line.strip()!r}",
                               path="srv/sessions", op="write")
@@ -350,27 +594,69 @@ class SessionHost:
 
     def _knows(self, session_id: str) -> bool:
         with self._lock:
-            return session_id in self.sessions
+            return (session_id in self.sessions
+                    or session_id in self.hibernated)
+
+    def _session_state(self, session: HostedSession) -> str:
+        return "parked" if session.parked else "live"
 
     def _list_text(self) -> str:
+        """One line per session — live, parked, busy or hibernated.
+
+        Live rows read ``help.windows`` and ``journal.seq``, which a
+        concurrent input apply mutates; each row takes its session's
+        oplock (non-blocking — a listing must never stall behind a
+        slow apply) and a session mid-apply is reported ``busy`` with
+        its volatile fields elided rather than torn.
+        """
         with self._lock:
             live = sorted((s for s in self.sessions.values()
                            if s is not None), key=lambda s: s.id)
-        return "".join(
-            f"{s.id}\t{s.uname}\twindows={len(s.system.help.windows)}"
-            f"\trecords={0 if s.journal is None else s.journal.seq}\n"
-            for s in live)
+            nominal = sorted((sid, self._hibernated_uname.get(sid, ""))
+                             for sid in self.hibernated)
+        lines = []
+        for s in live:
+            if s.oplock.acquire(blocking=False):
+                try:
+                    lines.append(
+                        f"{s.id}\t{s.uname}\t{self._session_state(s)}"
+                        f"\twindows={len(s.system.help.windows)}"
+                        f"\trecords="
+                        f"{0 if s.journal is None else s.journal.seq}\n")
+                finally:
+                    s.oplock.release()
+            else:
+                lines.append(f"{s.id}\t{s.uname}\tbusy"
+                             f"\twindows=?\trecords=?\n")
+        for sid, uname in nominal:
+            lines.append(f"{sid}\t{uname}\thibernated"
+                         f"\twindows=?\trecords=?\n")
+        return "".join(sorted(lines))
 
     def _stat_text(self, session_id: str) -> str:
         with self._lock:
             session = self.sessions.get(session_id)
+            if session is None and session_id in self.hibernated:
+                uname = self._hibernated_uname.get(session_id, "")
+                return (f"id {session_id}\nuser {uname}\n"
+                        f"state hibernated\n")
         if session is None:
             return f"id {session_id}\nstate gone\n"
-        h = session.system.help
-        return (f"id {session.id}\nuser {session.uname}\nstate live\n"
-                f"windows {len(h.windows)}\n"
-                f"records {0 if session.journal is None else session.journal.seq}\n"
-                f"screen {h.screen.rect.width}x{h.screen.rect.height}\n")
+        if not session.oplock.acquire(blocking=False):
+            # an input is being applied right now: report that rather
+            # than reading windows/seq mid-mutation
+            return (f"id {session.id}\nuser {session.uname}\n"
+                    f"state busy\n")
+        try:
+            h = session.system.help
+            return (f"id {session.id}\nuser {session.uname}\n"
+                    f"state {self._session_state(session)}\n"
+                    f"windows {len(h.windows)}\n"
+                    f"records "
+                    f"{0 if session.journal is None else session.journal.seq}\n"
+                    f"screen {h.screen.rect.width}x{h.screen.rect.height}\n")
+        finally:
+            session.oplock.release()
 
     # -- the ledger -------------------------------------------------------
 
@@ -382,21 +668,36 @@ class SessionHost:
     def audit(self) -> list[str]:
         """Check the host ledger; returns problems (empty = clean).
 
-        Balances sessions opened against closed + live, and asserts the
-        host's own registry carries **no** session-scoped counters —
-        session work always runs under the session's registry, so any
-        such counter here is cross-session bleed.  The bleed total is
-        recorded as ``host.sessions.bleed`` (0 when clean) so the bench
-        ledger always carries an explicit verdict.
+        Balances sessions opened against closed + live, balances the
+        wake ledger (every hibernation is accounted for by a wake, a
+        discard, a transfer to another shard, or a snapshot still on
+        the spool), and asserts the host's own registry carries **no**
+        session-scoped counters — session work always runs under the
+        session's registry, so any such counter here is cross-session
+        bleed.  The bleed total is recorded as ``host.sessions.bleed``
+        (0 when clean) so the bench ledger always carries an explicit
+        verdict.
         """
         problems: list[str] = []
         opened = self.metrics.counter("host.sessions.opened")
         closed = self.metrics.counter("host.sessions.closed")
         with self._lock:
             live = sum(1 for s in self.sessions.values() if s is not None)
+            parked_on_disk = len(self.hibernated)
         if opened != closed + live:
             problems.append(f"session ledger unbalanced: opened {opened} "
                             f"!= closed {closed} + live {live}")
+        hibernated = self.metrics.counter("host.sessions.hibernated")
+        woken = self.metrics.counter("host.sessions.woken")
+        discarded = self.metrics.counter("host.sessions.discarded")
+        hib_in = self.metrics.counter("host.sessions.hib.in")
+        hib_out = self.metrics.counter("host.sessions.hib.out")
+        if hibernated + hib_in != woken + discarded + hib_out \
+                + parked_on_disk:
+            problems.append(
+                f"wake ledger unbalanced: hibernated {hibernated} "
+                f"+ in {hib_in} != woken {woken} + discarded {discarded} "
+                f"+ out {hib_out} + parked {parked_on_disk}")
         leaked = 0
         for prefix in SESSION_PREFIXES:
             for name, value in sorted(self.metrics.counters(prefix).items()):
@@ -418,10 +719,8 @@ class SessionHost:
         target = into if into is not None else current_registry()
         target.merge(self.metrics)
         with self._lock:
-            retired = list(self._retired)
             live = [s for s in self.sessions.values() if s is not None]
-        for _sid, registry in retired:
-            target.merge(registry)
+            target.merge(self._retired)
         for session in live:
             target.merge(session.metrics)
         return target

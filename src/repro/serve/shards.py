@@ -16,11 +16,14 @@ but the attach decision:
   every shard's ``directory``, so the control file lists, stats and
   evicts across all shards no matter which shard serves the read.
 * :meth:`drain_shard` retires a shard gracefully: each live session is
-  flushed, its journal (snapshot group + suffix, the PR 4 recovery
-  format) is carried to another shard via
+  flushed and compacted, its journal (snapshot group + suffix, the
+  PR 4 recovery format) is carried to another shard via
   :meth:`~repro.serve.SessionHost.adopt`, and a placement override
   routes the session's next attach to its new home.  In-flight RPCs
-  finish first — migration takes each session's oplock.
+  finish first — migration takes each session's oplock.  Hibernated
+  sessions relocate as snapshot files (``adopt_hibernated``) without
+  ever becoming resident, and ``hibernate <id>`` on ``srv/sessions``
+  reaches across shards the same way ``evict`` does.
 
 Sessions are placed by ``crc32(aname)`` over the non-draining shards;
 anonymous attaches round-robin.  Shard ids never collide because each
@@ -37,7 +40,7 @@ from repro.fs import wire
 from repro.fs.errors import Busy, Closed, Invalid, NotFound
 from repro.fs.mux import SocketChannel, channel_pair
 from repro.metrics.counter import MetricsRegistry, current_registry
-from repro.serve.host import JOURNAL_PATH, SessionHost
+from repro.serve.host import SessionHost
 
 _PEEK_SIZE = 1 << 16
 
@@ -48,15 +51,17 @@ class ShardRouter:
     def __init__(self, shards: int = 4, *, width: int = 100,
                  height: int = 40, record: bool = True,
                  extra_tools: bool = False, max_outstanding: int = 64,
-                 workers: int = 4) -> None:
+                 workers: int = 4, max_live: int | None = None) -> None:
         if shards < 1:
             raise ValueError("a router needs at least one shard")
         self.metrics = MetricsRegistry("router")
+        # max_live is a per-shard budget: N shards under one router
+        # hold at most shards * max_live resident worlds
         self.hosts = [SessionHost(width=width, height=height,
                                   record=record, extra_tools=extra_tools,
                                   id_prefix=f"sh{i}.",
                                   max_outstanding=max_outstanding,
-                                  workers=workers)
+                                  workers=workers, max_live=max_live)
                       for i in range(shards)]
         for host in self.hosts:
             host.directory = self
@@ -151,14 +156,18 @@ class ShardRouter:
     # -- drain / migration ------------------------------------------------
 
     def drain_shard(self, index: int) -> list[str]:
-        """Retire shard *index*: migrate every live session elsewhere.
+        """Retire shard *index*: migrate every session elsewhere.
 
-        Each session is closed on the source shard under its oplock (so
-        an in-flight RPC completes first), its journal text is adopted
-        by a destination shard, and a placement override points the
-        session's next attach there.  Returns the migrated session ids.
-        The shard keeps serving non-migrated traffic until its
-        connections drop; new attaches never route to it again.
+        Each live session is closed on the source shard under its
+        oplock (so an in-flight RPC completes first), its journal text
+        is adopted by a destination shard, and a placement override
+        points the session's next attach there.  Hibernated sessions
+        migrate too — their snapshot files move to the destination
+        shard's spool (``adopt_hibernated``) without ever becoming
+        resident, so a drained shard's nominal users survive the
+        drain.  Returns the migrated session ids.  The shard keeps
+        serving non-migrated traffic until its connections drop; new
+        attaches never route to it again.
         """
         with self._lock:
             if index in self._draining:
@@ -175,6 +184,9 @@ class ShardRouter:
                     self._placement[session.id] = target
                 migrated.append(session.id)
                 self.metrics.incr("router.sessions.migrated")
+        for session_id in self._relocate_hibernated(source):
+            migrated.append(session_id)
+            self.metrics.incr("router.sessions.relocated")
         return migrated
 
     def _migrate(self, session, target_host: SessionHost) -> bool:
@@ -182,15 +194,41 @@ class ShardRouter:
             if session.closed:
                 return False
             text = None
-            if session.journal is not None:
+            if session.recorder is not None:
                 with session.metrics.activate():
-                    session.recorder._flush()
-                    text = session.system.ns.read(JOURNAL_PATH)
+                    text = session.recorder.compact_to_text()
             uname = session.uname
             session_id = session.id
             session.close()
         target_host.adopt(session_id, uname, text)
         return True
+
+    def _relocate_hibernated(self, source: SessionHost) -> list[str]:
+        """Move *source*'s hibernated snapshots to their new shards."""
+        with source._lock:
+            parked = list(source.hibernated.items())
+        moved: list[str] = []
+        for session_id, path in parked:
+            with source._lock:
+                if source.hibernated.get(session_id) is not path:
+                    continue  # woken or evicted while we iterated
+                del source.hibernated[session_id]
+                uname = source._hibernated_uname.pop(session_id, "")
+            try:
+                text = path.read_text()
+            except OSError:
+                continue  # an unreadable snapshot cannot move
+            target = self.shard_for(session_id)
+            self.hosts[target].adopt_hibernated(session_id, uname, text)
+            source.metrics.incr("host.sessions.hib.out")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self._placement[session_id] = target
+            moved.append(session_id)
+        return moved
 
     # -- the federated srv/sessions directory ------------------------------
 
@@ -215,6 +253,13 @@ class ShardRouter:
                 host.evict(session_id)
                 return
         raise NotFound(path=f"session/{session_id}", op="evict")
+
+    def hibernate(self, session_id: str) -> None:
+        for host in self.hosts:
+            if host._knows(session_id):
+                host.hibernate(session_id)
+                return
+        raise NotFound(path=f"session/{session_id}", op="hibernate")
 
     # -- the ledger -------------------------------------------------------
 

@@ -37,7 +37,14 @@ Checks applied:
   live on two shards (``router.sessions.dup`` recorded, zero), and no
   attach was rejected on the clean path.  The 100k RPC/s aggregate
   floor is advisory — single-core runners record it honestly in
-  ``extra_info`` (``meets_100k_floor``) without failing the gate.
+  ``extra_info`` (``meets_100k_floor``) without failing the gate;
+- the wake ledger balances: every hibernation is accounted for by a
+  wake, a discarded snapshot, a cross-shard relocation, or a snapshot
+  still parked on the spool (``host.sessions.hibernated + hib.in ==
+  woken + discarded + hib.out + still_hibernated``), wake latencies
+  reached the report's ``hibernate`` section, the resident peak never
+  exceeded the configured budget, and no session was retired twice
+  (``host.sessions.evicted <= host.sessions.closed``).
 
 Exit 0 when the ledger balances, 1 on any violation, 2 on usage
 errors or an unreadable report.
@@ -166,6 +173,39 @@ def audit(report: dict) -> list[str]:
             problems.append(
                 f"router rejected attaches on the clean path: "
                 f"router.attach.rejected={rejected}")
+
+    hibernated = counters.get("host.sessions.hibernated")
+    if hibernated is not None:
+        # the hibernation bench ran: the wake ledger must balance
+        section = report.get("hibernate") or {}
+        woken = counters.get("host.sessions.woken", 0)
+        discarded = counters.get("host.sessions.discarded", 0)
+        hib_in = counters.get("host.sessions.hib.in", 0)
+        hib_out = counters.get("host.sessions.hib.out", 0)
+        still = section.get("still_hibernated") or 0
+        if hibernated + hib_in != woken + discarded + hib_out + still:
+            problems.append(
+                f"wake ledger imbalance: host.sessions.hibernated="
+                f"{hibernated} + hib.in={hib_in} != woken={woken} + "
+                f"discarded={discarded} + hib.out={hib_out} + "
+                f"still_hibernated={still}")
+        wake_us = section.get("wake_us") or {}
+        if not any(entry.get("count", 0) for entry in wake_us.values()):
+            problems.append(
+                "no wake latency samples recorded (hibernate section "
+                "empty)")
+        max_live = section.get("max_live") or 0
+        live_peak = section.get("live_peak") or 0
+        if max_live and live_peak > max_live:
+            problems.append(
+                f"memory budget breached: live_peak={live_peak} > "
+                f"max_live={max_live}")
+        evicted = counters.get("host.sessions.evicted", 0)
+        retired = counters.get("host.sessions.closed", 0)
+        if evicted > retired:
+            problems.append(
+                f"evict ledger imbalance: host.sessions.evicted="
+                f"{evicted} > host.sessions.closed={retired}")
     return problems
 
 

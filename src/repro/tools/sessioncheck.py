@@ -23,13 +23,21 @@ Runs over both transports (in-memory pipes with forced short reads,
 and real TCP sockets) unless narrowed::
 
     python -m repro.tools.sessioncheck [--sessions K] [--pipe | --tcp]
-                                       [--shards N]
+                                       [--shards N] [--budget N]
 
 With ``--shards N`` the sessions are hosted by a
 :class:`~repro.serve.ShardRouter` over N independent shard hosts
 instead of a single :class:`~repro.serve.SessionHost` — the same
 byte-identity and isolation must hold when attaches are hashed across
 shards, or sharding is visible to clients.
+
+With ``--budget N`` the check instead proves **hibernation** is
+invisible: the host gets an LRU memory budget of N resident worlds,
+every figure session is driven, detached (which hibernates it to a
+disk snapshot), and re-attached — the woken screen must equal the
+pinned golden byte-for-byte, at most N worlds may ever be resident,
+and the wake ledger must balance (every hibernation accounted for by
+a wake or a snapshot still parked on the spool).
 
 Exit 0 when every session matches, 1 on any divergence, 2 on usage
 errors.
@@ -40,6 +48,7 @@ from __future__ import annotations
 import pathlib
 import sys
 import threading
+import time
 
 from repro.core.render import render_screen
 from repro.fs.mux import MuxClient, dial, mount_remote
@@ -216,6 +225,93 @@ def check_transport(transport: str, sessions: int,
     return problems
 
 
+def _read_screen(host: SessionHost, name: str) -> str:
+    """Attach (waking the session if hibernated) and read the screen."""
+    client = MuxClient(host.pipe(), aname=name)
+    try:
+        ns = Namespace(VFS())
+        ns.mkdir("/s", parents=True)
+        ns.mount(mount_remote(client), "/s")
+        return ns.read("/s/screen")
+    finally:
+        client.close()
+
+
+def _await_counter(host: SessionHost, name: str, want: int,
+                   timeout: float = 10.0) -> bool:
+    """Detach-driven hibernation is asynchronous; wait for the ledger."""
+    deadline = time.monotonic() + timeout
+    while host.metrics.counter(name) < want:
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.005)
+    return True
+
+
+def check_budget(budget: int, scripts: dict[str, dict]) -> list[str]:
+    """Drive every figure through a hibernate/wake cycle under a budget."""
+    problems: list[str] = []
+    goldens: dict[str, str] = {}
+    for name in scripts:
+        path = GOLDENS / f"{name}.txt"
+        if not path.exists():
+            return [f"budget: no golden at {path}"]
+        goldens[name] = path.read_text()
+
+    host = SessionHost(width=WIDTH, height=HEIGHT, max_live=budget)
+    try:
+        # -- pass 1: drive each figure, detach -> hibernate ----------------
+        for name, script in scripts.items():
+            try:
+                got = drive_session(host, "pipe", None, f"{name}.hib",
+                                    script)
+            except Exception as exc:  # noqa: BLE001 - the crash IS it
+                return [f"budget/{name}: session failed: {exc!r}"]
+            if got["screen"] != goldens[name]:
+                line = _first_divergent_line(goldens[name], got["screen"])
+                problems.append(f"budget/{name}: live screen differs "
+                                f"from golden (first at line {line})")
+        if not _await_counter(host, "host.sessions.hibernated",
+                              len(scripts)):
+            problems.append(
+                f"budget: only "
+                f"{host.metrics.counter('host.sessions.hibernated')} of "
+                f"{len(scripts)} detached sessions hibernated")
+        resident = sum(1 for s in host.sessions.values() if s is not None)
+        if resident > budget:
+            problems.append(f"budget: {resident} worlds resident after "
+                            f"hibernation, budget is {budget}")
+        if problems:
+            return problems  # a broken park makes the wake pass noise
+
+        # -- pass 2: wake each, the screen must still match the golden ----
+        for name in scripts:
+            try:
+                screen = _read_screen(host, f"{name}.hib")
+            except Exception as exc:  # noqa: BLE001
+                problems.append(f"budget/{name}: wake failed: {exc!r}")
+                continue
+            if screen != goldens[name]:
+                line = _first_divergent_line(goldens[name], screen)
+                problems.append(f"budget/{name}: woken screen differs "
+                                f"from golden (first at line {line})")
+        _await_counter(host, "host.sessions.hibernated", 2 * len(scripts))
+        if host.live_peak > budget:
+            problems.append(f"budget: live_peak {host.live_peak} "
+                            f"exceeded the budget {budget}")
+    finally:
+        host.close()
+
+    problems += [f"budget: {p}" for p in host.audit()]
+    woken = host.metrics.counter("host.sessions.woken")
+    if woken != len(scripts):
+        problems.append(f"budget: expected {len(scripts)} wakes, "
+                        f"ledger says {woken}")
+    if not (host.metrics.histogram("host.wake_us") or {}).get("count"):
+        problems.append("budget: no host.wake_us latency samples")
+    return problems
+
+
 def run(sessions: int, transports: list[str],
         shards: int = 0) -> list[str]:
     scripts = record_figures()
@@ -229,6 +325,7 @@ def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     sessions = 4
     shards = 0
+    budget = 0
     transports = ["pipe", "tcp"]
     while args:
         arg = args.pop(0)
@@ -236,14 +333,24 @@ def main(argv: list[str] | None = None) -> int:
             sessions = int(args.pop(0))
         elif arg == "--shards" and args and args[0].isdigit():
             shards = int(args.pop(0))
+        elif arg == "--budget" and args and args[0].isdigit():
+            budget = int(args.pop(0))
         elif arg == "--pipe":
             transports = ["pipe"]
         elif arg == "--tcp":
             transports = ["tcp"]
         else:
             print("usage: sessioncheck [--sessions K] [--pipe | --tcp] "
-                  "[--shards N]", file=sys.stderr)
+                  "[--shards N] [--budget N]", file=sys.stderr)
             return 2
+    if budget:
+        problems = check_budget(budget, record_figures())
+        for problem in problems:
+            print(f"sessioncheck: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"sessioncheck: Figures 5-12 byte-identical through a "
+                  f"hibernate/wake cycle under a {budget}-world budget")
+        return 1 if problems else 0
     problems = run(sessions, transports, shards)
     for problem in problems:
         print(f"sessioncheck: {problem}", file=sys.stderr)

@@ -2,13 +2,16 @@
 
 The load-bearing scenario is the ISSUE's: two sessions attach to the
 same TCP server, mutate same-named files inside their own namespaces
-(each session journals to its own ``/tmp/session.journal``), a fault
-is injected into one of them — and the other's screen, journal and
-counter ledger never notice.
+(each session journals to its own ``/tmp/session.<id>.journal``), a
+fault is injected into one of them — and the other's screen, journal
+and counter ledger never notice.  The hibernation tests cover the
+lifecycle fixes: evict/close double-count, torn ``srv/sessions``
+reads, stale parked unames, and the hibernate/wake round trip.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 import pytest
@@ -196,6 +199,189 @@ def test_bad_input_kind_is_invalid_and_not_applied():
         assert "session.input.applied" not in _ledger(ns)
     finally:
         host.close()
+
+
+def test_evict_racing_a_close_counts_once():
+    """An evict that loses the race to a close must not move the
+    ``host.sessions.evicted`` counter — the ledger counts retirements,
+    not attempts."""
+    host = SessionHost()
+    try:
+        _client, ns = _attach(host, "racer")
+        assert ns.read("/s/id") == "racer\n"
+        session = host.sessions["racer"]
+        # simulate the race: a concurrent close has just flipped the
+        # flag but the evict call is already past its lookup
+        session.closed = True
+        host.evict("racer")
+        assert host.metrics.counter("host.sessions.evicted") == 0
+        # the loser still removed the wire registration; a real close
+        # balances the opened/closed ledger for the audit
+        session.closed = False
+        session.close()
+    finally:
+        host.close()
+    assert host.audit() == []
+
+
+def test_stat_and_list_never_block_on_a_busy_session(monkeypatch):
+    """srv/sessions reads must not tear or block while a session is
+    mid-input: the row degrades to ``state busy`` instead."""
+    import repro.serve.host as host_mod
+    real = host_mod.apply_record
+    started = threading.Event()
+    release = threading.Event()
+
+    def gated(help_obj, record):
+        started.set()
+        assert release.wait(5)
+        return real(help_obj, record)
+
+    monkeypatch.setattr(host_mod, "apply_record", gated)
+    host = SessionHost()
+    try:
+        _client, ns = _attach(host, "busy1")
+        writer = threading.Thread(
+            target=ns.append,
+            args=("/s/input", _newwin("/tmp/slow", "slow write")),
+            daemon=True)
+        writer.start()
+        assert started.wait(5)
+        # the input holds busy1's oplock; stat and list answer anyway
+        stat = host._stat_text("busy1")
+        assert "state busy\n" in stat
+        row = [line for line in host._list_text().splitlines()
+               if line.startswith("busy1\t")][0]
+        assert "\tbusy\t" in row
+        assert "windows=?" in row
+        release.set()
+        writer.join(timeout=5)
+        assert not writer.is_alive()
+        # quiescent again: the real row comes back
+        assert "state live\n" in host._stat_text("busy1")
+        assert "windows=?" not in host._list_text()
+        assert "records=2" in host._list_text()
+    finally:
+        release.set()
+        host.close()
+    assert host.audit() == []
+
+
+def test_claiming_a_parked_session_takes_the_claimer_uname():
+    """A migrated session parked under its old owner must show the
+    claimer's identity once claimed — not the stale uname."""
+    host = SessionHost()
+    try:
+        host.adopt("moved", "old-owner", None)
+        before = host._stat_text("moved")
+        assert "user old-owner\n" in before
+        assert "state parked\n" in before
+        channel = host.pipe()
+        client = MuxClient(channel, uname="new-owner", aname="moved")
+        try:
+            after = host._stat_text("moved")
+            assert "user new-owner\n" in after
+            assert "state live\n" in after
+            assert "\tnew-owner\tlive\t" in host._list_text()
+        finally:
+            client.close()
+    finally:
+        host.close()
+    assert host.audit() == []
+    assert host.metrics.counter("host.sessions.claimed") == 1
+
+
+def test_hibernate_wake_round_trip_is_byte_identical():
+    """A hibernated session's next attach wakes it to the same screen,
+    and the wake ledger records the journey."""
+    host = SessionHost(max_live=4)
+    try:
+        _client, ns = _attach(host, "sleeper")
+        ns.append("/s/input", _newwin("/tmp/keep", "text that must survive"))
+        golden = ns.read("/s/screen")
+        host.hibernate("sleeper")
+        assert "sleeper" in host.hibernated
+        assert host.hibernated["sleeper"].exists()
+        stat = host._stat_text("sleeper")
+        assert "state hibernated\n" in stat
+        assert "\thibernated\t" in host._list_text()
+        # the world is gone; only the snapshot file remains
+        assert "sleeper" not in host.sessions
+
+        _client2, ns2 = _attach(host, "sleeper")
+        assert ns2.read("/s/screen") == golden
+        assert "sleeper" not in host.hibernated
+        assert host.metrics.counter("host.sessions.woken") == 1
+        assert host.metrics.histogram("host.wake_us")["count"] == 1
+    finally:
+        host.close()
+    assert host.audit() == []
+
+
+def test_connection_drop_hibernates_under_a_budget():
+    """With max_live set, a dropped connection parks the session on
+    disk instead of retiring it — the user went nominal, not away."""
+    host = SessionHost(max_live=2)
+    try:
+        client, ns = _attach(host, "nominal")
+        ns.append("/s/input", _newwin("/tmp/keep", "still here later"))
+        golden = ns.read("/s/screen")
+        client.close()
+        deadline = time.monotonic() + 5.0
+        while (host.metrics.counter("host.sessions.hibernated") < 1
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert host.metrics.counter("host.sessions.hibernated") == 1
+        assert "nominal" in host.hibernated
+        _client2, ns2 = _attach(host, "nominal")
+        assert ns2.read("/s/screen") == golden
+    finally:
+        host.close()
+    assert host.audit() == []
+
+
+def test_lru_budget_hibernates_the_oldest_session():
+    """The third attach under a two-world budget parks the session
+    whose last input is oldest."""
+    host = SessionHost(max_live=2)
+    try:
+        _a, a_ns = _attach(host, "old")
+        a_ns.append("/s/input", _newwin("/tmp/a", "oldest"))
+        _b, b_ns = _attach(host, "mid")
+        b_ns.append("/s/input", _newwin("/tmp/b", "newer"))
+        _c, c_ns = _attach(host, "new")
+        assert c_ns.read("/s/id") == "new\n"
+        # "old" was least recently used: it went to disk
+        assert "old" in host.hibernated
+        assert "mid" in host.sessions and "new" in host.sessions
+        assert host.live_peak <= 2
+        # its connection now sees Closed; a fresh attach wakes it
+        with pytest.raises(Closed):
+            a_ns.read("/s/screen")
+        _a2, a2_ns = _attach(host, "old")
+        assert "oldest" in a2_ns.read("/s/screen")
+    finally:
+        host.close()
+    assert host.audit() == []
+
+
+def test_sessions_journal_to_distinct_paths():
+    """Two concurrent journalled sessions must not share a journal
+    file — the old shared /tmp/session.journal was cross-talk."""
+    from repro.serve.host import journal_path
+
+    assert journal_path("a") != journal_path("b")
+    host = SessionHost()
+    try:
+        _a, a_ns = _attach(host, "one")
+        _b, b_ns = _attach(host, "two")
+        a_ns.append("/s/input", _newwin("/tmp/x", "first session"))
+        b_ns.append("/s/input", _newwin("/tmp/x", "second session"))
+        assert a_ns.read("/s/journal").count("newwin") == 1
+        assert b_ns.read("/s/journal").count("newwin") == 1
+    finally:
+        host.close()
+    assert host.audit() == []
 
 
 def test_drain_folds_every_ledger_into_one():

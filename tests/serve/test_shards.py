@@ -125,6 +125,38 @@ class TestDrain:
         assert opened == closed
         assert router.metrics.counter("router.sessions.migrated") == 1
 
+    def test_drain_relocates_hibernated_sessions_as_files(self):
+        """A drained shard's nominal users move too: the snapshot file
+        changes spools without the world ever becoming resident, and
+        the next attach wakes it on the new shard byte-identically."""
+        router = ShardRouter(shards=2, max_live=4)
+        try:
+            client, ns = _attach(router, "dormant")
+            home = router.shard_for("dormant")
+            ns.append("/s/input", _newwin("/tmp/note", "parked text\n"))
+            before = ns.read("/s/screen")
+            router.hibernate("dormant")
+            assert "dormant" in router.hosts[home].hibernated
+            assert "state hibernated" in router._stat_text("dormant")
+
+            migrated = router.drain_shard(home)
+            assert migrated == ["dormant"]
+            target = 1 - home
+            assert "dormant" in router.hosts[target].hibernated
+            assert not router.hosts[home].hibernated
+            assert router.hosts[target].metrics.counter(
+                "host.sessions.hib.in") == 1
+            assert router.metrics.counter("router.sessions.relocated") == 1
+
+            _client2, ns2 = _attach(router, "dormant")
+            assert ns2.read("/s/screen") == before
+            assert router.hosts[target].metrics.counter(
+                "host.sessions.woken") == 1
+            client.close()
+        finally:
+            router.close()
+        assert router.audit() == []
+
     def test_drain_during_in_flight_write_keeps_the_write(self, monkeypatch):
         """Migration takes the session's oplock, so a write racing the
         drain lands in the journal before the snapshot is taken — the

@@ -183,6 +183,10 @@ def pytest_sessionfinish(session, exitstatus):
             "ledger": {key: value for key, value in sorted(total.items())
                        if key.startswith("host.sessions.")},
         },
+        # the loadgen soak deposits its whole LoadReport (per-op-class
+        # p50/p95/p99, error and backpressure counts); benchgate's SLO
+        # budget table audits this section
+        "loadgen": dict(_section_extras.get("loadgen", {})),
     }
     ARTIFACTS.mkdir(exist_ok=True)
     (ARTIFACTS / "BENCH_perf.json").write_text(

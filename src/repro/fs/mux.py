@@ -460,6 +460,16 @@ class _Connection:
         self._wsize = 0
         self._flush_scheduled = False
         self._rbuf = bytearray(initial)
+        # FIFO service queue: frames hand off to the worker pool in
+        # arrival order through a single drainer task per connection,
+        # so a pipelined burst (walk, open, read, clunk on one fid) is
+        # served in the order it was sent.  No parallelism is lost:
+        # non-attach ops on a connection already serialize on the
+        # session's oplock (or the server-wide one for bare trees), so
+        # the pool's concurrency lives *across* connections either way.
+        self._svc_lock = threading.Lock()
+        self._svc_queue: deque = deque()
+        self._svc_running = False
         self._paused_attach = False
         self._paused_write = False
         self._is_socket = hasattr(channel, "fileno")
@@ -598,15 +608,29 @@ class _Connection:
             before = self.session
             self._serve_one(msg)
             return self.session is not before
-        if (msg.type == wire.Tattach.type
-                and self.server.session_factory is not None):
+        resume = (msg.type == wire.Tattach.type
+                  and self.server.session_factory is not None)
+        if resume:
             # the hosted session must be installed before any later
             # frame is served; pause parsing until the attach lands
             self._paused_attach = True
-            executor.submit(self._serve_one, msg, True)
-            return True
-        executor.submit(self._serve_one, msg)
-        return False
+        with self._svc_lock:
+            self._svc_queue.append((msg, resume))
+            if self._svc_running:
+                return resume
+            self._svc_running = True
+        executor.submit(self._drain_service)
+        return resume
+
+    def _drain_service(self) -> None:  # worker pool
+        """Serve this connection's queued frames, strictly in order."""
+        while True:
+            with self._svc_lock:
+                if not self._svc_queue:
+                    self._svc_running = False
+                    return
+                msg, resume = self._svc_queue.popleft()
+            self._serve_one(msg, resume)
 
     def _resume_attach(self) -> None:  # reactor thread
         self._paused_attach = False

@@ -170,6 +170,22 @@ class MetricsRegistry:
                 reservoir = self._reservoirs[name] = Reservoir()
             reservoir.add(value)
 
+    def observe_op(self, name: str, op: str, value: float) -> None:
+        """Record one sample under *name* and its ``<name>.<op>`` bucket.
+
+        Op-class tagging: the aggregate histogram answers "how slow is
+        this path overall" while the per-op bucket answers "which op
+        class blew the tail" — the shape the loadgen SLO budgets gate
+        on (p99 per attach/read/write/apply/wake, not one blended
+        number that a fast majority op can hide a regression inside).
+        """
+        with self._lock:
+            for key in (name, f"{name}.{op}"):
+                reservoir = self._reservoirs.get(key)
+                if reservoir is None:
+                    reservoir = self._reservoirs[key] = Reservoir()
+                reservoir.add(value)
+
     def histogram(self, name: str) -> dict[str, float] | None:
         """Summary stats of the named histogram, or None if never observed.
 
@@ -301,6 +317,11 @@ def reset_counters(prefix: str = "") -> None:
 def observe(name: str, value: float) -> None:
     """Record one histogram sample in the active registry."""
     current_registry().observe(name, value)
+
+
+def observe_op(name: str, op: str, value: float) -> None:
+    """Record one sample under *name* and its per-op-class bucket."""
+    current_registry().observe_op(name, op, value)
 
 
 def histogram(name: str) -> dict[str, float] | None:

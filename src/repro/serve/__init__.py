@@ -17,8 +17,9 @@ from repro.serve.host import (
     SESSION_PREFIXES,
     SessionHost,
     input_line,
+    kind_class,
 )
 from repro.serve.shards import ShardRouter
 
 __all__ = ["SessionHost", "HostedSession", "SESSION_PREFIXES",
-           "ShardRouter", "input_line"]
+           "ShardRouter", "input_line", "kind_class"]

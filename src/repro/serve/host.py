@@ -84,6 +84,23 @@ SESSION_PREFIXES = ("fs.", "journal.", "layout.", "render.", "replay.",
                     "session.", "frame.", "text.")
 
 
+def kind_class(kind: str) -> str:
+    """The op class of an input record kind, for histogram tagging.
+
+    ``session.apply_us`` alone says how slow *applying input* is;
+    tagged buckets (``session.apply_us.exec`` vs ``.mouse``) say which
+    class of input owns the tail, which is what a latency SLO needs to
+    name before it can be budgeted.
+    """
+    if kind.startswith("mouse-"):
+        return "mouse"
+    if kind in ("type", "select"):
+        return "key"
+    if kind in ("exec", "builtin"):
+        return "exec"
+    return "window"  # open/newwin/close/scroll/replace-body/resize
+
+
 def input_line(kind: str, fields: tuple | list) -> str:
     """Serialize one record for a session's ``input`` file."""
     if kind not in APPLY_KINDS:
@@ -198,8 +215,8 @@ class HostedSession:
         start = time.perf_counter()
         apply_record(self.system.help, record)
         self.last_input = time.monotonic()
-        self.metrics.observe("session.apply_us",
-                             (time.perf_counter() - start) * 1e6)
+        self.metrics.observe_op("session.apply_us", kind_class(kind),
+                                (time.perf_counter() - start) * 1e6)
         self.metrics.incr("session.input.applied")
 
     # -- lifecycle --------------------------------------------------------
@@ -362,6 +379,11 @@ class SessionHost:
             self.sessions[session_id] = session
             live = sum(1 for s in self.sessions.values() if s is not None)
         self.live_peak = max(self.live_peak, live)
+        # attach latency, tagged by op class: a cold attach builds a
+        # world, a wake also rehydrates one from its spooled journal
+        self.metrics.observe_op(
+            "host.attach_us", "wake" if wake_path is not None else "cold",
+            (time.perf_counter() - start) * 1e6)
         if wake_path is not None:
             self.metrics.observe("host.wake_us",
                                  (time.perf_counter() - start) * 1e6)

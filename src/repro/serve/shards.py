@@ -51,17 +51,20 @@ class ShardRouter:
     def __init__(self, shards: int = 4, *, width: int = 100,
                  height: int = 40, record: bool = True,
                  extra_tools: bool = False, max_outstanding: int = 64,
-                 workers: int = 4, max_live: int | None = None) -> None:
+                 workers: int = 4, max_live: int | None = None,
+                 plan_for=None) -> None:
         if shards < 1:
             raise ValueError("a router needs at least one shard")
         self.metrics = MetricsRegistry("router")
         # max_live is a per-shard budget: N shards under one router
-        # hold at most shards * max_live resident worlds
+        # hold at most shards * max_live resident worlds; plan_for is
+        # shared — a fault schedule keys on session id, not placement
         self.hosts = [SessionHost(width=width, height=height,
                                   record=record, extra_tools=extra_tools,
                                   id_prefix=f"sh{i}.",
                                   max_outstanding=max_outstanding,
-                                  workers=workers, max_live=max_live)
+                                  workers=workers, max_live=max_live,
+                                  plan_for=plan_for)
                       for i in range(shards)]
         for host in self.hosts:
             host.directory = self

@@ -44,7 +44,16 @@ Checks applied:
   woken + discarded + hib.out + still_hibernated``), wake latencies
   reached the report's ``hibernate`` section, the resident peak never
   exceeded the configured budget, and no session was retired twice
-  (``host.sessions.evicted <= host.sessions.closed``).
+  (``host.sessions.evicted <= host.sessions.closed``);
+- the loadgen SLOs hold: the soak drove at least
+  ``MIN_LOADGEN_USERS`` users through at least ``MIN_SHARDS`` shards,
+  every op class (attach/read/write/apply/wake) recorded samples, each
+  class's p99 stays under its :data:`SLO_P99_US` ceiling, the
+  unexpected-error rate stays under :data:`SLO_MAX_ERROR_RATE`, the
+  backpressure verdict was recorded, and the fleet itself reported no
+  problems.  These are *hard budgets*, not advisory medians: a
+  latency regression that moves a tail past its ceiling turns this
+  gate red even when every ledger still balances.
 
 Exit 0 when the ledger balances, 1 on any violation, 2 on usage
 errors or an unreadable report.
@@ -64,6 +73,26 @@ MIN_SESSIONS = 4
 
 # the acceptance floor for shards in the sharded-host bench
 MIN_SHARDS = 4
+
+# the acceptance floor for simulated users in the loadgen soak
+MIN_LOADGEN_USERS = 1000
+
+# Per-op-class p99 ceilings, microseconds.  Calibrated ~25x above the
+# soak's measured tails on a development machine, so a slow CI runner
+# passes with room while a real regression — a lock held across an
+# apply, an O(sessions) scan on attach, a wake that re-renders the
+# world twice — still blows through.  Tighten these as the substrate
+# gets faster; loosening one is a red flag in review.
+SLO_P99_US = {
+    "attach": 2_000_000,   # cold attach builds a whole world
+    "read":     500_000,   # screen snapshot round trip
+    "write":    500_000,   # one input record round trip
+    "apply":    250_000,   # server-side record application
+    "wake":   5_000_000,   # attach + journal rehydration
+}
+
+# ceiling on unexpected client-visible errors per op (0.2%)
+SLO_MAX_ERROR_RATE = 0.002
 
 
 def audit(report: dict) -> list[str]:
@@ -206,6 +235,63 @@ def audit(report: dict) -> list[str]:
             problems.append(
                 f"evict ledger imbalance: host.sessions.evicted="
                 f"{evicted} > host.sessions.closed={retired}")
+
+    if counters.get("loadgen.ops.total") is not None:
+        # the loadgen soak ran: enforce the SLO budget table
+        problems += audit_loadgen(report.get("loadgen") or {})
+    return problems
+
+
+def audit_loadgen(section: dict,
+                  budgets: dict[str, int] | None = None,
+                  max_error_rate: float = SLO_MAX_ERROR_RATE,
+                  min_users: int = MIN_LOADGEN_USERS) -> list[str]:
+    """Every violated SLO in a ``loadgen`` report section.
+
+    *budgets* overrides :data:`SLO_P99_US` (tests inject tight
+    ceilings to prove a slowed handler turns the gate red); the
+    defaults are the CI budgets.
+    """
+    ceilings = SLO_P99_US if budgets is None else budgets
+    problems: list[str] = []
+    if not section:
+        return ["loadgen counters present but the loadgen report "
+                "section is missing"]
+    users = section.get("users") or 0
+    if users < min_users:
+        problems.append(
+            f"loadgen soak underpowered: {users} users driven, "
+            f"need >= {min_users}")
+    shards = section.get("shards") or 0
+    if shards < MIN_SHARDS:
+        problems.append(
+            f"loadgen soak underpowered: {shards} shards driven, "
+            f"need >= {MIN_SHARDS}")
+    op_us = section.get("op_us") or {}
+    for op, ceiling in sorted(ceilings.items()):
+        stats = op_us.get(op) or {}
+        if not stats.get("count"):
+            problems.append(
+                f"loadgen op class {op!r} never sampled — the SLO "
+                f"for it gates nothing")
+            continue
+        p99 = stats.get("p99", 0.0)
+        if p99 > ceiling:
+            problems.append(
+                f"SLO breach: loadgen {op} p99={p99:.0f}us exceeds "
+                f"the {ceiling}us budget")
+    rate = section.get("error_rate")
+    if rate is None:
+        problems.append("loadgen recorded no error-rate verdict")
+    elif rate > max_error_rate:
+        problems.append(
+            f"SLO breach: loadgen error_rate={rate:.4f} exceeds "
+            f"the {max_error_rate} ceiling "
+            f"(errors: {section.get('errors')})")
+    if not isinstance(section.get("backpressure"), dict):
+        problems.append("loadgen recorded no backpressure verdict")
+    for problem in section.get("problems") or []:
+        problems.append(f"loadgen run problem: {problem}")
     return problems
 
 

@@ -202,6 +202,68 @@ class TestShardLedger:
         assert benchgate.audit(report) == []
 
 
+class TestLoadgenSlo:
+    def with_loadgen(self, users=1200, shards=4, p99=None, rate=0.0,
+                     drop_op=None, problems=(), section=True):
+        report = clean_report()
+        report["counters"]["loadgen.ops.total"] = 5000
+        if not section:
+            return report
+        ceilings = dict(benchgate.SLO_P99_US)
+        op_us = {op: {"count": 100, "p50": 100.0, "p95": 500.0,
+                      "p99": (p99 or {}).get(op, ceilings[op] / 2)}
+                 for op in ceilings}
+        if drop_op:
+            op_us[drop_op] = {}
+        report["loadgen"] = {
+            "users": users, "shards": shards, "op_us": op_us,
+            "error_rate": rate, "errors": {},
+            "backpressure": {"busy": 0, "paused": 0, "resumed": 0},
+            "problems": list(problems),
+        }
+        return report
+
+    def test_within_budget_passes(self):
+        assert benchgate.audit(self.with_loadgen()) == []
+
+    def test_no_loadgen_counters_is_not_audited(self):
+        assert benchgate.audit(clean_report()) == []
+
+    def test_counters_without_section_is_flagged(self):
+        problems = benchgate.audit(self.with_loadgen(section=False))
+        assert any("section is missing" in p for p in problems)
+
+    def test_p99_breach_is_flagged_per_op_class(self):
+        over = benchgate.SLO_P99_US["apply"] + 1
+        problems = benchgate.audit(self.with_loadgen(p99={"apply": over}))
+        assert any("SLO breach" in p and "apply" in p for p in problems)
+        # only the breaching class is named, not its neighbours
+        assert not any("attach" in p for p in problems)
+
+    def test_every_op_class_has_a_ceiling(self):
+        assert set(benchgate.SLO_P99_US) == {
+            "attach", "read", "write", "apply", "wake"}
+
+    def test_unsampled_op_class_is_flagged(self):
+        problems = benchgate.audit(self.with_loadgen(drop_op="wake"))
+        assert any("'wake' never sampled" in p for p in problems)
+
+    def test_error_rate_breach_is_flagged(self):
+        problems = benchgate.audit(self.with_loadgen(rate=0.01))
+        assert any("error_rate" in p for p in problems)
+
+    def test_underpowered_soak_is_flagged(self):
+        problems = benchgate.audit(self.with_loadgen(users=200))
+        assert any("loadgen soak underpowered" in p for p in problems)
+        problems = benchgate.audit(self.with_loadgen(shards=1))
+        assert any("shards" in p for p in problems)
+
+    def test_run_problems_propagate(self):
+        problems = benchgate.audit(self.with_loadgen(
+            problems=["quiesce timeout: 3 of 9 drops hibernated"]))
+        assert any("quiesce timeout" in p for p in problems)
+
+
 class TestCli:
     def test_main_ok(self, tmp_path, capsys):
         path = tmp_path / "BENCH_perf.json"

@@ -1,0 +1,185 @@
+"""Loadgen: deterministic schedules, topology-invariant traffic, SLOs.
+
+The fleet must be a *measurement instrument*: the same seed produces a
+byte-identical schedule and identical op-class counts whether the
+traffic lands on one host or a 4-shard router, errors from a staged
+fault storm are accounted separately from real failures, and a slowed
+handler turns the benchgate SLO audit red.  Small user counts over
+in-memory pipes keep the suite fast; the 1000-user TCP soak lives in
+``benchmarks/test_perf_loadgen.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import input_line
+from repro.tools import benchgate, loadgen
+from repro.tools.loadgen import (LoadGen, TrafficModel, build_models,
+                                 plan_user, schedule, schedule_crc,
+                                 schedule_text, validate)
+
+
+@pytest.fixture(scope="module")
+def models():
+    """The recorded Figures 5-12 traffic models (built once)."""
+    return build_models()
+
+
+def tiny_models(records: int = 4) -> list[TrafficModel]:
+    """A synthetic one-model mix for tests that need exact op counts."""
+    lines = tuple(input_line("type", (f"x{i}",)) for i in range(records))
+    return [TrafficModel("tiny", 1.0, lines)]
+
+
+class TestSchedule:
+    def test_same_seed_is_byte_identical(self, models):
+        first = schedule_text(schedule(42, 50, models))
+        second = schedule_text(schedule(42, 50, models))
+        assert first == second
+
+    def test_crc_witnesses_the_schedule(self, models):
+        a = schedule_crc(schedule(42, 50, models))
+        b = schedule_crc(schedule(42, 50, models))
+        assert a == b
+        assert a != schedule_crc(schedule(43, 50, models))
+
+    def test_different_seeds_differ(self, models):
+        assert (schedule_text(schedule(1, 20, models))
+                != schedule_text(schedule(2, 20, models)))
+
+    def test_plans_are_pure_functions_of_seed_and_uid(self, models):
+        one = plan_user(7, 13, models)
+        two = plan_user(7, 13, models)
+        assert one == two
+
+    def test_weighted_mix_spreads_over_models(self, models):
+        chosen = {p.model for p in schedule(42, 200, models)}
+        assert len(chosen) >= 4  # the mix really mixes
+
+    def test_every_plan_writes_and_reads(self, models):
+        for plan in schedule(42, 30, models):
+            kinds = {op for op, _ in plan.steps}
+            assert "write" in kinds and "read" in kinds
+
+    def test_wake_cohort_is_never_empty(self):
+        # even one user: somebody must return or the wake op class
+        # (and its SLO) would gate nothing
+        plans = schedule(42, 1, tiny_models())
+        assert any(p.wake for p in plans)
+
+
+class TestDeterministicTraffic:
+    def run_fleet(self, models, *, shards=0, seed=11, users=10):
+        lg = LoadGen(users=users, shards=shards, seed=seed, workers=4,
+                     transport="pipe", models=models)
+        return lg.run()
+
+    def test_two_runs_same_seed_identical_op_counts(self, models):
+        first = self.run_fleet(models)
+        second = self.run_fleet(models)
+        assert first.ops == second.ops
+        assert first.schedule_crc == second.schedule_crc
+
+    def test_op_counts_invariant_across_shards(self, models):
+        plain = self.run_fleet(models)
+        sharded = self.run_fleet(models, shards=4)
+        assert plain.ops == sharded.ops
+        assert plain.schedule_crc == sharded.schedule_crc
+
+    def test_clean_run_validates(self, models):
+        report = self.run_fleet(models)
+        assert validate(report) == []
+        assert report.error_rate == 0.0
+        assert report.problems == []
+
+    def test_all_op_classes_sampled(self, models):
+        report = self.run_fleet(models)
+        for op in loadgen.OP_CLASSES:
+            assert report.op_us[op]["count"] > 0, f"no {op} samples"
+
+    def test_apply_latency_tagged_by_kind(self, models):
+        report = self.run_fleet(models)
+        # the figure mix always types and executes
+        assert report.apply_us_by_kind.get("exec", {}).get("count")
+
+    def test_budget_held_and_every_drop_hibernated(self, models):
+        report = self.run_fleet(models)
+        assert report.live_peak <= report.max_live
+        # closed loop: every user attached exactly once, wakes extra
+        assert report.ops["attach"] == 10
+        assert report.ops["wake"] >= 1
+
+
+class TestFaultStorm:
+    def test_faulted_errors_are_accounted_separately(self):
+        # uid 0 is in the storm; its model writes 4 records and the
+        # schedule faults the 3rd input write, so the hit is certain
+        lg = LoadGen(users=1, seed=3, workers=1, transport="pipe",
+                     models=tiny_models(records=4), faults=True)
+        report = lg.run()
+        assert report.errors.get("faulted") == 1
+        assert report.error_rate == 0.0  # staged faults are not failures
+        assert not [p for p in report.problems if "lg.u0" in p]
+
+    def test_unfaulted_users_ride_through_the_storm(self, models):
+        lg = LoadGen(users=12, seed=3, workers=4, transport="pipe",
+                     models=models, faults=True)
+        report = lg.run()
+        unexpected = {k: v for k, v in report.errors.items()
+                      if k != "faulted" and v}
+        assert unexpected == {}
+        assert report.error_rate == 0.0
+
+
+class TestSloGate:
+    def test_slowed_apply_handler_breaches_the_budget(self, monkeypatch):
+        # a regression stand-in: every input-record application stalls
+        # past the 250ms apply budget — benchgate must turn red on the
+        # default SLO table, no tightened test-only ceilings
+        from repro.journal.recorder import apply_record as real_apply
+
+        def slowed(help_app, record):
+            time.sleep(0.3)
+            return real_apply(help_app, record)
+
+        monkeypatch.setattr("repro.serve.host.apply_record", slowed)
+        lg = LoadGen(users=2, seed=5, workers=2, transport="pipe",
+                     models=tiny_models(records=1))
+        report = lg.run()
+        problems = benchgate.audit_loadgen(
+            report.to_dict(), min_users=2)
+        assert any("SLO breach" in p and "apply" in p for p in problems), \
+            problems
+
+    def test_clean_run_passes_the_default_budgets(self, models):
+        lg = LoadGen(users=8, seed=5, workers=4, transport="pipe",
+                     models=models)
+        report = lg.run()
+        problems = benchgate.audit_loadgen(report.to_dict(), min_users=8)
+        # shard floor intentionally unmet here (plain host) — the only
+        # acceptable complaint; latency and error budgets must hold
+        assert [p for p in problems if "shards" not in p] == []
+
+
+class TestCli:
+    def test_smoke_is_clean(self, capsys):
+        assert loadgen.main(["--smoke", "--users", "8", "--pipe"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke clean" in out
+        assert "identical op-class counts" in out
+
+    def test_single_run_reports_json(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        code = loadgen.main(["--users", "6", "--pipe", "--seed", "9",
+                             "--report", str(path)])
+        assert code == 0
+        import json
+        report = json.loads(path.read_text())
+        assert report["users"] == 6
+        assert set(report["op_us"]) == set(loadgen.OP_CLASSES)
+
+    def test_bad_usage_exits_2(self, capsys):
+        assert loadgen.main(["--bogus"]) == 2
+        assert loadgen.main(["--users", "abc"]) == 2
+        assert "usage" in capsys.readouterr().err

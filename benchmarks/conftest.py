@@ -187,6 +187,10 @@ def pytest_sessionfinish(session, exitstatus):
         # p50/p95/p99, error and backpressure counts); benchgate's SLO
         # budget table audits this section
         "loadgen": dict(_section_extras.get("loadgen", {})),
+        # the chaos soak deposits its replica section (kills,
+        # promotions, ship/promotion ledgers, promote/failover/lag
+        # percentiles); benchgate's replica budget table audits it
+        "replica": dict(_section_extras.get("replica", {})),
     }
     ARTIFACTS.mkdir(exist_ok=True)
     (ARTIFACTS / "BENCH_perf.json").write_text(

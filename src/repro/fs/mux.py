@@ -50,7 +50,12 @@ from repro.fs.errors import (
     NotFound,
 )
 from repro.fs.vfs import Clock, Dir, File, FileHandle, Node, basename, join, split_path
-from repro.metrics.counter import incr, observe, use_registry
+from repro.metrics.counter import (
+    MetricsRegistry,
+    incr,
+    observe,
+    use_registry,
+)
 
 _RECV_SIZE = 1 << 16
 
@@ -284,7 +289,13 @@ class _Reactor:
     :meth:`submit`; a socketpair waker interrupts ``select``.
     """
 
-    def __init__(self, name: str = "wire-reactor") -> None:
+    def __init__(self, name: str = "wire-reactor",
+                 registry=None) -> None:
+        # the loop's fallback metrics context: errors constructed on
+        # the reactor thread outside any per-RPC binding (flushing
+        # writes to a peer that hung up, teardown of a torn channel)
+        # book against the owning server, not the process default
+        self._registry = registry
         self._selector = selectors.DefaultSelector()
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
@@ -349,6 +360,13 @@ class _Reactor:
     # -- the loop ---------------------------------------------------------
 
     def _run(self) -> None:
+        if self._registry is not None:
+            with use_registry(self._registry):
+                self._run_loop()
+        else:
+            self._run_loop()
+
+    def _run_loop(self) -> None:
         try:
             while True:
                 with self._lock:
@@ -779,6 +797,15 @@ class _Connection:
             lock = getattr(self.session, "oplock", None) or lock
         if isinstance(msg, wire.Tattach):
             return self._attach(msg)
+        if isinstance(msg, wire.Tship):
+            # replica feed frames never belong to a hosted session and
+            # serialize per-connection through the service queue; the
+            # handler locks its own state, so no oplock is taken here
+            handler = self.server.ship_handler
+            if handler is None:
+                raise Invalid("no replica feed handler on this server",
+                              path="<wire>", op="ship")
+            return wire.Rship(tag=msg.tag, ack=handler(msg))
         if isinstance(msg, wire.Twalk):
             with lock:
                 return self._walk(msg)
@@ -982,10 +1009,15 @@ class WireServer:
         # ledger), ``oplock`` (its serializer) and ``close()``.
         self.metrics = metrics
         self.session_factory = session_factory
+        # ship_handler: called with each wire.Tship a replica feed
+        # pushes at this server; returns the ack watermark.  Installed
+        # by a ReplicaStandby (repro.serve.replica); None refuses ship
+        # frames with Invalid.
+        self.ship_handler = None
         self._oplock = threading.Lock() if serialize else _NullLock()
         self._executor = (ThreadPoolExecutor(max_workers=workers)
                           if workers else None)
-        self._reactor = _Reactor()
+        self._reactor = _Reactor(registry=metrics)
         self._lock = threading.Lock()
         self._conns: list[_Connection] = []
         self._sockets: list[socket.socket] = []
@@ -1066,6 +1098,39 @@ class WireServer:
         if self._executor is not None:
             self._executor.shutdown(wait=False)
 
+    def kill(self) -> None:
+        """Crash the server: stop everything with NO orderly teardown.
+
+        Unlike :meth:`close`, no fid sessions are closed and no hosted
+        session sees ``detach``/``close`` — connections are simply
+        severed, as a SIGKILL would leave them.  Replication failover
+        tests use this to prove the standby's copy is the *only*
+        survivor of a primary crash.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sockets, self._sockets = self._sockets, []
+            conns, self._conns = self._conns, []
+        self._reactor.stop()
+        for sock in sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for conn in conns:
+            conn._torn = True
+            with conn._wlock:
+                conn.closed = True
+            try:
+                conn.channel.close()
+            except Exception:
+                pass
+            conn._done.set()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+
     def __enter__(self) -> "WireServer":
         return self
 
@@ -1105,7 +1170,8 @@ class MuxClient:
     ROOT_FID = 0
 
     def __init__(self, channel, *, uname: str = "rob", aname: str = "",
-                 max_outstanding: int = 16, timeout: float = 30.0) -> None:
+                 max_outstanding: int = 16, timeout: float = 30.0,
+                 attach: bool = True) -> None:
         self._channel = channel
         self._reader = FrameReader(channel)
         self._pending: dict[int, _Pending] = {}
@@ -1117,27 +1183,41 @@ class MuxClient:
         self._free_fids: list[int] = []
         self._timeout = timeout
         self._closed = False
+        # the receiver thread starts with an empty metrics context, so
+        # errors it constructs (a torn channel raising Closed/IOFault
+        # mid-frame) would land in the process default registry and
+        # poison a ledger the connection never belonged to.  They are
+        # also redundant: the caller whose rpc() the tear failed gets
+        # its own error on its own thread.  Book the noise privately.
+        self._registry = MetricsRegistry(f"mux-recv:{id(self):x}")
         self._recv_thread = threading.Thread(target=self._recv_loop,
                                              daemon=True, name="mux-recv")
         self._recv_thread.start()
-        self.root_stat = self.rpc(wire.Tattach(fid=self.ROOT_FID,
-                                               uname=uname, aname=aname))
+        # attach=False leaves the connection bare — for traffic that
+        # must not create a hosted session on the far side (a replica
+        # feed ships Tship frames and nothing else)
+        self.root_stat = None
+        if attach:
+            self.root_stat = self.rpc(wire.Tattach(fid=self.ROOT_FID,
+                                                   uname=uname,
+                                                   aname=aname))
 
     # -- plumbing -----------------------------------------------------------
 
     def _recv_loop(self) -> None:
         try:
-            while True:
-                msg = self._reader.next_frame()
-                if msg is None:
-                    break
-                with self._lock:
-                    slot = self._pending.pop(msg.tag, None)
-                if slot is None:
-                    incr("mux.orphan_reply")  # timed out or bogus tag
-                    continue
-                slot.reply = msg
-                slot.event.set()
+            with use_registry(self._registry):
+                while True:
+                    msg = self._reader.next_frame()
+                    if msg is None:
+                        break
+                    with self._lock:
+                        slot = self._pending.pop(msg.tag, None)
+                    if slot is None:
+                        incr("mux.orphan_reply")  # timed out or bogus tag
+                        continue
+                    slot.reply = msg
+                    slot.event.set()
         except (Invalid, IOFault, Closed):
             pass
         finally:

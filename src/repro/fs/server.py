@@ -25,7 +25,7 @@ from typing import Callable
 
 from repro.fs.errors import Closed, Invalid, Permission
 from repro.fs.vfs import Dir, File, Node
-from repro.metrics.counter import incr
+from repro.metrics.counter import current_registry, incr, use_registry
 
 
 class SynthSession:
@@ -56,6 +56,10 @@ class SynthSession:
         self._snapshot: str | None = None
         self._pending = ""
         self.pos = 0
+        # close() may run from __del__ on whatever thread the collector
+        # interrupts; book it against the ledger that booked the open,
+        # or sessions dropped in one context bleed closes into another.
+        self._registry = current_registry()
         incr("fs.open")
 
     def _check(self, want: str) -> None:
@@ -123,7 +127,8 @@ class SynthSession:
         if self.closed:
             return
         self.closed = True
-        incr("fs.close")
+        with use_registry(self._registry):
+            incr("fs.close")
         pending, self._pending = self._pending, ""
         if pending and self._write_fn is not None:
             self._write_fn(pending)

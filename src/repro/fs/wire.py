@@ -385,6 +385,70 @@ class Rstat(Message):
 
 
 @dataclass
+class Tship(Message):
+    """Ship journal bytes for session *sid* to a replica standby.
+
+    The replica feed (:mod:`repro.serve.replica`) is push-based: the
+    primary streams each session's journal over an ordinary wire
+    connection, one Tship per durable flush.  *verb* says what the
+    bytes mean:
+
+    * ``reset`` — *data* replaces the standby's copy of the journal
+      (full text: header + snapshot group + suffix).  Sent when a
+      session is created, adopted, or compacted.
+    * ``append`` — *data* extends the standby's copy (suffix records,
+      whole lines).  Sent on every journal flush.
+    * ``state`` — *meta* carries the session's park state (``live`` or
+      ``parked``); no data.
+    * ``drop`` — the session closed for good; the standby forgets it.
+    * ``ping`` — heartbeat; carries nothing, proves the primary lives.
+
+    *seq* is the journal sequence number of the last record covered by
+    this frame — the watermark the standby echoes back in
+    :class:`Rship` once the bytes are durably appended.  *crc* is
+    CRC-32 over the UTF-8 *data* bytes, checked before the append; a
+    mismatch is answered with Rerror, never a silent corruption.
+    """
+
+    type = 114
+    sid: str = ""
+    verb: str = "ping"
+    seq: int = 0
+    crc: int = 0
+    meta: str = ""
+    data: str = ""
+
+    def pack_payload(self) -> bytes:
+        return (_pack_str(self.sid) + _pack_str(self.verb)
+                + struct.pack("<qI", self.seq, self.crc)
+                + _pack_str(self.meta) + _pack_data(self.data))
+
+    @classmethod
+    def unpack_payload(cls, cur: _Cursor, tag: int) -> "Tship":
+        return cls(tag=tag, sid=cur.string(), verb=cur.string(),
+                   seq=cur.i64(), crc=cur.u32(), meta=cur.string(),
+                   data=cur.data())
+
+
+@dataclass
+class Rship(Message):
+    """The standby's ack: *ack* is its durable watermark for the
+    session — the journal seq through which every shipped record is
+    safely appended.  A sync-mode primary only acknowledges a client
+    write after this reply arrives."""
+
+    type = 115
+    ack: int = 0
+
+    def pack_payload(self) -> bytes:
+        return struct.pack("<q", self.ack)
+
+    @classmethod
+    def unpack_payload(cls, cur: _Cursor, tag: int) -> "Rship":
+        return cls(tag=tag, ack=cur.i64())
+
+
+@dataclass
 class Rerror(Message):
     """Any request's failure reply: the error taxonomy, serialized."""
 
@@ -425,7 +489,7 @@ class Rerror(Message):
 
 MESSAGES: tuple[type[Message], ...] = (
     Tattach, Rattach, Twalk, Rwalk, Topen, Ropen, Tread, Rread,
-    Twrite, Rwrite, Tclunk, Rclunk, Tstat, Rstat, Rerror,
+    Twrite, Rwrite, Tclunk, Rclunk, Tstat, Rstat, Tship, Rship, Rerror,
 )
 
 _TYPE_TO_CLASS: dict[int, type[Message]] = {m.type: m for m in MESSAGES}
@@ -437,6 +501,7 @@ _TYPE_TO_OP = {
     Twrite.type: "write", Rwrite.type: "write",
     Tclunk.type: "clunk", Rclunk.type: "clunk",
     Tstat.type: "stat", Rstat.type: "stat",
+    Tship.type: "ship", Rship.type: "ship",
     Rerror.type: "error",
 }
 
@@ -507,5 +572,5 @@ def decode(buf, start: int = 0) -> tuple[Message | None, int]:
 __all__ = ["MAX_MESSAGE", "SEQUENTIAL", "HEADER_SIZE", "Message",
            "StatEntry", "Tattach", "Rattach", "Twalk", "Rwalk", "Topen",
            "Ropen", "Tread", "Rread", "Twrite", "Rwrite", "Tclunk",
-           "Rclunk", "Tstat", "Rstat", "Rerror", "MESSAGES", "encode",
-           "decode", "header"]
+           "Rclunk", "Tstat", "Rstat", "Tship", "Rship", "Rerror",
+           "MESSAGES", "encode", "decode", "header"]

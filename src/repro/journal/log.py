@@ -64,6 +64,13 @@ class Journal:
         self.records: list[Record] = []   # everything appended, in order
         self.pending: list[Record] = []   # appended but not yet flushed
         self._durable = 0                 # records currently in the sink
+        # on_durable(event, text, seq): fired after every sink write —
+        # event "append" with the flushed lines, or "truncate" with the
+        # full replacement text after compaction; seq is the last
+        # record covered.  The replica feed hangs here: a failure in
+        # the hook propagates, so in sync replication a write is only
+        # acknowledged once the standby holds it too.
+        self.on_durable = None
         # per-class counts of the pending batch: appends buffer their
         # ledger bookkeeping too, folded in at the next flush point so
         # a burst of appends costs one counter update per class
@@ -127,6 +134,7 @@ class Journal:
             return 0
         text = "".join(record.line() + "\n" for record in self.pending)
         count = len(self.pending)
+        last_seq = self.pending[-1].seq
         ledger = self._ledger()
         self._fold_append_counts(ledger)
         start = time.perf_counter()
@@ -138,6 +146,8 @@ class Journal:
         ledger.incr("journal.fsync.count")
         ledger.incr("journal.fsync.records", count)
         ledger.incr("journal.fsync.bytes", len(text))
+        if self.on_durable is not None:
+            self.on_durable("append", text, last_seq)
         return count
 
     def compact(self, keep: list[Record]) -> None:
@@ -170,6 +180,8 @@ class Journal:
         ledger.incr("journal.compact.dropped",
                     max(self._durable - durable_keep, 0) + stale)
         self._durable = len(keep)
+        if self.on_durable is not None:
+            self.on_durable("truncate", text, keep[-1].seq if keep else 0)
 
 
 def _klass(kind: str) -> str:

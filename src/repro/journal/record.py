@@ -52,7 +52,11 @@ APPLY_KINDS = frozenset({
 })
 
 # Journal bookkeeping: consumed by recovery, never replayed as input.
-MARK_KINDS = frozenset({"genesis", "snapshot", "wids", "state"})
+# "inputs" rides with the snapshot group and carries the count of
+# input records the snapshot subsumes, so recovery can report the
+# session's total applied-input count (the replication resume index)
+# even after compaction discarded the records themselves.
+MARK_KINDS = frozenset({"genesis", "snapshot", "wids", "state", "inputs"})
 
 
 class JournalError(Exception):

@@ -70,6 +70,12 @@ class SessionRecorder:
         self._depth = 0
         self._busy = False          # the journal's own sink writes
         self._since_snapshot = 0
+        # input records ever journalled for this session — survives
+        # compaction via the "inputs" mark in the snapshot group, so a
+        # client resuming against a promoted replica knows exactly how
+        # many of its writes the journal holds (the resume index).
+        # Recovery seeds it (RecoveryReport.inputs) on adopt/wake.
+        self.inputs_recorded = 0
 
     # -- the tee ----------------------------------------------------------
 
@@ -84,6 +90,7 @@ class SessionRecorder:
         """
         if self._depth == 0:
             self.journal.append(kind, fields)
+            self.inputs_recorded += 1
             self._flush()
         else:
             self.journal.append("+" + kind, fields)
@@ -142,10 +149,12 @@ class SessionRecorder:
 
         The group is ``snapshot`` (the inline :mod:`repro.core.dump`),
         ``wids`` (window ids in dump order plus the id counter, which
-        the dump format does not carry) and ``state`` (current
-        selection, snarf buffer, mouse position).  Everything before
-        the group becomes unreachable; recovery starts from the
-        snapshot and replays only what follows.
+        the dump format does not carry), ``state`` (current selection,
+        snarf buffer, mouse position) and ``inputs`` (the count of
+        input records the snapshot subsumes — the replication resume
+        index).  Everything before the group becomes unreachable;
+        recovery starts from the snapshot and replays only what
+        follows.
         """
         from repro.core.dump import dump
         self._flush()
@@ -154,9 +163,10 @@ class SessionRecorder:
         ids = [str(w.id) for col in h.screen.columns for w in col.tab_order()]
         wids = self.journal.append("wids", (str(h._next_id), *ids))
         state = self.journal.append("state", self._state_fields())
+        inputs = self.journal.append("inputs", (str(self.inputs_recorded),))
         self._busy = True
         try:
-            self.journal.compact([snap, wids, state])
+            self.journal.compact([snap, wids, state, inputs])
         finally:
             self._busy = False
         self._since_snapshot = 0

@@ -51,6 +51,11 @@ class RecoveryReport:
     scan: ScanResult
     snapshot_seq: int | None = None   # seq of the snapshot restored, if any
     applied: int = 0                  # input records replayed after it
+    inputs: int = 0                   # total input records the journal
+    #                                   holds: the "inputs" mark (records
+    #                                   the snapshot subsumed) plus the
+    #                                   replayed suffix — a client's
+    #                                   resume index after failover
     problems: list[str] = field(default_factory=list)
 
     @property
@@ -142,13 +147,20 @@ def recover(help_app: "Help", text: str) -> RecoveryReport:
     if scan.torn:
         incr("journal.recover.torn")
     records = scan.records
+    inputs_base = 0
     group = _snapshot_group(records)
     if group is not None:
         start, snapshot, wids, state = group
         _restore_snapshot(help_app, snapshot, wids, state)
         report.snapshot_seq = snapshot.seq
+        # the optional "inputs" mark trails the group (older journals
+        # predate it): the count of input records the snapshot subsumed
+        if start < len(records) and records[start].kind == "inputs":
+            inputs_base = int(records[start].fields()[0])
+            start += 1
         records = records[start:]
     report.applied = replay(help_app, records)
+    report.inputs = inputs_base + report.applied
     # the suffix length is part of the recovery ledger: a hibernation
     # wake (compacted text, empty suffix) contributes zero here while
     # a crash recovery contributes every replayed input, so the two

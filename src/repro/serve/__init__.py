@@ -19,7 +19,9 @@ from repro.serve.host import (
     input_line,
     kind_class,
 )
+from repro.serve.replica import ReplicaFeed, ReplicaPair, ReplicaStandby
 from repro.serve.shards import ShardRouter
 
 __all__ = ["SessionHost", "HostedSession", "SESSION_PREFIXES",
-           "ShardRouter", "input_line", "kind_class"]
+           "ShardRouter", "ReplicaFeed", "ReplicaPair", "ReplicaStandby",
+           "input_line", "kind_class"]

@@ -129,6 +129,10 @@ class HostedSession:
         # Everything the world's construction touches — fs traffic,
         # layout caching, the journal's genesis — belongs to this
         # session's ledger, not to whoever called attach.
+        # True while a hibernate is tearing this world down: the
+        # session survives as a spooled snapshot, so the retire must
+        # NOT ship a replica drop
+        self._hibernating = False
         with self.metrics.activate():
             self.system = host._build(session_id, uname, self.metrics)
             self.journal = None
@@ -138,7 +142,7 @@ class HostedSession:
                 # serialized journal (snapshot group + suffix, PR 4
                 # recovery).
                 from repro.journal.recovery import recover
-                recover(self.system.help, journal_text)
+                recovery = recover(self.system.help, journal_text)
             if host.record:
                 self.journal = Journal.create(self.system.ns,
                                               journal_path(session_id),
@@ -152,9 +156,23 @@ class HostedSession:
                 self.recorder = attach(self.system.help, self.journal,
                                        context=self.system.context)
                 if journal_text is not None:
-                    # re-found the journal on a snapshot of the adopted
-                    # state; the next drain or hibernate starts here
+                    # the resume index and the journal survive the
+                    # rebuild together; re-found the journal on a
+                    # snapshot of the adopted state — the next drain
+                    # or hibernate starts here
+                    self.recorder.inputs_recorded = recovery.inputs
                     self.recorder.compact()
+            feed = host.replica
+            if feed is not None and self.journal is not None:
+                # one full reset puts the standby at this exact journal
+                # (genesis or adopted snapshot); every later flush and
+                # compaction ships through the durability hook, so in
+                # sync mode a write is acked only once the standby
+                # holds its record
+                sink = self.journal.sink
+                feed.ship(self.id, "reset", self.journal.seq,
+                          sink.ns.read(sink.path), meta=self.uname)
+                self.journal.on_durable = self._ship_durable
         self.root = self._build_root()
         # a per-session fault schedule wraps only this session's tree
         self.fault_plan = (host.plan_for(session_id)
@@ -166,13 +184,24 @@ class HostedSession:
 
     # -- the served tree --------------------------------------------------
 
+    def _ship_durable(self, event: str, text: str, seq: int) -> None:
+        """The journal's on_durable hook: mirror the sink write."""
+        feed = self.host.replica
+        if feed is None:
+            return
+        if event == "append":
+            feed.ship(self.id, "append", seq, text)
+        else:  # truncate: compaction replaced the whole file
+            feed.ship(self.id, "reset", seq, text, meta=self.uname)
+
     def _build_root(self) -> SynthDir:
         mnt = SynthDir("mnt", list_fn=lambda: [self.system.helpfs.root])
-        srv = SynthDir("srv", list_fn=lambda: [self.host.control_file()])
+        srv = SynthDir("srv", list_fn=lambda: self.host.srv_files())
         files = [
             SynthFile("id", read_fn=self._read_id),
             SynthFile("screen", read_fn=self._read_screen),
             SynthFile("input", write_fn=self._input_line),
+            SynthFile("inputs", read_fn=self._read_inputs),
             SynthFile("journal", read_fn=self._read_journal),
             SynthFile("metrics", read_fn=self._read_metrics),
             mnt, srv,
@@ -191,6 +220,15 @@ class HostedSession:
     def _read_screen(self) -> str:
         self._check("read")
         return render_screen(self.system.help)
+
+    def _read_inputs(self) -> str:
+        """The session's input-record count — the replication resume
+        index: after failover a client reads this to learn exactly how
+        many of its writes the promoted journal holds."""
+        self._check("read")
+        if self.recorder is not None:
+            return f"{self.recorder.inputs_recorded}\n"
+        return f"{self.metrics.counter('session.input.applied')}\n"
 
     def _read_journal(self) -> str:
         self._check("read")
@@ -293,6 +331,13 @@ class SessionHost:
         self._hibernated_uname: dict[str, str] = {}
         self.live_peak = 0
         self._closing = False
+        self._killed = False
+        # a ReplicaFeed shipping every session's journal to a standby
+        # (installed via attach_replica before the first attach), and
+        # an optional status callback a standby installs so its
+        # srv/replica file reports the standby side
+        self.replica = None
+        self.replica_status = None
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry("host")
         self.sessions: dict[str, HostedSession] = {}
@@ -320,6 +365,57 @@ class SessionHost:
         self.server.serve(server_end)
         return client_end
 
+    # -- replication ------------------------------------------------------
+
+    def attach_replica(self, feed) -> None:
+        """Ship every session's journal to *feed* from now on.
+
+        Install before the first attach: a session ships one full
+        reset at construction and every durable write thereafter, so
+        only sessions built after this call are replicated.
+        """
+        self.replica = feed
+
+    def _ship_drop(self, session_id: str) -> None:
+        """Tell the standby *session_id* is gone — best-effort: a
+        standby that misses a drop merely tracks a dead session."""
+        feed = self.replica
+        if feed is None:
+            return
+        try:
+            # connection-teardown threads have no metrics context; a
+            # stopped feed's Closed must book to the feed, not the
+            # process default registry
+            with feed.metrics.activate():
+                feed.ship(session_id, "drop", 0)
+        except FsError:
+            pass
+
+    def _ship_state(self, session_id: str, state: str) -> None:
+        """Mirror a live/parked transition — best-effort: the state
+        only splits the standby's promoted live/parked counters."""
+        feed = self.replica
+        if feed is None:
+            return
+        try:
+            with feed.metrics.activate():
+                feed.ship(session_id, "state", 0, meta=state)
+        except FsError:
+            pass
+
+    def kill(self) -> None:
+        """Crash this host: sever every connection, tear down nothing.
+
+        The in-process stand-in for SIGKILL — no fid closes, no
+        session close/hibernate, no replica drops; clients see torn
+        connections and the standby sees the feed go silent.  Used by
+        chaos tests; a killed host must never be reused.
+        """
+        self._killed = True
+        self._closing = True
+        self.replica = None
+        self.server.kill()
+
     # -- session lifecycle ------------------------------------------------
 
     def _build(self, session_id: str, uname: str,
@@ -335,6 +431,7 @@ class SessionHost:
             session_id = aname or f"{self.id_prefix}{self._next}"
             self._next += 1
             existing = self.sessions.get(session_id)
+            claimed = None
             if existing is not None and existing.parked:
                 # a migrated session waiting for its owner: claim it —
                 # the claimer's identity replaces the stale one and the
@@ -345,14 +442,20 @@ class SessionHost:
                     existing.uname = uname
                 existing.last_input = time.monotonic()
                 self.metrics.incr("host.sessions.claimed")
-                return existing
-            if session_id in self.sessions:
+                claimed = existing
+            elif session_id in self.sessions:
                 raise Busy(f"session {session_id!r} already attached",
                            path=f"session/{session_id}", op="attach")
-            wake_path = self.hibernated.pop(session_id, None)
-            wake_uname = self._hibernated_uname.pop(session_id, None)
-            # reserve the name before the (slow) world build
-            self.sessions[session_id] = None  # type: ignore[assignment]
+            else:
+                wake_path = self.hibernated.pop(session_id, None)
+                wake_uname = self._hibernated_uname.pop(session_id, None)
+                # reserve the name before the (slow) world build
+                self.sessions[session_id] = None  # type: ignore[assignment]
+        if claimed is not None:
+            # the standby's tracked state follows (outside the host
+            # lock: shipping is an rpc)
+            self._ship_state(claimed.id, "live")
+            return claimed
         try:
             self._ensure_room(exclude=session_id)
             start = time.perf_counter()
@@ -425,6 +528,8 @@ class SessionHost:
         self.live_peak = max(self.live_peak, live)
         self.metrics.incr("host.sessions.opened")
         self.metrics.incr("host.sessions.adopted")
+        # construction shipped the reset as "live"; it is parked
+        self._ship_state(session_id, "parked")
         return session
 
     def adopt_hibernated(self, session_id: str, uname: str,
@@ -445,12 +550,25 @@ class SessionHost:
             self.hibernated[session_id] = path
             self._hibernated_uname[session_id] = uname
         self.metrics.incr("host.sessions.hib.in")
+        feed = self.replica
+        if feed is not None:
+            # the standby holds nominal sessions too: a promoted
+            # standby must re-spool them, so the snapshot ships whole
+            try:
+                feed.ship(session_id, "reset", 0, journal_text, meta=uname)
+            except FsError:
+                pass
+            self._ship_state(session_id, "parked")
 
     def _retire(self, session: HostedSession) -> None:
         with self._lock:
             self.sessions.pop(session.id, None)
             self._retired.merge(session.metrics)
         self.metrics.incr("host.sessions.closed")
+        if not session._hibernating:
+            # truly gone — a hibernating session survives as a spooled
+            # snapshot and keeps its standby entry
+            self._ship_drop(session.id)
 
     def evict(self, session_id: str) -> None:
         """Force one session out; its connection sees ``Closed``.
@@ -462,15 +580,19 @@ class SessionHost:
         """
         with self._lock:
             session = self.sessions.get(session_id)
+            discarded = False
             if session is None and session_id in self.hibernated:
                 path = self.hibernated.pop(session_id)
                 self._hibernated_uname.pop(session_id, None)
                 self.metrics.incr("host.sessions.discarded")
+                discarded = True
                 try:
                     path.unlink()
                 except OSError:
                     pass
-                return
+        if discarded:
+            self._ship_drop(session_id)
+            return
         if session is None:
             raise NotFound(path=f"session/{session_id}", op="evict")
         if session.close():
@@ -519,6 +641,7 @@ class SessionHost:
                 # no window where an attach rebuilds a fresh world
                 self.hibernated[session_id] = path
                 self._hibernated_uname[session_id] = session.uname
+            session._hibernating = True
             if not session.close():
                 # an evict slipped in between the closed check and
                 # here: honour it — the snapshot is already stale
@@ -532,6 +655,9 @@ class SessionHost:
                 raise NotFound(path=f"session/{session_id}",
                                op="hibernate")
         self.metrics.incr("host.sessions.hibernated")
+        # the compaction already shipped the snapshot text through the
+        # durability hook; only the state flips
+        self._ship_state(session_id, "parked")
 
     def _ensure_room(self, exclude: str | None = None) -> None:
         """Hibernate LRU sessions until the budget fits one more world.
@@ -587,6 +713,22 @@ class SessionHost:
 
     def control_file(self) -> SynthFile:
         return SynthFile("sessions", open_fn=self._control_session)
+
+    def srv_files(self) -> list:
+        """Every session's ``srv/`` directory: the control file, plus
+        a ``replica`` status file when this host is a replication
+        primary (feed attached) or standby (status callback)."""
+        files = [self.control_file()]
+        if self.replica is not None or self.replica_status is not None:
+            files.append(SynthFile("replica", read_fn=self._replica_text))
+        return files
+
+    def _replica_text(self) -> str:
+        if self.replica is not None:
+            return self.replica.status_text()
+        if self.replica_status is not None:
+            return self.replica_status()
+        return "role none\n"
 
     def _control_session(self, mode: str) -> SynthSession:
         focus: dict[str, str | None] = {"id": None}
@@ -727,6 +869,35 @@ class SessionHost:
                                 f"into the host ledger")
                 leaked += abs(value)
         self.metrics.incr("host.sessions.bleed", leaked)
+        problems.extend(self._audit_replica())
+        return problems
+
+    def _audit_replica(self) -> list[str]:
+        """The replication ledger, both roles.
+
+        Primary: every shipped frame is acked, still in flight, or a
+        counted error.  Standby: every promoted session resurfaced as
+        a live wake or a parked snapshot.
+        """
+        problems: list[str] = []
+        feed = self.replica
+        if feed is not None:
+            shipped = self.metrics.counter("replica.ship.frames")
+            acked = self.metrics.counter("replica.ack.frames")
+            errors = self.metrics.counter("replica.ship.errors")
+            inflight = feed.pending()
+            if shipped != acked + inflight + errors:
+                problems.append(
+                    f"replica ship ledger unbalanced: shipped {shipped} "
+                    f"!= acked {acked} + inflight {inflight} "
+                    f"+ errors {errors}")
+        promoted = self.metrics.counter("replica.sessions.promoted")
+        p_live = self.metrics.counter("replica.promoted.live")
+        p_parked = self.metrics.counter("replica.promoted.parked")
+        if promoted != p_live + p_parked:
+            problems.append(
+                f"replica promotion ledger unbalanced: promoted "
+                f"{promoted} != live {p_live} + parked {p_parked}")
         return problems
 
     def drain(self, into: MetricsRegistry | None = None) -> MetricsRegistry:

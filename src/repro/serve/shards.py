@@ -28,12 +28,25 @@ but the attach decision:
 Sessions are placed by ``crc32(aname)`` over the non-draining shards;
 anonymous attaches round-robin.  Shard ids never collide because each
 shard mints anonymous ids under its own prefix (``sh<i>.<n>``).
+
+**Replication** (``replicate=True``) pairs every shard with a standby
+(:class:`~repro.serve.replica.ReplicaPair`): the primary ships each
+session's journal over the wire as it becomes durable, a monitor
+thread watches the feed heartbeat, and when a primary goes silent
+(``miss`` straight heartbeats) the router **promotes** — the standby
+replays every shipped journal through the PR 4 recovery path, adopts
+the sessions (live ones re-attach exactly like a hibernation wake;
+parked snapshots are already spooled), and the hash slot repoints to
+the promoted host.  ``kill_shard`` is the chaos hook: it crashes a
+primary the way SIGKILL would (connections severed, nothing torn
+down) and lets detection and promotion run for real.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 import zlib
 
 from repro.fs import wire
@@ -41,6 +54,7 @@ from repro.fs.errors import Busy, Closed, Invalid, NotFound
 from repro.fs.mux import SocketChannel, channel_pair
 from repro.metrics.counter import MetricsRegistry, current_registry
 from repro.serve.host import SessionHost
+from repro.serve.replica import ReplicaPair
 
 _PEEK_SIZE = 1 << 16
 
@@ -52,7 +66,10 @@ class ShardRouter:
                  height: int = 40, record: bool = True,
                  extra_tools: bool = False, max_outstanding: int = 64,
                  workers: int = 4, max_live: int | None = None,
-                 plan_for=None) -> None:
+                 plan_for=None, replicate: bool = False,
+                 replica_mode: str = "sync",
+                 heartbeat_interval: float = 0.2,
+                 heartbeat_miss: int = 3) -> None:
         if shards < 1:
             raise ValueError("a router needs at least one shard")
         self.metrics = MetricsRegistry("router")
@@ -74,6 +91,26 @@ class ShardRouter:
         self._rr = 0
         self._sockets: list[socket.socket] = []
         self._closed = False
+        # replication: one standby per shard, fed before first attach
+        self.replicate = replicate
+        self.heartbeat_miss = heartbeat_miss
+        self._watch_interval = heartbeat_interval
+        self.pairs: list[ReplicaPair | None] = [None] * shards
+        # killed primaries, kept so close() can tear their threads down
+        self.dead: list[SessionHost] = []
+        self._monitor: threading.Thread | None = None
+        self._monitor_stop = threading.Event()
+        if replicate:
+            if not record:
+                raise ValueError("replication needs journals: record=True")
+            for i, host in enumerate(self.hosts):
+                self.pairs[i] = ReplicaPair(host, mode=replica_mode,
+                                            heartbeat=heartbeat_interval,
+                                            standby_prefix=f"sh{i}r.")
+            self._monitor = threading.Thread(target=self._watch,
+                                             daemon=True,
+                                             name="replica-monitor")
+            self._monitor.start()
 
     # -- placement --------------------------------------------------------
 
@@ -129,6 +166,13 @@ class ShardRouter:
 
     def _route_channel(self, channel) -> None:
         """Peek the Tattach, pick a shard, hand the channel over."""
+        # routing threads carry no metrics context; errors constructed
+        # here (eof mid-attach, a killed shard's server refusing the
+        # handoff) book against the router, not the process default
+        with self.metrics.activate():
+            self._route(channel)
+
+    def _route(self, channel) -> None:
         buf = bytearray()
         msg = None
         try:
@@ -155,6 +199,75 @@ class ShardRouter:
             self.hosts[index].server.serve(channel, initial=bytes(buf))
         except Closed:
             channel.close()
+
+    # -- replication: failure detection and promotion ----------------------
+
+    def _watch(self) -> None:
+        """The monitor thread: promote any pair whose primary went
+        silent for ``heartbeat_miss`` straight heartbeat intervals."""
+        while not self._monitor_stop.wait(self._watch_interval):
+            for i, pair in enumerate(self.pairs):
+                if pair is None or pair.promoted:
+                    continue
+                if not pair.standby.primary_alive(self.heartbeat_miss):
+                    try:
+                        self.promote_shard(i)
+                    except (Busy, Closed):
+                        pass  # raced an explicit promote or a close
+
+    def kill_shard(self, index: int) -> None:
+        """Crash shard *index*'s primary (the SIGKILL stand-in).
+
+        Connections sever mid-RPC, nothing is flushed or torn down,
+        and the standby's feed goes silent — detection and promotion
+        then run exactly as they would for a real dead process.
+        """
+        pair = self.pairs[index]
+        if pair is None:
+            raise Invalid(f"shard {index} has no standby",
+                          path=f"shard/{index}", op="kill")
+        self.metrics.incr("router.shards.killed")
+        pair.kill_primary()
+
+    def promote_shard(self, index: int) -> dict | None:
+        """Fail shard *index* over to its standby, repointing the slot.
+
+        The standby replays every shipped journal through recovery and
+        adopts the sessions; the promoted host takes the dead
+        primary's place in ``hosts`` — the placement hash lands on it
+        from now on, so clients re-attach by the same name and find
+        their session parked (hibernated wake) or freshly recovered.
+        Returns the promotion report, or None if already promoted.
+        """
+        pair = self.pairs[index]
+        if pair is None:
+            raise Invalid(f"shard {index} has no standby",
+                          path=f"shard/{index}", op="promote")
+        if self._closed:
+            raise Closed("router is closed", path="router", op="promote")
+        with self._lock:
+            if pair.promoted:
+                return None
+            old = self.hosts[index]
+        start = time.perf_counter()
+        promoted_host, report = pair.promote()
+        promoted_host.directory = self
+        with self._lock:
+            self.hosts[index] = promoted_host
+            if old is not promoted_host:
+                self.dead.append(old)
+        self.metrics.incr("router.shards.promoted")
+        self.metrics.observe("router.promote_us",
+                             (time.perf_counter() - start) * 1e6)
+        if pair.killed_at is not None:
+            # detection plus promotion: the availability gap a client
+            # actually saw, measured from the kill
+            self.metrics.observe(
+                "router.failover_us",
+                (time.monotonic() - pair.killed_at) * 1e6)
+        self.metrics.incr("router.promote.problems",
+                          len(report.get("problems", [])))
+        return report
 
     # -- drain / migration ------------------------------------------------
 
@@ -280,6 +393,10 @@ class ShardRouter:
         owner: dict[str, int] = {}
         dups = 0
         for i, host in enumerate(self.hosts):
+            if host._killed:
+                # a crashed primary's books are rightly unbalanced;
+                # the promoted standby answers for its sessions
+                continue
             problems += [f"shard{i}: {p}" for p in host.audit()]
             with host._lock:
                 ids = [sid for sid, s in host.sessions.items()
@@ -290,6 +407,10 @@ class ShardRouter:
                                     f"{owner[sid]} and shard {i}")
                     dups += 1
                 owner[sid] = i
+        for i, pair in enumerate(self.pairs):
+            if pair is not None and not pair.promoted:
+                problems += [f"standby{i}: {p}"
+                             for p in pair.standby.host.audit()]
         # an explicit zero is the audit's verdict — benchgate gates on
         # the counter's presence, not just its value
         self.metrics.incr("router.sessions.dup", dups)
@@ -301,6 +422,9 @@ class ShardRouter:
         target.merge(self.metrics)
         for host in self.hosts:
             host.drain(target)
+        for pair in self.pairs:
+            if pair is not None and not pair.promoted:
+                pair.standby.host.drain(target)
         return target
 
     # -- lifecycle --------------------------------------------------------
@@ -309,12 +433,20 @@ class ShardRouter:
         if self._closed:
             return
         self._closed = True
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
         for sock in self._sockets:
             try:
                 sock.close()
             except OSError:
                 pass
+        for pair in self.pairs:
+            if pair is not None:
+                pair.close()
         for host in self.hosts:
+            host.close()
+        for host in self.dead:
             host.close()
 
     def __enter__(self) -> "ShardRouter":

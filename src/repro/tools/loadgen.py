@@ -33,7 +33,8 @@ CLI::
 
     python -m repro.tools.loadgen [--users N] [--shards N] [--workers K]
                                   [--seed S] [--pipe | --tcp] [--think X]
-                                  [--faults] [--report PATH] [--smoke]
+                                  [--faults] [--chaos N] [--json]
+                                  [--report PATH] [--smoke]
 
 ``--smoke`` is the CI entry: a small fixed-seed fleet driven twice —
 once on a plain host, once through a 4-shard router — asserting every
@@ -42,6 +43,24 @@ op-class counts across the two topologies (sharding must be invisible
 to traffic, not just to screens).  On failure the latency report and
 a sample of the spooled session journals land under
 ``bench_artifacts/loadgen/`` for the CI artifact upload.
+
+``--chaos N`` turns the run into a failover proof: the shards run
+**replicated** (each primary ships its journals to a standby, PR 9),
+and a controller thread SIGKILLs N distinct primaries at seeded
+points mid-soak.  Severed users recover by re-attaching (the router
+repoints their hash slot at the promoted standby), reading the
+session's ``inputs`` file — the replication resume index — asserting
+it covers every write the dead primary *acknowledged*, and replaying
+only the unacknowledged tail.  The report gains a ``chaos`` section
+(kills, promotions, severed/recovered/unrecovered users,
+``acked_lost`` — the SLO is exactly zero — plus promotion/failover
+latency and replication-lag histograms) that benchgate's ``replica``
+budget table audits.
+
+``--json`` additionally writes every run's LoadReport as a
+machine-readable artifact under ``bench_artifacts/loadgen/`` (smoke
+runs included, success included — the artifact is the point, not a
+failure record).
 
 Exit 0 clean, 1 on any violation, 2 on usage errors.
 """
@@ -97,6 +116,11 @@ WAKE_FRACTION = 0.25
 FAULT_EVERY = 10
 
 _RETRIES = 3  # bounded retry on busy replies (client-side backpressure)
+
+# chaos: feed heartbeat interval (detection = 3 missed beats) and how
+# long a severed user keeps retrying before it counts as unrecovered
+CHAOS_HEARTBEAT = 0.05
+CHAOS_RECOVER_TIMEOUT = 30.0
 
 
 @dataclass(frozen=True)
@@ -218,6 +242,7 @@ class LoadReport:
     live_peak: int
     schedule_crc: str
     problems: list[str]
+    chaos: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -241,6 +266,7 @@ class LoadReport:
             "live_peak": self.live_peak,
             "schedule_crc": self.schedule_crc,
             "problems": list(self.problems),
+            **({"chaos": self.chaos} if self.chaos is not None else {}),
         }
 
 
@@ -261,12 +287,20 @@ class LoadGen:
                  workers: int = 8, transport: str = "tcp",
                  think_scale: float = 0.0, faults: bool = False,
                  models: list[TrafficModel] | None = None,
-                 max_live: int | None = None) -> None:
+                 max_live: int | None = None, chaos: int = 0,
+                 chaos_heartbeat: float = CHAOS_HEARTBEAT) -> None:
         if users < 1:
             raise ValueError("a fleet needs at least one user")
+        if chaos and (not shards or chaos > shards):
+            raise ValueError(
+                "chaos kills each hit a distinct replicated shard: "
+                f"need shards >= {chaos}, have {shards}")
         self.users = users
         self.shards = shards
         self.seed = seed
+        self.chaos = chaos
+        self.chaos_heartbeat = chaos_heartbeat
+        self._chaos_stop = threading.Event()
         self.workers = max(1, min(workers, users))
         self.transport = transport
         self.think_scale = think_scale
@@ -295,6 +329,10 @@ class LoadGen:
         kwargs = dict(width=160, height=60, workers=4,
                       max_live=self.max_live,
                       plan_for=self._plan_for if self.faults else None)
+        if self.chaos:
+            return ShardRouter(shards=self.shards, replicate=True,
+                               heartbeat_interval=self.chaos_heartbeat,
+                               **kwargs)
         if self.shards:
             return ShardRouter(shards=self.shards, **kwargs)
         return SessionHost(**kwargs)
@@ -356,8 +394,15 @@ class LoadGen:
         raise AssertionError("unreachable")
 
     def _visit(self, target, addr, plan: UserPlan,
-               lines: tuple[str, ...], returning: bool) -> None:
-        """Attach (or wake), replay the plan, drop the connection."""
+               lines: tuple[str, ...], returning: bool,
+               acked: list[int] | None = None) -> None:
+        """Attach (or wake), replay the plan, drop the connection.
+
+        *acked* (chaos runs) is a one-slot box counting the writes the
+        server acknowledged — the floor the promoted standby's
+        ``inputs`` index must reach, because sync replication ships a
+        record before its write is acked.
+        """
         attach_op = "wake" if returning else "attach"
         client = self._timed(
             attach_op,
@@ -382,6 +427,8 @@ class LoadGen:
                     elif op == "write":
                         line = lines[int(arg)]
                         self._timed("write", lambda: sink.write(line))
+                        if acked is not None:
+                            acked[0] += 1
                     else:
                         self._timed("read", lambda: screen.data)
         finally:
@@ -392,6 +439,88 @@ class LoadGen:
             if len(self.problems) < 32:
                 self.problems.append(text)
 
+    # -- chaos: kills, severed users, recovery ----------------------------
+
+    def _chaos_visit(self, target, addr, plan: UserPlan,
+                     lines: tuple[str, ...]) -> None:
+        """One visit that survives its shard being killed under it."""
+        acked = [0]
+        try:
+            self._visit(target, addr, plan, lines, returning=False,
+                        acked=acked)
+        except (FsError, OSError):
+            self.metrics.incr("loadgen.chaos.severed")
+            self._recover(target, addr, plan, lines, acked[0])
+
+    def _recover(self, target, addr, plan: UserPlan,
+                 lines: tuple[str, ...], acked: int) -> None:
+        """Re-attach after a kill and finish the visit on the standby.
+
+        Retries until the router repoints the slot at the promoted
+        host, then reads the session's ``inputs`` file — how many
+        input records the promoted journal holds.  Every acknowledged
+        write MUST be covered (that is the sync-replication contract;
+        a shortfall counts into ``loadgen.chaos.acked_lost``, the
+        zero-tolerance SLO) and only the unacknowledged tail replays.
+        """
+        deadline = time.monotonic() + CHAOS_RECOVER_TIMEOUT
+        while time.monotonic() < deadline:
+            client = None
+            try:
+                start = time.perf_counter()
+                client = MuxClient(self._dial(target, addr),
+                                   aname=plan.aname, uname=f"lg{plan.uid}")
+                self.metrics.observe_op(
+                    "loadgen.op_us", "recover",
+                    (time.perf_counter() - start) * 1e6)
+                remote = mount_remote(client)
+                held = int(remote.lookup("inputs").data.strip() or "0")
+                if held < acked:
+                    self.metrics.incr("loadgen.chaos.acked_lost",
+                                      acked - held)
+                    self._problem(
+                        f"{plan.aname}: standby holds {held} inputs but "
+                        f"{acked} writes were acknowledged")
+                with remote.lookup("input").open("a") as sink:
+                    for line in lines[held:]:
+                        sink.write(line)
+                if not remote.lookup("screen").data:
+                    self._problem(f"{plan.aname}: recovered screen empty")
+                self.metrics.incr("loadgen.chaos.recovered")
+                return
+            except (FsError, OSError):
+                time.sleep(0.05)
+            finally:
+                if client is not None:
+                    client.close()
+        self.metrics.incr("loadgen.chaos.unrecovered")
+        self._problem(f"{plan.aname}: never recovered after the kill")
+
+    def _chaos_controller(self, target, total_writes: int) -> None:
+        """Kill ``chaos`` distinct primaries at seeded soak points.
+
+        Each kill waits for its promotion before the next, so the
+        fleet never faces two simultaneous outages; kills not yet due
+        when the drive finishes fire immediately (the kill count is
+        part of the deterministic plan, not best-effort).
+        """
+        rng = random.Random(f"loadgen:chaos:{self.seed}")
+        victims = rng.sample(range(self.shards), k=self.chaos)
+        points = sorted(rng.uniform(0.15, 0.7) for _ in victims)
+        for index, frac in zip(victims, points):
+            threshold = int(frac * total_writes)
+            while (self.metrics.counter("loadgen.ops.write") < threshold
+                    and not self._chaos_stop.is_set()):
+                time.sleep(0.01)
+            target.kill_shard(index)
+            self.metrics.incr("loadgen.chaos.kills")
+            pair = target.pairs[index]
+            deadline = time.monotonic() + CHAOS_RECOVER_TIMEOUT
+            while not pair.promoted and time.monotonic() < deadline:
+                time.sleep(0.01)
+            if not pair.promoted:
+                self._problem(f"chaos: shard {index} never promoted")
+
     def _drive(self, target, addr, plans: list[UserPlan],
                by_name: dict[str, TrafficModel],
                returning: bool) -> None:
@@ -400,6 +529,9 @@ class LoadGen:
             with self._client_metrics.activate():
                 for plan in plans[offset::self.workers]:
                     lines = by_name[plan.model].lines
+                    if self.chaos and not returning:
+                        self._chaos_visit(target, addr, plan, lines)
+                        continue
                     try:
                         self._visit(target, addr, plan, lines, returning)
                     except FsError as exc:
@@ -430,6 +562,8 @@ class LoadGen:
         by_name = {m.name: m for m in models}
         plans = schedule(self.seed, self.users, models)
         crc = schedule_crc(plans)
+        if self.chaos:
+            return self._run_chaos(plans, by_name, crc)
         target = self._make_target()
         hosts = self._hosts(target)
         addr = target.listen() if self.transport == "tcp" else None
@@ -453,6 +587,125 @@ class LoadGen:
             duration = time.perf_counter() - start
             self._cleanup(target, hosts)
         return self._report(target, hosts, duration, crc)
+
+    def _run_chaos(self, plans: list[UserPlan],
+                   by_name: dict[str, TrafficModel],
+                   crc: str) -> LoadReport:
+        """The failover soak: one visit wave with seeded kills under it.
+
+        There is no wake phase and no strict hibernation quiesce —
+        sessions resident on a killed primary never hibernate there;
+        they resurface on the promoted standby.  The verdicts live in
+        the ``chaos`` section instead: kills == promotions, severed ==
+        recovered (``unrecovered`` is zero-tolerance), ``acked_lost``
+        is zero, and the replica ship/promotion ledgers balance.
+        The chaos ledgers are **self-contained**: killed hosts' books
+        are rightly unbalanced, so nothing here merges into the
+        process-default registry a clean bench is balancing.
+        """
+        total_writes = sum(len(by_name[p.model].lines) for p in plans)
+        target = self._make_target()
+        addr = target.listen() if self.transport == "tcp" else None
+        controller = threading.Thread(
+            target=self._chaos_controller, args=(target, total_writes),
+            daemon=True, name="loadgen-chaos")
+        start = time.perf_counter()
+        controller.start()
+        try:
+            self._drive(target, addr, plans, by_name, returning=False)
+        finally:
+            self._chaos_stop.set()
+            controller.join(timeout=2 * CHAOS_RECOVER_TIMEOUT)
+            duration = time.perf_counter() - start
+        try:
+            section = self._chaos_section(target, duration)
+        finally:
+            target.close()
+        ops = {op: self.metrics.counter(f"loadgen.ops.{op}")
+               for op in OP_CLASSES if op != "apply"}
+        ops["apply"] = 0
+        total = sum(ops.values())
+        op_us = {op: self.metrics.histogram(f"loadgen.op_us.{op}") or {}
+                 for op in OP_CLASSES if op != "apply"}
+        op_us["apply"] = {}
+        errors = {name.removeprefix("loadgen.errors."): value
+                  for name, value in
+                  self.metrics.counters("loadgen.errors.").items()}
+        unexpected = sum(v for k, v in errors.items() if k != "faulted")
+        return LoadReport(
+            users=self.users, shards=self.shards, seed=self.seed,
+            transport=self.transport, workers=self.workers,
+            duration_s=duration, ops=ops, op_us=op_us,
+            apply_us_by_kind={}, errors=errors,
+            error_rate=(unexpected / total) if total else 0.0,
+            backpressure={"busy": self.metrics.counter(
+                "loadgen.backpressure.busy")},
+            retries={name.removeprefix("loadgen.retry."): value
+                     for name, value in
+                     self.metrics.counters("loadgen.retry.").items()},
+            max_live=self.max_live,
+            live_peak=max(host.live_peak for host in target.hosts),
+            schedule_crc=crc, problems=list(self.problems), chaos=section)
+
+    def _chaos_section(self, target, duration: float) -> dict:
+        """The replication verdicts, aggregated across every ledger the
+        run touched — killed primaries and surviving standbys included."""
+        for pair in target.pairs:
+            if pair is not None and not pair.killed:
+                pair.feed.quiesce()
+        problems = [f"audit: {p}" for p in target.audit()]
+        agg = MetricsRegistry("loadgen.replica")
+        agg.merge(target.metrics)
+        for host in list(target.hosts) + list(target.dead):
+            agg.merge(host.metrics)
+        for pair in target.pairs:
+            if pair is not None and not pair.promoted:
+                agg.merge(pair.standby.host.metrics)
+        shipped = agg.counter("replica.ship.frames")
+        acked = agg.counter("replica.ack.frames")
+        ship_errors = agg.counter("replica.ship.errors")
+        inflight = sum(pair.feed.pending() for pair in target.pairs
+                       if pair is not None)
+        if shipped != acked + inflight + ship_errors:
+            problems.append(
+                f"replica ship ledger unbalanced: shipped {shipped} != "
+                f"acked {acked} + inflight {inflight} + errors "
+                f"{ship_errors}")
+        promoted = agg.counter("replica.sessions.promoted")
+        p_live = agg.counter("replica.promoted.live")
+        p_parked = agg.counter("replica.promoted.parked")
+        if promoted != p_live + p_parked:
+            problems.append(
+                f"replica promotion ledger unbalanced: promoted "
+                f"{promoted} != live {p_live} + parked {p_parked}")
+
+        def hist(name: str, source=agg) -> dict:
+            return {k: round(v, 3)
+                    for k, v in (source.histogram(name) or {}).items()}
+
+        return {
+            "users": self.users, "shards": self.shards, "mode": "sync",
+            "kills": self.metrics.counter("loadgen.chaos.kills"),
+            "promotions": target.metrics.counter("router.shards.promoted"),
+            "severed": self.metrics.counter("loadgen.chaos.severed"),
+            "recovered": self.metrics.counter("loadgen.chaos.recovered"),
+            "unrecovered": self.metrics.counter(
+                "loadgen.chaos.unrecovered"),
+            "acked_lost": self.metrics.counter("loadgen.chaos.acked_lost"),
+            "promote_us": hist("replica.promote_us"),
+            "failover_us": hist("router.failover_us"),
+            "recover_us": hist("loadgen.op_us.recover", self.metrics),
+            "lag_us": hist("replica.lag_us"),
+            "lag_records": hist("replica.lag_records"),
+            "ledger": {
+                "shipped_frames": shipped, "acked_frames": acked,
+                "ship_errors": ship_errors, "inflight": inflight,
+                "promoted": promoted, "promoted_live": p_live,
+                "promoted_parked": p_parked,
+            },
+            "duration_s": round(duration, 3),
+            "problems": problems[:32],
+        }
 
     def _cleanup(self, target, hosts) -> None:
         """Discard the parked snapshots (sampling a few first), close."""
@@ -530,12 +783,31 @@ def validate(report: LoadReport) -> list[str]:
     """The smoke acceptance: sampled everywhere, clean everywhere."""
     problems = list(report.problems)
     for op in OP_CLASSES:
+        if report.chaos is not None and op in ("apply", "wake"):
+            continue  # a chaos run has no wake phase; apply stays server-side
         if not (report.op_us.get(op) or {}).get("count"):
             problems.append(f"op class {op!r} never sampled")
     unexpected = {k: v for k, v in report.errors.items()
                   if k != "faulted" and v}
     if unexpected:
         problems.append(f"unexpected errors: {unexpected}")
+    if report.chaos is not None:
+        chaos = report.chaos
+        if chaos.get("kills", 0) != chaos.get("promotions", 0):
+            problems.append(
+                f"chaos: {chaos.get('kills')} kills but "
+                f"{chaos.get('promotions')} promotions")
+        if chaos.get("acked_lost"):
+            problems.append(
+                f"chaos: {chaos['acked_lost']} acknowledged writes lost "
+                f"to failover — the budget is zero")
+        if chaos.get("unrecovered"):
+            problems.append(
+                f"chaos: {chaos['unrecovered']} severed users never "
+                f"recovered")
+        for problem in chaos.get("problems") or []:
+            if problem not in problems:
+                problems.append(f"chaos: {problem}")
     return problems
 
 
@@ -556,7 +828,16 @@ def _write_artifacts(tag: str, report: LoadReport,
     return outdir
 
 
-def smoke(users: int, shards: int, seed: int, transport: str) -> int:
+def _write_json_report(tag: str, report: LoadReport) -> pathlib.Path:
+    """The machine-readable artifact ``--json`` asks for."""
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACTS / f"report-{tag}.json"
+    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return path
+
+
+def smoke(users: int, shards: int, seed: int, transport: str,
+          json_out: bool = False) -> int:
     """The CI gate: one small fleet, two topologies, identical counts."""
     models = build_models()
     reports: dict[str, LoadReport] = {}
@@ -566,6 +847,9 @@ def smoke(users: int, shards: int, seed: int, transport: str) -> int:
                      workers=8, transport=transport, models=models)
         report = lg.run()
         reports[tag] = report
+        if json_out:
+            print(f"loadgen: report-{tag}.json -> "
+                  f"{_write_json_report(tag, report)}")
         problems = validate(report)
         for problem in problems:
             print(f"loadgen: {tag}: {problem}", file=sys.stderr)
@@ -607,11 +891,13 @@ def main(argv: list[str] | None = None) -> int:
     transport = "tcp"
     think = 0.0
     faults = False
+    chaos = 0
+    json_out = False
     run_smoke = False
     report_path: str | None = None
     usage = ("usage: loadgen [--users N] [--shards N] [--workers K] "
              "[--seed S] [--pipe | --tcp] [--think X] [--faults] "
-             "[--report PATH] [--smoke]")
+             "[--chaos N] [--json] [--report PATH] [--smoke]")
     while args:
         arg = args.pop(0)
         if arg == "--users" and args and args[0].isdigit():
@@ -622,6 +908,8 @@ def main(argv: list[str] | None = None) -> int:
             workers = int(args.pop(0))
         elif arg == "--seed" and args and args[0].isdigit():
             seed = int(args.pop(0))
+        elif arg == "--chaos" and args and args[0].isdigit():
+            chaos = int(args.pop(0))
         elif arg == "--think" and args:
             try:
                 think = float(args.pop(0))
@@ -634,6 +922,8 @@ def main(argv: list[str] | None = None) -> int:
             transport = "tcp"
         elif arg == "--faults":
             faults = True
+        elif arg == "--json":
+            json_out = True
         elif arg == "--smoke":
             run_smoke = True
         elif arg == "--report" and args:
@@ -642,16 +932,25 @@ def main(argv: list[str] | None = None) -> int:
             print(usage, file=sys.stderr)
             return 2
     if run_smoke:
-        return smoke(users or 24, shards or 4, seed, transport)
-    lg = LoadGen(users=users or 100, shards=shards, seed=seed,
-                 workers=workers, transport=transport, think_scale=think,
-                 faults=faults)
+        return smoke(users or 24, shards or 4, seed, transport,
+                     json_out=json_out)
+    if chaos and not shards:
+        shards = max(chaos, 4)
+    try:
+        lg = LoadGen(users=users or 100, shards=shards, seed=seed,
+                     workers=workers, transport=transport,
+                     think_scale=think, faults=faults, chaos=chaos)
+    except ValueError as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 2
     report = lg.run()
     text = json.dumps(report.to_dict(), indent=2) + "\n"
     if report_path:
         pathlib.Path(report_path).write_text(text)
     else:
         print(text, end="")
+    if json_out:
+        _write_json_report("chaos" if chaos else "run", report)
     problems = validate(report)
     for problem in problems:
         print(f"loadgen: {problem}", file=sys.stderr)

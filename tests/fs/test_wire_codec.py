@@ -53,6 +53,11 @@ messages = st.one_of(
               children=st.lists(stat_entries, max_size=8)),
     st.builds(wire.Rerror, tag=tags, kind=names, errop=names, path=names,
               message=texts),
+    st.builds(wire.Tship, tag=tags, sid=names,
+              verb=st.sampled_from(["reset", "append", "state", "drop",
+                                    "ping"]),
+              seq=offsets, crc=fids, meta=names, data=texts),
+    st.builds(wire.Rship, tag=tags, ack=offsets),
 )
 
 
@@ -95,7 +100,7 @@ class TestRoundTrip:
     @settings(max_examples=100, deadline=None)
     def test_op_names_cover_every_type(self, msg):
         assert msg.op in ("attach", "walk", "open", "read", "write",
-                          "clunk", "stat", "error")
+                          "clunk", "stat", "error", "ship")
 
 
 class TestMalformedFrames:

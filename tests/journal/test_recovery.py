@@ -129,3 +129,54 @@ class TestTornJournal:
         with pytest.raises(ReplayError, match="wids record names"):
             recover(fresh.help, reserialize([records[0], tampered,
                                              records[2]]))
+
+
+class TestRecoveryEdgeCases:
+    """The journals a crash (or an empty spool slot) actually leaves."""
+
+    def test_zero_length_journal_recovers_to_fresh_boot(self):
+        # a spool file created but never written: recovery must land on
+        # the freshly booted world, reporting the damage, not crash
+        fresh = build_system(width=120, height=40)
+        baseline = render_screen(fresh.help)
+        report = recover(fresh.help, "")
+        assert report.torn
+        assert report.applied == 0
+        assert report.inputs == 0
+        assert report.snapshot_seq is None
+        assert any("header" in p for p in report.problems)
+        assert render_screen(fresh.help) == baseline
+
+    def test_snapshot_group_with_empty_suffix(self):
+        # a hibernation wake's text: header + group, nothing to replay —
+        # the "inputs" mark alone must carry the resume index
+        system, recorder = drive()
+        recorder.compact()
+        text = system.ns.read(PATH)
+        fresh = build_system(width=120, height=40)
+        report = recover(fresh.help, text)
+        assert report.snapshot_seq is not None
+        assert report.applied == 0
+        assert report.inputs == recorder.inputs_recorded == 4
+        assert not report.torn
+        assert render_screen(fresh.help, full=True) \
+            == render_screen(system.help, full=True)
+
+    def test_torn_write_inside_snapshot_group(self):
+        # crash mid-compaction: the state record is half-written.  The
+        # group is unusable and must be skipped whole — no half-restore
+        # of a snapshot whose companions are gone
+        system, recorder = drive()
+        recorder.compact()
+        text = system.ns.read(PATH)
+        lines = text.splitlines(keepends=True)
+        assert [l.split(" ", 3)[2] for l in lines[1:4]] \
+            == ["snapshot", "wids", "state"]
+        torn = "".join(lines[:3]) + lines[3][:len(lines[3]) // 2]
+        fresh = build_system(width=120, height=40)
+        baseline = render_screen(fresh.help)
+        report = recover(fresh.help, torn)
+        assert report.torn
+        assert report.snapshot_seq is None
+        assert report.applied == 0
+        assert render_screen(fresh.help) == baseline

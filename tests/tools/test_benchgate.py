@@ -290,3 +290,129 @@ class TestCli:
     def test_default_path_points_at_bench_artifacts(self):
         assert benchgate.DEFAULT_REPORT.parts[-2:] == (
             "bench_artifacts", "BENCH_perf.json")
+
+
+class TestGuardedChecks:
+    """One run reports every broken budget — nothing hides anything."""
+
+    def test_all_violations_reported_in_one_run(self):
+        report = clean_report()
+        report["counters"]["fs.close"] = 97            # session leak
+        report["counters"]["fs.fault.injected"] = 1    # fault traffic
+        report["counters"]["wire.rpc.attach"] = 2      # underpowered
+        report["ops"] = {}
+        report["wire"]["client_rpc_us"] = {}           # no samples
+        report["counters"]["journal.append.records"] = 10  # imbalance
+        problems = benchgate.audit(report)
+        assert any("session leak" in p for p in problems)
+        assert any("fault injection" in p for p in problems)
+        assert any("underpowered" in p for p in problems)
+        assert any("client_rpc_us" in p for p in problems)
+        assert any("journal ledger imbalance" in p for p in problems)
+        assert len(problems) >= 5
+
+    def test_crashed_check_cannot_hide_later_violations(self):
+        report = clean_report()
+        # a malformed shards section makes that check crash...
+        report["counters"]["router.attach.routed"] = 5
+        report["shards"] = {"per_shard": [42]}  # not a ledger entry
+        # ...while a later section still carries a real violation
+        report["counters"]["loadgen.ops.total"] = 100
+        problems = benchgate.audit(report)
+        assert any("crashed" in p and "shards" in p for p in problems)
+        assert any("loadgen" in p and "section is missing" in p
+                   for p in problems)
+
+
+class TestReplicaSlo:
+    def with_replica(self, **overrides) -> dict:
+        ceilings = benchgate.SLO_REPLICA_P99_US
+        section = {
+            "users": 1200, "shards": 4, "mode": "sync",
+            "kills": 3, "promotions": 3,
+            "severed": 12, "recovered": 12, "unrecovered": 0,
+            "acked_lost": 0,
+            "promote_us": {"count": 3, "p99": ceilings["promote"] / 2},
+            "failover_us": {"count": 3, "p99": ceilings["failover"] / 2},
+            "lag_us": {"count": 500, "p99": ceilings["lag"] / 2},
+            "ledger": {
+                "shipped_frames": 100, "acked_frames": 98,
+                "ship_errors": 2, "inflight": 0,
+                "promoted": 40, "promoted_live": 10,
+                "promoted_parked": 30,
+            },
+            "problems": [],
+        }
+        section.update(overrides)
+        return section
+
+    def test_clean_section_passes(self):
+        assert benchgate.audit_replica(self.with_replica()) == []
+
+    def test_report_without_section_is_not_audited(self):
+        assert benchgate.audit(clean_report()) == []
+
+    def test_section_triggers_the_audit_via_report(self):
+        report = clean_report()
+        report["replica"] = self.with_replica(acked_lost=2)
+        assert any("acknowledged writes lost" in p
+                   for p in benchgate.audit(report))
+
+    def test_acked_loss_is_zero_tolerance(self):
+        problems = benchgate.audit_replica(self.with_replica(acked_lost=1))
+        assert any("acknowledged writes lost" in p for p in problems)
+
+    def test_unrecovered_users_are_flagged(self):
+        problems = benchgate.audit_replica(self.with_replica(unrecovered=2))
+        assert any("never recovered" in p for p in problems)
+
+    def test_kill_promotion_mismatch_is_flagged(self):
+        problems = benchgate.audit_replica(self.with_replica(promotions=2))
+        assert any("failover incomplete" in p for p in problems)
+
+    def test_underpowered_soak_is_flagged(self):
+        assert any("users" in p for p in benchgate.audit_replica(
+            self.with_replica(users=10)))
+        assert any("shards" in p for p in benchgate.audit_replica(
+            self.with_replica(shards=1)))
+        assert any("killed" in p for p in benchgate.audit_replica(
+            self.with_replica(kills=1, promotions=1)))
+
+    def test_p99_breach_is_flagged_per_budget(self):
+        over = benchgate.SLO_REPLICA_P99_US["promote"] + 1
+        problems = benchgate.audit_replica(self.with_replica(
+            promote_us={"count": 3, "p99": over}))
+        assert any("SLO breach" in p and "promote" in p for p in problems)
+        assert not any("failover" in p for p in problems)
+
+    def test_injected_budgets_override_defaults(self):
+        problems = benchgate.audit_replica(
+            self.with_replica(), budgets={"promote": 1})
+        assert any("promote" in p and "1us budget" in p for p in problems)
+
+    def test_unsampled_histogram_is_flagged(self):
+        problems = benchgate.audit_replica(self.with_replica(lag_us={}))
+        assert any("lag_us never sampled" in p for p in problems)
+
+    def test_ship_ledger_imbalance_is_flagged(self):
+        ledger = self.with_replica()["ledger"]
+        ledger["acked_frames"] = 90
+        problems = benchgate.audit_replica(self.with_replica(ledger=ledger))
+        assert any("ship ledger imbalance" in p for p in problems)
+
+    def test_promotion_ledger_imbalance_is_flagged(self):
+        ledger = self.with_replica()["ledger"]
+        ledger["promoted_parked"] = 7
+        problems = benchgate.audit_replica(self.with_replica(ledger=ledger))
+        assert any("promotion ledger imbalance" in p for p in problems)
+
+    def test_missing_ledger_is_flagged(self):
+        section = self.with_replica()
+        del section["ledger"]
+        problems = benchgate.audit_replica(section)
+        assert any("no replica ledger" in p for p in problems)
+
+    def test_run_problems_propagate(self):
+        problems = benchgate.audit_replica(self.with_replica(
+            problems=["audit: standby1: books off by one"]))
+        assert any("books off by one" in p for p in problems)

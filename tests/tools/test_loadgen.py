@@ -183,3 +183,71 @@ class TestCli:
         assert loadgen.main(["--bogus"]) == 2
         assert loadgen.main(["--users", "abc"]) == 2
         assert "usage" in capsys.readouterr().err
+
+
+class TestChaos:
+    def test_chaos_needs_replicated_shards(self):
+        with pytest.raises(ValueError):
+            LoadGen(users=4, chaos=1, transport="pipe")
+        with pytest.raises(ValueError):
+            LoadGen(users=4, shards=2, chaos=3, transport="pipe")
+
+    def test_failover_soak_validates_clean(self, models):
+        lg = LoadGen(users=12, shards=2, seed=7, workers=4,
+                     transport="pipe", models=models, chaos=1)
+        report = lg.run()
+        assert validate(report) == [], validate(report)
+        section = report.chaos
+        assert section["kills"] == 1 == section["promotions"]
+        assert section["acked_lost"] == 0
+        assert section["unrecovered"] == 0
+        assert section["severed"] == section["recovered"]
+        ledger = section["ledger"]
+        assert ledger["shipped_frames"] == (ledger["acked_frames"]
+                                            + ledger["inflight"]
+                                            + ledger["ship_errors"])
+        assert ledger["promoted"] == (ledger["promoted_live"]
+                                      + ledger["promoted_parked"])
+        # the same section benchgate audits, with test-scale floors
+        assert benchgate.audit_replica(section, min_shards=2,
+                                       min_kills=1, min_users=12) == []
+
+    def test_chaos_section_travels_in_the_report_dict(self, models):
+        lg = LoadGen(users=6, shards=2, seed=11, workers=2,
+                     transport="pipe", models=models, chaos=1)
+        report = lg.run()
+        data = report.to_dict()
+        assert data["chaos"]["kills"] == 1
+        assert "ledger" in data["chaos"]
+
+    def test_plain_report_has_no_chaos_section(self, models):
+        lg = LoadGen(users=2, seed=11, workers=2, transport="pipe",
+                     models=models)
+        assert "chaos" not in lg.run().to_dict()
+
+
+class TestJsonCli:
+    def test_json_flag_writes_the_artifact(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.setattr(loadgen, "ARTIFACTS", tmp_path)
+        code = loadgen.main(["--users", "6", "--pipe", "--seed", "9",
+                             "--json", "--report",
+                             str(tmp_path / "r.json")])
+        assert code == 0
+        import json
+        data = json.loads((tmp_path / "report-run.json").read_text())
+        assert data["users"] == 6
+        assert set(data["op_us"]) == set(loadgen.OP_CLASSES)
+
+    def test_smoke_json_writes_one_artifact_per_topology(
+            self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(loadgen, "ARTIFACTS", tmp_path)
+        assert loadgen.main(["--smoke", "--users", "8", "--pipe",
+                             "--json"]) == 0
+        assert (tmp_path / "report-plain.json").exists()
+        assert (tmp_path / "report-shards4.json").exists()
+
+    def test_chaos_cli_validates_its_arguments(self, capsys):
+        assert loadgen.main(["--users", "4", "--shards", "2",
+                             "--chaos", "3", "--pipe"]) == 2
+        assert "chaos" in capsys.readouterr().err
